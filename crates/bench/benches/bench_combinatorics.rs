@@ -1,0 +1,76 @@
+//! Benchmarks of the combinatorial substrate: field construction and
+//! arithmetic, orthogonal-array generation, Steiner systems, and the
+//! cover-free verifier — the build-time cost of a schedule.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ttdc_combinatorics::{CoverFreeFamily, Gf, OrthogonalArray, SteinerTripleSystem};
+
+fn bench_field_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gf/build");
+    for q in [7usize, 64, 125, 256] {
+        g.bench_with_input(BenchmarkId::from_parameter(q), &q, |b, &q| {
+            b.iter(|| Gf::new(black_box(q)).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_field_ops(c: &mut Criterion) {
+    let gf = Gf::new(128).unwrap();
+    c.bench_function("gf/mul_inv_sweep_128", |b| {
+        b.iter(|| {
+            let mut acc = 1usize;
+            for a in 1..128 {
+                acc = gf.mul(acc, black_box(a));
+                acc = gf.add(acc, gf.inv(black_box(a)));
+                if acc == 0 {
+                    acc = 1;
+                }
+            }
+            acc
+        });
+    });
+}
+
+fn bench_oa_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("oa/bush");
+    for (q, k) in [(7usize, 1u32), (11, 1), (7, 2)] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("q{q}_k{k}")),
+            &(q, k),
+            |b, &(q, k)| {
+                let gf = Gf::new(q).unwrap();
+                b.iter(|| OrthogonalArray::bush(black_box(&gf), black_box(k)));
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_steiner(c: &mut Criterion) {
+    let mut g = c.benchmark_group("steiner/build");
+    for v in [63usize, 121, 243] {
+        g.bench_with_input(BenchmarkId::from_parameter(v), &v, |b, &v| {
+            b.iter(|| SteinerTripleSystem::new(black_box(v)).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_cff_verify(c: &mut Criterion) {
+    let gf = Gf::new(7).unwrap();
+    let f = CoverFreeFamily::from_polynomials(&gf, 1, 30);
+    c.bench_function("cff/verify_d2_n30", |b| {
+        b.iter(|| black_box(&f).is_d_cover_free(2));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_field_build,
+    bench_field_ops,
+    bench_oa_build,
+    bench_steiner,
+    bench_cff_verify
+);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Benchmarks of the Figure-2 construction across network sizes — the
+//! (offline) cost of producing a deployment's schedule.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ttdc_core::construct::{construct, PartitionStrategy};
+use ttdc_core::tsma::build_polynomial;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("construct/full_pipeline");
+    g.sample_size(20);
+    for n in [25usize, 50, 100, 200] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let ns = build_polynomial(black_box(n), 3);
+                construct(&ns.schedule, 3, 2, 4, PartitionStrategy::RoundRobin)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_construct_only(c: &mut Criterion) {
+    let mut g = c.benchmark_group("construct/figure2_only");
+    g.sample_size(20);
+    for n in [25usize, 100, 400] {
+        let ns = build_polynomial(n, 3);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &ns, |b, ns| {
+            b.iter(|| construct(&ns.schedule, 3, 2, 4, PartitionStrategy::RoundRobin));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline, bench_construct_only);
+criterion_main!(benches);

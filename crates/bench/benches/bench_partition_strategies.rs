@@ -1,0 +1,26 @@
+//! Ablation: the three partition strategies of lines 3–4 of Figure 2 —
+//! identical schedules size-wise (Theorems 7–8 say frame length and average
+//! throughput cannot differ), so this measures pure construction overhead.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ttdc_core::construct::{construct, PartitionStrategy};
+use ttdc_core::tsma::build_polynomial;
+
+fn bench_strategies(c: &mut Criterion) {
+    let ns = build_polynomial(100, 3);
+    let mut g = c.benchmark_group("construct/strategy_n100");
+    g.sample_size(20);
+    for (name, strat) in [
+        ("contiguous", PartitionStrategy::Contiguous),
+        ("roundrobin", PartitionStrategy::RoundRobin),
+        ("randomized", PartitionStrategy::Randomized { seed: 1 }),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &strat, |b, &strat| {
+            b.iter(|| construct(black_box(&ns.schedule), 3, 2, 4, strat));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Benchmarks of the topology-transparency checkers: the exhaustive
+//! Requirement-3 scan (serial vs rayon-parallel) and the sampled checker —
+//! the verification cost the library pays per deployment envelope.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ttdc_core::requirements::{
+    is_topology_transparent, is_topology_transparent_par, spot_check_topology_transparent,
+};
+use ttdc_core::tsma::build_polynomial;
+
+fn bench_exhaustive(c: &mut Criterion) {
+    let mut g = c.benchmark_group("requirements/exhaustive_d2");
+    g.sample_size(10);
+    for n in [16usize, 25, 36] {
+        let ns = build_polynomial(n, 2);
+        g.bench_with_input(BenchmarkId::new("serial", n), &ns, |b, ns| {
+            b.iter(|| is_topology_transparent(black_box(&ns.schedule), 2));
+        });
+        g.bench_with_input(BenchmarkId::new("rayon", n), &ns, |b, ns| {
+            b.iter(|| is_topology_transparent_par(black_box(&ns.schedule), 2));
+        });
+    }
+    g.finish();
+}
+
+fn bench_sampled(c: &mut Criterion) {
+    let ns = build_polynomial(200, 4);
+    c.bench_function("requirements/sampled_n200_d4_1k", |b| {
+        b.iter(|| spot_check_topology_transparent(black_box(&ns.schedule), 4, 1000, 7));
+    });
+}
+
+criterion_group!(benches, bench_exhaustive, bench_sampled);
+criterion_main!(benches);

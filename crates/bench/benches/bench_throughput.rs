@@ -1,0 +1,36 @@
+//! Benchmarks of the throughput computations: the Theorem-2 closed form
+//! (linear in L) against the Definition-2 enumeration (binomial in n) —
+//! the speedup that makes the paper's formula the practical one.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ttdc_core::throughput::{
+    average_throughput, average_throughput_bruteforce, min_throughput,
+};
+use ttdc_core::tsma::build_polynomial;
+
+fn bench_closed_vs_brute(c: &mut Criterion) {
+    let mut g = c.benchmark_group("throughput/avg_d2");
+    for n in [12usize, 16, 20] {
+        let ns = build_polynomial(n, 2);
+        g.bench_with_input(BenchmarkId::new("theorem2", n), &ns, |b, ns| {
+            b.iter(|| average_throughput(black_box(&ns.schedule), 2));
+        });
+        g.bench_with_input(BenchmarkId::new("bruteforce", n), &ns, |b, ns| {
+            b.iter(|| average_throughput_bruteforce(black_box(&ns.schedule), 2));
+        });
+    }
+    g.finish();
+}
+
+fn bench_min_throughput(c: &mut Criterion) {
+    let ns = build_polynomial(16, 3);
+    let mut g = c.benchmark_group("throughput/min");
+    g.sample_size(10);
+    g.bench_function("n16_d3", |b| {
+        b.iter(|| min_throughput(black_box(&ns.schedule), 3));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_closed_vs_brute, bench_min_throughput);
+criterion_main!(benches);

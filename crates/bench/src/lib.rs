@@ -1,0 +1,12 @@
+//! Criterion benchmarks for the ttdc workspace.
+//!
+//! This crate has no library API; it exists to host the `benches/` targets:
+//!
+//! * `bench_combinatorics` — field/OA/STS construction, CFF verification;
+//! * `bench_construct` — the Figure-2 pipeline across network sizes;
+//! * `bench_requirements` — exhaustive vs rayon vs sampled transparency checks;
+//! * `bench_throughput` — Theorem-2 closed form vs Definition-2 enumeration;
+//! * `bench_sim` — simulator slot rate per MAC protocol;
+//! * `bench_partition_strategies` — ablation of the Figure-2 division step.
+//!
+//! Run with `cargo bench -p ttdc-bench` (append `-- --quick` for a fast pass).

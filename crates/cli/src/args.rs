@@ -1,0 +1,353 @@
+//! Hand-rolled argument parsing (no CLI-framework dependency).
+
+use ttdc_core::construct::PartitionStrategy;
+use ttdc_core::tsma::SourceKind;
+
+/// Usage text printed on parse errors and `--help`.
+pub const USAGE: &str = "\
+ttdc — topology-transparent duty cycling for wireless sensor networks
+
+USAGE:
+  ttdc build    --nodes N --degree D --alpha-t A --alpha-r B
+                [--source polynomial|steiner|identity]
+                [--strategy contiguous|roundrobin|randomized]
+                [--output FILE]
+  ttdc verify   --degree D FILE
+  ttdc analyze  --degree D [--alpha-t A --alpha-r B] FILE
+  ttdc simulate --degree D --topology ring|line|star|grid=WxH|geometric=SEED
+                [--slots N] [--rate R] [--seed S] FILE
+  ttdc help
+
+FILE is a schedule in the `ttdc-schedule v1` text format (see `ttdc build`).";
+
+/// A parsed CLI invocation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// Build a schedule and print/export it.
+    Build {
+        /// Max nodes `n`.
+        nodes: usize,
+        /// Max degree `D`.
+        degree: usize,
+        /// Transmitter budget `α_T`.
+        alpha_t: usize,
+        /// Receiver budget `α_R`.
+        alpha_r: usize,
+        /// Non-sleeping substrate.
+        source: SourceKind,
+        /// Figure-2 division strategy.
+        strategy: PartitionStrategy,
+        /// Output path (stdout if `None`).
+        output: Option<String>,
+    },
+    /// Verify a schedule file's topology transparency.
+    Verify {
+        /// Degree bound to verify against.
+        degree: usize,
+        /// Schedule file.
+        file: String,
+    },
+    /// Print the analytic report for a schedule file.
+    Analyze {
+        /// Degree bound.
+        degree: usize,
+        /// Budgets for the optimality ratio (optional).
+        alphas: Option<(usize, usize)>,
+        /// Schedule file.
+        file: String,
+    },
+    /// Run the schedule through the simulator.
+    Simulate {
+        /// Degree bound (for reporting only).
+        degree: usize,
+        /// Topology spec.
+        topology: TopologySpec,
+        /// Slots to simulate.
+        slots: u64,
+        /// Per-node per-slot packet rate.
+        rate: f64,
+        /// RNG seed.
+        seed: u64,
+        /// Schedule file.
+        file: String,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Topology selection for `ttdc simulate`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TopologySpec {
+    /// A cycle.
+    Ring,
+    /// A path.
+    Line,
+    /// A hub-and-spoke.
+    Star,
+    /// A `w × h` grid.
+    Grid(usize, usize),
+    /// A seeded random geometric deployment.
+    Geometric(u64),
+}
+
+fn parse_topology(s: &str) -> Result<TopologySpec, String> {
+    match s {
+        "ring" => Ok(TopologySpec::Ring),
+        "line" => Ok(TopologySpec::Line),
+        "star" => Ok(TopologySpec::Star),
+        other => {
+            if let Some(dims) = other.strip_prefix("grid=") {
+                let (w, h) = dims
+                    .split_once('x')
+                    .ok_or_else(|| format!("grid wants WxH, got {dims:?}"))?;
+                Ok(TopologySpec::Grid(
+                    w.parse().map_err(|_| format!("bad grid width {w:?}"))?,
+                    h.parse().map_err(|_| format!("bad grid height {h:?}"))?,
+                ))
+            } else if let Some(seed) = other.strip_prefix("geometric=") {
+                Ok(TopologySpec::Geometric(
+                    seed.parse().map_err(|_| format!("bad seed {seed:?}"))?,
+                ))
+            } else {
+                Err(format!("unknown topology {other:?}"))
+            }
+        }
+    }
+}
+
+struct Opts {
+    flags: std::collections::BTreeMap<String, String>,
+    positional: Vec<String>,
+}
+
+fn collect<I: Iterator<Item = String>>(mut it: I) -> Result<Opts, String> {
+    let mut flags = std::collections::BTreeMap::new();
+    let mut positional = Vec::new();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            let value = it
+                .next()
+                .ok_or_else(|| format!("--{name} needs a value"))?;
+            if flags.insert(name.to_string(), value).is_some() {
+                return Err(format!("--{name} given twice"));
+            }
+        } else {
+            positional.push(a);
+        }
+    }
+    Ok(Opts { flags, positional })
+}
+
+impl Opts {
+    fn req<T: std::str::FromStr>(&self, name: &str) -> Result<T, String> {
+        self.flags
+            .get(name)
+            .ok_or_else(|| format!("missing --{name}"))?
+            .parse()
+            .map_err(|_| format!("bad value for --{name}"))
+    }
+
+    fn opt<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String> {
+        self.flags
+            .get(name)
+            .map(|v| v.parse().map_err(|_| format!("bad value for --{name}")))
+            .transpose()
+    }
+
+    fn file(&self) -> Result<String, String> {
+        match self.positional.as_slice() {
+            [f] => Ok(f.clone()),
+            [] => Err("missing schedule FILE".into()),
+            more => Err(format!("unexpected arguments: {more:?}")),
+        }
+    }
+
+    fn known(&self, allowed: &[&str]) -> Result<(), String> {
+        for k in self.flags.keys() {
+            if !allowed.contains(&k.as_str()) {
+                return Err(format!("unknown flag --{k}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Parses `argv` (without the program name) into a [`Command`].
+pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, String> {
+    let mut it = argv.into_iter();
+    let sub = it.next().ok_or("missing subcommand")?;
+    match sub.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "build" => {
+            let o = collect(it)?;
+            o.known(&["nodes", "degree", "alpha-t", "alpha-r", "source", "strategy", "output"])?;
+            if !o.positional.is_empty() {
+                return Err(format!("unexpected arguments: {:?}", o.positional));
+            }
+            let source = match o.flags.get("source").map(String::as_str) {
+                None | Some("polynomial") => SourceKind::Polynomial,
+                Some("steiner") => SourceKind::Steiner,
+                Some("identity") => SourceKind::Identity,
+                Some(x) => return Err(format!("unknown source {x:?}")),
+            };
+            let strategy = match o.flags.get("strategy").map(String::as_str) {
+                None | Some("roundrobin") => PartitionStrategy::RoundRobin,
+                Some("contiguous") => PartitionStrategy::Contiguous,
+                Some("randomized") => PartitionStrategy::Randomized { seed: 0x5EED },
+                Some(x) => return Err(format!("unknown strategy {x:?}")),
+            };
+            Ok(Command::Build {
+                nodes: o.req("nodes")?,
+                degree: o.req("degree")?,
+                alpha_t: o.req("alpha-t")?,
+                alpha_r: o.req("alpha-r")?,
+                source,
+                strategy,
+                output: o.opt("output")?,
+            })
+        }
+        "verify" => {
+            let o = collect(it)?;
+            o.known(&["degree"])?;
+            Ok(Command::Verify {
+                degree: o.req("degree")?,
+                file: o.file()?,
+            })
+        }
+        "analyze" => {
+            let o = collect(it)?;
+            o.known(&["degree", "alpha-t", "alpha-r"])?;
+            let at: Option<usize> = o.opt("alpha-t")?;
+            let ar: Option<usize> = o.opt("alpha-r")?;
+            let alphas = match (at, ar) {
+                (Some(a), Some(b)) => Some((a, b)),
+                (None, None) => None,
+                _ => return Err("--alpha-t and --alpha-r must be given together".into()),
+            };
+            Ok(Command::Analyze {
+                degree: o.req("degree")?,
+                alphas,
+                file: o.file()?,
+            })
+        }
+        "simulate" => {
+            let o = collect(it)?;
+            o.known(&["degree", "topology", "slots", "rate", "seed"])?;
+            Ok(Command::Simulate {
+                degree: o.req("degree")?,
+                topology: parse_topology(
+                    o.flags
+                        .get("topology")
+                        .ok_or("missing --topology")?,
+                )?,
+                slots: o.opt("slots")?.unwrap_or(20_000),
+                rate: o.opt("rate")?.unwrap_or(0.002),
+                seed: o.opt("seed")?.unwrap_or(0),
+                file: o.file()?,
+            })
+        }
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn build_full_flags() {
+        let c = parse(sv(&[
+            "build", "--nodes", "30", "--degree", "3", "--alpha-t", "2", "--alpha-r", "4",
+            "--source", "steiner", "--strategy", "contiguous", "--output", "x.sched",
+        ]))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Build {
+                nodes: 30,
+                degree: 3,
+                alpha_t: 2,
+                alpha_r: 4,
+                source: SourceKind::Steiner,
+                strategy: PartitionStrategy::Contiguous,
+                output: Some("x.sched".into()),
+            }
+        );
+    }
+
+    #[test]
+    fn build_defaults() {
+        let c = parse(sv(&[
+            "build", "--nodes", "10", "--degree", "2", "--alpha-t", "1", "--alpha-r", "2",
+        ]))
+        .unwrap();
+        match c {
+            Command::Build { source, strategy, output, .. } => {
+                assert_eq!(source, SourceKind::Polynomial);
+                assert_eq!(strategy, PartitionStrategy::RoundRobin);
+                assert_eq!(output, None);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn verify_and_analyze() {
+        assert_eq!(
+            parse(sv(&["verify", "--degree", "3", "f.sched"])).unwrap(),
+            Command::Verify { degree: 3, file: "f.sched".into() }
+        );
+        assert_eq!(
+            parse(sv(&["analyze", "--degree", "2", "f"])).unwrap(),
+            Command::Analyze { degree: 2, alphas: None, file: "f".into() }
+        );
+        assert!(parse(sv(&["analyze", "--degree", "2", "--alpha-t", "1", "f"])).is_err());
+    }
+
+    #[test]
+    fn simulate_topologies() {
+        let c = parse(sv(&[
+            "simulate", "--degree", "2", "--topology", "grid=4x3", "--slots", "100",
+            "--rate", "0.1", "--seed", "7", "f",
+        ]))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Simulate {
+                degree: 2,
+                topology: TopologySpec::Grid(4, 3),
+                slots: 100,
+                rate: 0.1,
+                seed: 7,
+                file: "f".into(),
+            }
+        );
+        assert!(matches!(
+            parse(sv(&["simulate", "--degree", "2", "--topology", "geometric=9", "f"])).unwrap(),
+            Command::Simulate { topology: TopologySpec::Geometric(9), slots: 20_000, .. }
+        ));
+        for t in ["ring", "line", "star"] {
+            assert!(parse(sv(&["simulate", "--degree", "2", "--topology", t, "f"])).is_ok());
+        }
+    }
+
+    #[test]
+    fn error_paths() {
+        assert!(parse(sv(&[])).is_err());
+        assert!(parse(sv(&["frobnicate"])).is_err());
+        assert!(parse(sv(&["build", "--nodes", "10"])).is_err(), "missing flags");
+        assert!(parse(sv(&["build", "--nodes"])).is_err(), "flag without value");
+        assert!(parse(sv(&["build", "--nodes", "x", "--degree", "2", "--alpha-t", "1", "--alpha-r", "2"])).is_err());
+        assert!(parse(sv(&["verify", "--degree", "2"])).is_err(), "missing file");
+        assert!(parse(sv(&["verify", "--degree", "2", "a", "b"])).is_err());
+        assert!(parse(sv(&["verify", "--degree", "2", "--bogus", "1", "f"])).is_err());
+        assert!(parse(sv(&["simulate", "--degree", "2", "--topology", "grid=4", "f"])).is_err());
+        assert!(parse(sv(&["simulate", "--degree", "2", "--topology", "blob", "f"])).is_err());
+        assert!(parse(sv(&["build", "--nodes", "1", "--nodes", "2"])).is_err(), "dup flag");
+        assert_eq!(parse(sv(&["help"])).unwrap(), Command::Help);
+    }
+}

@@ -1,0 +1,343 @@
+//! Command execution for the `ttdc` binary.
+
+use crate::args::{Command, TopologySpec, USAGE};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::io::Write;
+use ttdc_core::analysis::optimality_ratio;
+use ttdc_core::bounds::alpha_bound;
+use ttdc_core::latency::{average_access_delay, worst_case_access_delay};
+use ttdc_core::requirements::{requirement3_violation, spot_check_topology_transparent};
+use ttdc_core::throughput::{average_throughput, min_throughput};
+use ttdc_core::tsma::build;
+use ttdc_core::{construct, io as sched_io, Schedule};
+use ttdc_sim::{GeometricNetwork, ScheduleMac, SimConfig, Simulator, Topology, TrafficPattern};
+
+type CmdResult = Result<(), String>;
+
+fn load_schedule(path: &str) -> Result<Schedule, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    sched_io::from_text(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Above this many Requirement-3 configurations, fall back to sampling.
+const EXHAUSTIVE_BUDGET: f64 = 5e7;
+
+fn check_transparency(
+    s: &Schedule,
+    d: usize,
+    out: &mut dyn Write,
+) -> Result<bool, String> {
+    let n = s.num_nodes() as u64;
+    let configs = n as f64 * ttdc_util::binomial_f64(n - 1, d as u64);
+    if configs <= EXHAUSTIVE_BUDGET {
+        match requirement3_violation(s, d) {
+            None => {
+                writeln!(out, "topology-transparent for N_{n}^{d}: YES (exhaustive)").ok();
+                Ok(true)
+            }
+            Some(v) => {
+                writeln!(
+                    out,
+                    "topology-transparent for N_{n}^{d}: NO — node {} cannot reach node {:?} \
+                     when its other neighbours are {:?}",
+                    v.x, v.y, v.interferers
+                )
+                .ok();
+                Ok(false)
+            }
+        }
+    } else {
+        match spot_check_topology_transparent(s, d, 100_000, 0xC0FFEE) {
+            None => {
+                writeln!(
+                    out,
+                    "topology-transparent for N_{n}^{d}: no violation in 100k samples \
+                     (instance too large for the exhaustive check)"
+                )
+                .ok();
+                Ok(true)
+            }
+            Some(v) => {
+                writeln!(
+                    out,
+                    "topology-transparent for N_{n}^{d}: NO — sampled violation at node {} → {:?}",
+                    v.x, v.y
+                )
+                .ok();
+                Ok(false)
+            }
+        }
+    }
+}
+
+/// Executes a parsed command, writing human-readable output to `out`.
+pub fn execute(cmd: &Command, out: &mut dyn Write) -> CmdResult {
+    match cmd {
+        Command::Help => {
+            writeln!(out, "{USAGE}").ok();
+            Ok(())
+        }
+        Command::Build {
+            nodes,
+            degree,
+            alpha_t,
+            alpha_r,
+            source,
+            strategy,
+            output,
+        } => {
+            let ns = build(*nodes, *degree, *source)?;
+            let c = construct(&ns.schedule, *degree, *alpha_t, *alpha_r, *strategy);
+            let text = sched_io::to_text(&c.schedule);
+            writeln!(
+                out,
+                "built ({alpha_t}, {alpha_r})-schedule for N_{nodes}^{degree}: \
+                 {} slots, duty cycle {:.1}%, α_T* = {}",
+                c.schedule.frame_length(),
+                100.0 * c.schedule.average_duty_cycle(),
+                c.alpha_t_star
+            )
+            .ok();
+            match output {
+                Some(path) => {
+                    std::fs::write(path, &text).map_err(|e| format!("{path}: {e}"))?;
+                    writeln!(out, "wrote {path}").ok();
+                }
+                None => {
+                    write!(out, "{text}").ok();
+                }
+            }
+            Ok(())
+        }
+        Command::Verify { degree, file } => {
+            let s = load_schedule(file)?;
+            writeln!(
+                out,
+                "{file}: n = {}, L = {}, duty cycle {:.1}%",
+                s.num_nodes(),
+                s.frame_length(),
+                100.0 * s.average_duty_cycle()
+            )
+            .ok();
+            if check_transparency(&s, *degree, out)? {
+                Ok(())
+            } else {
+                Err("verification failed".into())
+            }
+        }
+        Command::Analyze { degree, alphas, file } => {
+            let s = load_schedule(file)?;
+            let d = *degree;
+            let n = s.num_nodes();
+            writeln!(out, "schedule : n = {n}, L = {}", s.frame_length()).ok();
+            writeln!(out, "duty     : {:.2}%", 100.0 * s.average_duty_cycle()).ok();
+            let transparent = check_transparency(&s, d, out)?;
+            writeln!(out, "avg thr  : {:.6}", average_throughput(&s, d)).ok();
+            if n <= 40 {
+                writeln!(out, "min thr  : {:.6}", min_throughput(&s, d)).ok();
+                if transparent {
+                    writeln!(
+                        out,
+                        "latency  : worst {} slots, mean {:.1} (arrival-averaged)",
+                        worst_case_access_delay(&s, d).unwrap(),
+                        average_access_delay(&s, d).unwrap()
+                    )
+                    .ok();
+                }
+            } else {
+                writeln!(out, "min thr  : skipped (n > 40; exhaustive only)").ok();
+            }
+            if let Some((at, ar)) = alphas {
+                let b = alpha_bound(n, d, *at, *ar);
+                writeln!(out, "Thm-4 opt: {:.6} (α_T* = {})", b.thr_star, b.alpha_t_star).ok();
+                writeln!(
+                    out,
+                    "opt ratio: {:.3} of the ({at}, {ar})-schedule optimum",
+                    optimality_ratio(&s, d, *at, *ar)
+                )
+                .ok();
+            }
+            Ok(())
+        }
+        Command::Simulate {
+            degree,
+            topology,
+            slots,
+            rate,
+            seed,
+            file,
+        } => {
+            let s = load_schedule(file)?;
+            let n = s.num_nodes();
+            let topo = match topology {
+                TopologySpec::Ring => Topology::ring(n),
+                TopologySpec::Line => Topology::line(n),
+                TopologySpec::Star => Topology::star(n),
+                TopologySpec::Grid(w, h) => {
+                    if w * h != n {
+                        return Err(format!("grid {w}x{h} has {} cells but the schedule has n = {n}", w * h));
+                    }
+                    Topology::grid(*w, *h)
+                }
+                TopologySpec::Geometric(gseed) => {
+                    let mut rng = SmallRng::seed_from_u64(*gseed);
+                    GeometricNetwork::random(n, 0.3, *degree, &mut rng).topology()
+                }
+            };
+            if topo.max_degree() > *degree {
+                writeln!(
+                    out,
+                    "note: topology max degree {} exceeds D = {degree}; guarantees void",
+                    topo.max_degree()
+                )
+                .ok();
+            }
+            let mac = ScheduleMac::new("cli", s);
+            let mut sim = Simulator::new(
+                topo,
+                TrafficPattern::PoissonUnicast { rate: *rate },
+                SimConfig {
+                    seed: *seed,
+                    ..Default::default()
+                },
+            );
+            sim.run(&mac, *slots);
+            let r = sim.report();
+            writeln!(out, "slots      : {}", r.slots).ok();
+            writeln!(out, "generated  : {}", r.generated).ok();
+            writeln!(out, "delivered  : {} ({:.1}%)", r.delivered, 100.0 * r.delivery_ratio()).ok();
+            writeln!(out, "collisions : {}", r.collisions).ok();
+            writeln!(out, "latency    : mean {:.1} slots, max {:.0}", r.latency.mean(), r.latency.max()).ok();
+            writeln!(out, "energy     : {:.1} mJ/node (duty {:.1}%)", r.energy.mean_mj(), 100.0 * r.mean_duty_cycle()).ok();
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run;
+
+    fn run_str(args: &[&str]) -> (i32, String) {
+        let mut buf = Vec::new();
+        let code = run(args.iter().map(|s| s.to_string()), &mut buf);
+        (code, String::from_utf8(buf).unwrap())
+    }
+
+    fn tmp(name: &str) -> String {
+        std::env::temp_dir()
+            .join(format!("ttdc-cli-{}-{name}", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let (code, out) = run_str(&["help"]);
+        assert_eq!(code, 0);
+        assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn bad_args_exit_2() {
+        let (code, out) = run_str(&["bogus"]);
+        assert_eq!(code, 2);
+        assert!(out.contains("error:") && out.contains("USAGE"));
+    }
+
+    #[test]
+    fn build_verify_analyze_simulate_pipeline() {
+        let file = tmp("pipeline.sched");
+        let (code, out) = run_str(&[
+            "build", "--nodes", "16", "--degree", "2", "--alpha-t", "2", "--alpha-r", "3",
+            "--output", &file,
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("duty cycle"));
+
+        let (code, out) = run_str(&["verify", "--degree", "2", &file]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("YES (exhaustive)"));
+
+        let (code, out) = run_str(&[
+            "analyze", "--degree", "2", "--alpha-t", "2", "--alpha-r", "3", &file,
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("avg thr") && out.contains("opt ratio") && out.contains("latency"));
+
+        let (code, out) = run_str(&[
+            "simulate", "--degree", "2", "--topology", "ring", "--slots", "5000",
+            "--rate", "0.005", &file,
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("delivered"));
+        std::fs::remove_file(&file).ok();
+    }
+
+    #[test]
+    fn build_to_stdout_emits_schedule_format() {
+        let (code, out) = run_str(&[
+            "build", "--nodes", "9", "--degree", "2", "--alpha-t", "1", "--alpha-r", "2",
+            "--source", "steiner",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("ttdc-schedule v1"));
+    }
+
+    #[test]
+    fn verify_fails_on_non_transparent_schedule() {
+        // Build with degree 2, verify against degree 4: the q=3 family
+        // cannot support D=4 with all 9 nodes... build n=9 via polynomial
+        // (q=5 supports D≤4), so craft a failing case via identity-derived
+        // truncation instead: a schedule where a node never listens.
+        let file = tmp("broken.sched");
+        std::fs::write(
+            &file,
+            "ttdc-schedule v1\nn=3 L=3\nT=0 R=2\nT=1 R=0\nT=2 R=0,1\n",
+        )
+        .unwrap();
+        let (code, out) = run_str(&["verify", "--degree", "1", &file]);
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("NO"));
+        std::fs::remove_file(&file).ok();
+    }
+
+    #[test]
+    fn missing_file_is_reported() {
+        let (code, out) = run_str(&["verify", "--degree", "2", "/nonexistent/x.sched"]);
+        assert_eq!(code, 1);
+        assert!(out.contains("error:"));
+    }
+
+    #[test]
+    fn grid_size_mismatch_is_rejected() {
+        let file = tmp("grid.sched");
+        run_str(&[
+            "build", "--nodes", "9", "--degree", "2", "--alpha-t", "1", "--alpha-r", "2",
+            "--output", &file,
+        ]);
+        let (code, out) = run_str(&[
+            "simulate", "--degree", "2", "--topology", "grid=4x4", &file,
+        ]);
+        assert_eq!(code, 1);
+        assert!(out.contains("grid 4x4"));
+        std::fs::remove_file(&file).ok();
+    }
+
+    #[test]
+    fn geometric_simulation_runs() {
+        let file = tmp("geo.sched");
+        run_str(&[
+            "build", "--nodes", "12", "--degree", "3", "--alpha-t", "2", "--alpha-r", "3",
+            "--output", &file,
+        ]);
+        let (code, out) = run_str(&[
+            "simulate", "--degree", "3", "--topology", "geometric=5", "--slots", "3000", &file,
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("energy"));
+        std::fs::remove_file(&file).ok();
+    }
+}

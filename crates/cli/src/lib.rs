@@ -1,0 +1,35 @@
+//! # ttdc-cli — schedules from the command line
+//!
+//! ```text
+//! ttdc build    --nodes 30 --degree 3 --alpha-t 2 --alpha-r 4 -o field.schedule
+//! ttdc verify   --degree 3 field.schedule
+//! ttdc analyze  --degree 3 --alpha-t 2 --alpha-r 4 field.schedule
+//! ttdc simulate --degree 3 --topology ring --slots 20000 --rate 0.002 field.schedule
+//! ```
+//!
+//! All logic lives in this library crate (the binary is a thin shim) so the
+//! commands are unit-testable without spawning processes.
+
+pub mod args;
+pub mod commands;
+
+pub use args::{parse, Command};
+pub use commands::execute;
+
+/// Entry point shared by the binary and the tests: parse, execute, map
+/// errors to an exit code.
+pub fn run<I: IntoIterator<Item = String>>(argv: I, out: &mut dyn std::io::Write) -> i32 {
+    match parse(argv) {
+        Ok(cmd) => match execute(&cmd, out) {
+            Ok(()) => 0,
+            Err(e) => {
+                let _ = writeln!(out, "error: {e}");
+                1
+            }
+        },
+        Err(e) => {
+            let _ = writeln!(out, "error: {e}\n\n{}", args::USAGE);
+            2
+        }
+    }
+}

@@ -1,0 +1,6 @@
+//! The `ttdc` command-line binary — a thin shim over `ttdc_cli::run`.
+
+fn main() {
+    let code = ttdc_cli::run(std::env::args().skip(1), &mut std::io::stdout());
+    std::process::exit(code);
+}

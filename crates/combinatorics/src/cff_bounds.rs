@@ -1,0 +1,109 @@
+//! Theoretical bounds on cover-free families.
+//!
+//! The frame length of a topology-transparent schedule for `N_n^D` is
+//! exactly the ground-set size of a `D`-cover-free family with `n` blocks,
+//! so the classical CFF bounds — cited by the paper as \[9\] (Erdős-Frankl-
+//! Füredi) and \[16\] (Ruszinkó) — translate directly into how short a frame
+//! *can* be and how good each construction *is*. Experiment E15 plots the
+//! constructions against these.
+
+/// A simple packing lower bound on the ground-set size `L` of a
+/// `d`-cover-free family with `n ≥ d + 1` blocks:
+///
+/// The union bound of Erdős-Frankl-Füredi gives `n ≤ C(L, ⌈L/(d+1)⌉)`-type
+/// estimates; a weaker but clean form used throughout the literature is
+/// `L ≥ (d+1) · log₂(n) / (1 + log₂(d+1))`-ish. We implement the
+/// information-theoretic packing form
+/// `L ≥ c · d²/log₂(d+1) · log₂ n` with `c = 1/8` (D'yachkov-Rykov
+/// constant, safe side), which is the asymptotic shape the constructions
+/// are judged against.
+pub fn ground_set_lower_bound(n: u64, d: u64) -> f64 {
+    assert!(d >= 1 && n > d);
+    let n = n as f64;
+    let d = d as f64;
+    let dr = d * d / (d + 1.0).log2() / 8.0;
+    // Trivially L ≥ d + 1 as well (a block plus d non-covering others).
+    (dr * n.log2()).max(d + 1.0)
+}
+
+/// The frame length achieved by the polynomial construction for `(n, d)` —
+/// `q²` for the smallest feasible prime power — for comparison against
+/// [`ground_set_lower_bound`]. Grows as
+/// `O(max(d², n^(2/(k+1))) )`, i.e. polylogarithmic in `n` once `k` can
+/// grow.
+pub fn polynomial_frame_length(n: u64, d: u64) -> u64 {
+    crate::primes::TsmaParams::search(n, d)
+        .expect("positive parameters")
+        .frame_length()
+}
+
+/// The frame length achieved by the Steiner-triple route for `n` blocks
+/// (`d = 2` only): the smallest admissible `v ≡ 1, 3 (mod 6)` with
+/// `v(v−1)/6 ≥ n`, i.e. `Θ(√n)`.
+pub fn steiner_frame_length(n: u64) -> u64 {
+    let mut v = 7u64;
+    loop {
+        if (v % 6 == 1 || v % 6 == 3) && v * (v - 1) / 6 >= n {
+            return v;
+        }
+        v += 1;
+    }
+}
+
+/// The trivial TDMA frame length: `n`.
+pub fn identity_frame_length(n: u64) -> u64 {
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cff::CoverFreeFamily;
+    use crate::gf::Gf;
+
+    #[test]
+    fn lower_bound_is_sane() {
+        assert!(ground_set_lower_bound(10, 2) >= 3.0);
+        // Monotone in n and d.
+        assert!(ground_set_lower_bound(1000, 2) > ground_set_lower_bound(10, 2));
+        assert!(ground_set_lower_bound(100, 5) > ground_set_lower_bound(100, 2));
+    }
+
+    #[test]
+    fn constructions_respect_the_lower_bound() {
+        for (n, d) in [(20u64, 2u64), (100, 3), (500, 2), (1000, 5)] {
+            let lb = ground_set_lower_bound(n, d);
+            assert!(
+                polynomial_frame_length(n, d) as f64 >= lb,
+                "poly(n={n},d={d})"
+            );
+            if d == 2 {
+                assert!(steiner_frame_length(n) as f64 >= lb, "sts(n={n})");
+            }
+            assert!(identity_frame_length(n) as f64 >= lb);
+        }
+    }
+
+    #[test]
+    fn steiner_beats_identity_beats_nothing() {
+        // Frame growth: Θ(√n) < Θ(n) for d = 2.
+        for n in [50u64, 200, 1000] {
+            assert!(steiner_frame_length(n) < identity_frame_length(n));
+        }
+        // The chosen v really admits an STS and enough triples.
+        let v = steiner_frame_length(200);
+        let sts = crate::steiner::SteinerTripleSystem::new(v as usize).unwrap();
+        assert!(sts.triples().len() >= 200);
+    }
+
+    #[test]
+    fn polynomial_frame_matches_actual_construction() {
+        let n = 30u64;
+        let d = 3u64;
+        let l = polynomial_frame_length(n, d);
+        let p = crate::primes::TsmaParams::search(n, d).unwrap();
+        let gf = Gf::new(p.q.q as usize).unwrap();
+        let cff = CoverFreeFamily::from_polynomials(&gf, p.k, n);
+        assert_eq!(cff.ground_size() as u64, l);
+    }
+}

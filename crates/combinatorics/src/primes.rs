@@ -1,0 +1,281 @@
+//! Primality, prime powers, and TSMA parameter search.
+//!
+//! The orthogonal-array construction of topology-transparent schedules
+//! (Chlamtac-Farago 1994, Ju-Li 1998, Syrotiuk-Colbourn-Ling 2003) needs a
+//! Galois field GF(q), so `q` must be a prime power; and the schedule is
+//! topology-transparent for `N_n^D` iff `q ≥ kD + 1` and `q^(k+1) ≥ n`.
+//! [`TsmaParams::search`] finds the `(q, k)` pair minimising the frame
+//! length `q²` subject to those constraints.
+
+/// Deterministic primality test (trial division; inputs here are small).
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    if n.is_multiple_of(2) {
+        return n == 2;
+    }
+    if n.is_multiple_of(3) {
+        return n == 3;
+    }
+    let mut d = 5;
+    while d * d <= n {
+        if n.is_multiple_of(d) || n.is_multiple_of(d + 2) {
+            return false;
+        }
+        d += 6;
+    }
+    true
+}
+
+/// A prime power `q = p^m`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PrimePower {
+    /// The prime base.
+    pub p: u64,
+    /// The exponent (`≥ 1`).
+    pub m: u32,
+    /// The value `p^m`.
+    pub q: u64,
+}
+
+/// Decomposes `q` as a prime power, or `None` if it is not one.
+pub fn as_prime_power(q: u64) -> Option<PrimePower> {
+    if q < 2 {
+        return None;
+    }
+    // Find the smallest prime factor; q is a prime power iff it is a power of it.
+    let mut p = 0;
+    let mut d = 2;
+    while d * d <= q {
+        if q.is_multiple_of(d) {
+            p = d;
+            break;
+        }
+        d += 1;
+    }
+    if p == 0 {
+        // q itself is prime.
+        return Some(PrimePower { p: q, m: 1, q });
+    }
+    let mut rest = q;
+    let mut m = 0;
+    while rest.is_multiple_of(p) {
+        rest /= p;
+        m += 1;
+    }
+    if rest == 1 {
+        Some(PrimePower { p, m, q })
+    } else {
+        None
+    }
+}
+
+/// The smallest prime power `≥ lo`.
+pub fn next_prime_power(lo: u64) -> PrimePower {
+    let mut q = lo.max(2);
+    loop {
+        if let Some(pp) = as_prime_power(q) {
+            return pp;
+        }
+        q += 1;
+    }
+}
+
+/// The prime factorisation of `n` as `(prime, multiplicity)` pairs.
+pub fn factorize(mut n: u64) -> Vec<(u64, u32)> {
+    let mut out = Vec::new();
+    let mut d = 2;
+    while d * d <= n {
+        if n.is_multiple_of(d) {
+            let mut m = 0;
+            while n.is_multiple_of(d) {
+                n /= d;
+                m += 1;
+            }
+            out.push((d, m));
+        }
+        d += 1;
+    }
+    if n > 1 {
+        out.push((n, 1));
+    }
+    out
+}
+
+/// Parameters of the polynomial/orthogonal-array TSMA construction.
+///
+/// Nodes are identified with polynomials of degree `≤ k` over GF(q); a frame
+/// has `q` subframes of `q` slots and node `f` transmits in slot `f(i)` of
+/// subframe `i`. Two distinct such polynomials agree in at most `k` points,
+/// so any `D ≤ (q−1)/k` interfering neighbours leave at least one free slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TsmaParams {
+    /// Field size (prime power).
+    pub q: PrimePower,
+    /// Polynomial degree bound.
+    pub k: u32,
+}
+
+impl TsmaParams {
+    /// Frame length `q²` of the resulting non-sleeping schedule.
+    pub fn frame_length(&self) -> u64 {
+        self.q.q * self.q.q
+    }
+
+    /// Maximum number of nodes supported, `q^(k+1)`, saturating.
+    pub fn capacity(&self) -> u64 {
+        let mut cap = 1u64;
+        for _ in 0..=self.k {
+            cap = cap.saturating_mul(self.q.q);
+        }
+        cap
+    }
+
+    /// Largest degree bound `D` the schedule is topology-transparent for.
+    pub fn max_degree(&self) -> u64 {
+        (self.q.q - 1) / self.k as u64
+    }
+
+    /// Finds the `(q, k)` minimising the frame length `q²` subject to
+    /// `q^(k+1) ≥ n` and `q ≥ kD + 1`.
+    ///
+    /// Ties are broken toward smaller `k` (fewer transmissions per frame per
+    /// node never hurts, and the field is cheaper to build). Returns `None`
+    /// only for degenerate inputs (`n == 0` or `d == 0`).
+    pub fn search(n: u64, d: u64) -> Option<TsmaParams> {
+        if n == 0 || d == 0 {
+            return None;
+        }
+        let mut best: Option<TsmaParams> = None;
+        // k beyond log2(n) cannot shrink q further: q ≥ kD+1 grows while the
+        // capacity constraint is already satisfied by q = 2 at k = log2(n).
+        let k_max = 64 - n.leading_zeros().max(1) + 1;
+        for k in 1..=k_max.max(2) {
+            // Smallest q satisfying both constraints.
+            let q_deg = k as u64 * d + 1;
+            let q_cap = int_root_ceil(n, k + 1);
+            let q = next_prime_power(q_deg.max(q_cap).max(2));
+            let cand = TsmaParams { q, k };
+            debug_assert!(cand.capacity() >= n && cand.max_degree() >= d);
+            if best.is_none_or(|b| cand.frame_length() < b.frame_length()) {
+                best = Some(cand);
+            }
+        }
+        best
+    }
+}
+
+/// Smallest `r` with `r^e ≥ n`.
+fn int_root_ceil(n: u64, e: u32) -> u64 {
+    if n <= 1 {
+        return 1;
+    }
+    let mut r = (n as f64).powf(1.0 / e as f64).floor() as u64;
+    r = r.saturating_sub(2).max(1);
+    while pow_sat(r, e) < n {
+        r += 1;
+    }
+    r
+}
+
+fn pow_sat(b: u64, e: u32) -> u64 {
+    let mut acc = 1u64;
+    for _ in 0..e {
+        acc = acc.saturating_mul(b);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primality_small() {
+        let primes: Vec<u64> = (0..60).filter(|&n| is_prime(n)).collect();
+        assert_eq!(
+            primes,
+            vec![2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59]
+        );
+        assert!(is_prime(7919));
+        assert!(!is_prime(7917));
+    }
+
+    #[test]
+    fn prime_power_detection() {
+        assert_eq!(as_prime_power(8), Some(PrimePower { p: 2, m: 3, q: 8 }));
+        assert_eq!(as_prime_power(9), Some(PrimePower { p: 3, m: 2, q: 9 }));
+        assert_eq!(as_prime_power(7), Some(PrimePower { p: 7, m: 1, q: 7 }));
+        assert_eq!(as_prime_power(729), Some(PrimePower { p: 3, m: 6, q: 729 }));
+        assert_eq!(as_prime_power(6), None);
+        assert_eq!(as_prime_power(12), None);
+        assert_eq!(as_prime_power(1), None);
+        assert_eq!(as_prime_power(0), None);
+    }
+
+    #[test]
+    fn next_prime_power_scan() {
+        assert_eq!(next_prime_power(0).q, 2);
+        assert_eq!(next_prime_power(10).q, 11);
+        assert_eq!(next_prime_power(24).q, 25);
+        assert_eq!(next_prime_power(26).q, 27);
+        assert_eq!(next_prime_power(32).q, 32);
+        assert_eq!(next_prime_power(127).q, 127);
+        assert_eq!(next_prime_power(128).q, 128);
+    }
+
+    #[test]
+    fn factorization() {
+        assert_eq!(factorize(1), vec![]);
+        assert_eq!(factorize(2), vec![(2, 1)]);
+        assert_eq!(factorize(360), vec![(2, 3), (3, 2), (5, 1)]);
+        assert_eq!(factorize(97), vec![(97, 1)]);
+    }
+
+    #[test]
+    fn tsma_search_satisfies_constraints() {
+        for n in [5u64, 16, 50, 100, 500, 2000] {
+            for d in [1u64, 2, 3, 5, 8] {
+                let p = TsmaParams::search(n, d).unwrap();
+                assert!(p.capacity() >= n, "n={n} d={d}: {p:?}");
+                assert!(p.max_degree() >= d, "n={n} d={d}: {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn tsma_search_is_minimal_over_k() {
+        // Brute-force over all feasible (q, k) with q ≤ 4096 and confirm the
+        // search result has the smallest q².
+        for (n, d) in [(100u64, 3u64), (1000, 2), (64, 5)] {
+            let got = TsmaParams::search(n, d).unwrap();
+            let mut best = u64::MAX;
+            for k in 1..=16u32 {
+                for q in 2..=4096u64 {
+                    let Some(pp) = as_prime_power(q) else { continue };
+                    let cand = TsmaParams { q: pp, k };
+                    if cand.capacity() >= n && cand.max_degree() >= d {
+                        best = best.min(cand.frame_length());
+                        break; // larger q for same k only grows the frame
+                    }
+                }
+            }
+            assert_eq!(got.frame_length(), best, "n={n} d={d}");
+        }
+    }
+
+    #[test]
+    fn tsma_degenerate_inputs() {
+        assert!(TsmaParams::search(0, 3).is_none());
+        assert!(TsmaParams::search(10, 0).is_none());
+    }
+
+    #[test]
+    fn int_root_ceil_exact_and_inexact() {
+        assert_eq!(int_root_ceil(27, 3), 3);
+        assert_eq!(int_root_ceil(28, 3), 4);
+        assert_eq!(int_root_ceil(1, 5), 1);
+        assert_eq!(int_root_ceil(u64::MAX, 2), 4_294_967_296);
+    }
+}

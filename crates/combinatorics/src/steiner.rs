@@ -1,0 +1,207 @@
+//! Steiner triple systems STS(v).
+//!
+//! Colbourn-Ling-Syrotiuk (2004) — reference \[3\] of the paper — construct
+//! topology-transparent schedules from cover-free families obtained from
+//! Steiner systems. An STS(v) is a set of 3-element blocks (triples) over
+//! `v` points such that every pair of points lies in exactly one triple;
+//! distinct triples therefore share at most one point, which makes the
+//! family of triples 2-cover-free. STS(v) exists iff `v ≡ 1 or 3 (mod 6)`;
+//! we implement the two classical direct constructions: Bose (`v = 6t+3`)
+//! and Skolem (`v = 6t+1`).
+
+/// A Steiner triple system: `v` points and `v(v−1)/6` triples.
+#[derive(Clone, Debug)]
+pub struct SteinerTripleSystem {
+    v: usize,
+    triples: Vec<[usize; 3]>,
+}
+
+impl SteinerTripleSystem {
+    /// Constructs STS(v). Returns an error unless `v ≡ 1 or 3 (mod 6)` and
+    /// `v ≥ 7` (the degenerate systems v ∈ {1, 3} have no or one triple and
+    /// are useless as schedules).
+    pub fn new(v: usize) -> Result<SteinerTripleSystem, String> {
+        match v % 6 {
+            3 if v >= 9 => Ok(Self::bose(v)),
+            1 if v >= 7 => Ok(Self::skolem(v)),
+            _ => Err(format!(
+                "STS({v}) does not exist or is degenerate (need v ≡ 1 or 3 mod 6, v ≥ 7)"
+            )),
+        }
+    }
+
+    /// Bose construction for `v = 6t + 3`.
+    ///
+    /// Points are `Z_{2t+1} × {0,1,2}`; the idempotent commutative
+    /// quasigroup `i∘j = (i+j)(t+1) mod (2t+1)` supplies the mixed triples.
+    fn bose(v: usize) -> SteinerTripleSystem {
+        let t = (v - 3) / 6;
+        let n = 2 * t + 1;
+        let point = |i: usize, layer: usize| i + layer * n;
+        let op = |i: usize, j: usize| (i + j) * (t + 1) % n;
+        let mut triples = Vec::with_capacity(v * (v - 1) / 6);
+        for i in 0..n {
+            triples.push([point(i, 0), point(i, 1), point(i, 2)]);
+        }
+        for i in 0..n {
+            for j in i + 1..n {
+                for layer in 0..3 {
+                    triples.push([
+                        point(i, layer),
+                        point(j, layer),
+                        point(op(i, j), (layer + 1) % 3),
+                    ]);
+                }
+            }
+        }
+        SteinerTripleSystem { v, triples }
+    }
+
+    /// Skolem construction for `v = 6t + 1`.
+    ///
+    /// Points are `(Z_{2t} × {0,1,2}) ∪ {∞}`. The half-idempotent
+    /// commutative quasigroup is the group table of `Z_{2t}` with symbols
+    /// renamed so that the diagonal reads `0,…,t−1, 0,…,t−1`.
+    fn skolem(v: usize) -> SteinerTripleSystem {
+        let t = (v - 1) / 6;
+        let n = 2 * t;
+        let infinity = v - 1;
+        let point = |i: usize, layer: usize| i + layer * n;
+        // Rename symbols of (Z_2t, +): even sum 2k ↦ k, odd sum 2k+1 ↦ t+k.
+        let rename = |s: usize| if s.is_multiple_of(2) { s / 2 } else { t + s / 2 };
+        let op = |i: usize, j: usize| rename((i + j) % n);
+        let mut triples = Vec::with_capacity(v * (v - 1) / 6);
+        for i in 0..t {
+            triples.push([point(i, 0), point(i, 1), point(i, 2)]);
+        }
+        for i in 0..t {
+            for layer in 0..3 {
+                triples.push([infinity, point(t + i, layer), point(i, (layer + 1) % 3)]);
+            }
+        }
+        for i in 0..n {
+            for j in i + 1..n {
+                for layer in 0..3 {
+                    triples.push([
+                        point(i, layer),
+                        point(j, layer),
+                        point(op(i, j), (layer + 1) % 3),
+                    ]);
+                }
+            }
+        }
+        SteinerTripleSystem { v, triples }
+    }
+
+    /// Number of points.
+    pub fn points(&self) -> usize {
+        self.v
+    }
+
+    /// The triples.
+    pub fn triples(&self) -> &[[usize; 3]] {
+        &self.triples
+    }
+
+    /// Checks the defining property: every unordered pair of points occurs
+    /// in exactly one triple. Quadratic in `v`; intended for tests.
+    pub fn verify(&self) -> Result<(), String> {
+        let v = self.v;
+        let mut count = vec![0u32; v * v];
+        for (bi, tr) in self.triples.iter().enumerate() {
+            let [a, b, c] = *tr;
+            if a >= v || b >= v || c >= v {
+                return Err(format!("triple {bi} out of range: {tr:?}"));
+            }
+            if a == b || a == c || b == c {
+                return Err(format!("triple {bi} has repeated points: {tr:?}"));
+            }
+            for (x, y) in [(a, b), (a, c), (b, c)] {
+                count[x * v + y] += 1;
+                count[y * v + x] += 1;
+            }
+        }
+        for x in 0..v {
+            for y in x + 1..v {
+                match count[x * v + y] {
+                    1 => {}
+                    c => {
+                        return Err(format!("pair ({x},{y}) occurs in {c} triples"));
+                    }
+                }
+            }
+        }
+        if self.triples.len() != v * (v - 1) / 6 {
+            return Err(format!(
+                "wrong triple count: {} != {}",
+                self.triples.len(),
+                v * (v - 1) / 6
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bose_systems_verify() {
+        for v in [9usize, 15, 21, 27, 33, 45, 63] {
+            let sts = SteinerTripleSystem::new(v).unwrap();
+            assert_eq!(sts.points(), v);
+            sts.verify().unwrap_or_else(|e| panic!("STS({v}): {e}"));
+        }
+    }
+
+    #[test]
+    fn skolem_systems_verify() {
+        for v in [7usize, 13, 19, 25, 31, 43, 61] {
+            let sts = SteinerTripleSystem::new(v).unwrap();
+            assert_eq!(sts.points(), v);
+            sts.verify().unwrap_or_else(|e| panic!("STS({v}): {e}"));
+        }
+    }
+
+    #[test]
+    fn triple_count_formula() {
+        let sts = SteinerTripleSystem::new(15).unwrap();
+        assert_eq!(sts.triples().len(), 15 * 14 / 6);
+        let sts = SteinerTripleSystem::new(13).unwrap();
+        assert_eq!(sts.triples().len(), 13 * 12 / 6);
+    }
+
+    #[test]
+    fn nonexistent_orders_rejected() {
+        for v in [0usize, 1, 2, 3, 4, 5, 6, 8, 10, 11, 12, 14, 20] {
+            assert!(SteinerTripleSystem::new(v).is_err(), "STS({v}) should be rejected");
+        }
+    }
+
+    #[test]
+    fn distinct_triples_share_at_most_one_point() {
+        let sts = SteinerTripleSystem::new(19).unwrap();
+        let ts = sts.triples();
+        for i in 0..ts.len() {
+            for j in i + 1..ts.len() {
+                let shared = ts[i]
+                    .iter()
+                    .filter(|p| ts[j].contains(p))
+                    .count();
+                assert!(shared <= 1, "{:?} vs {:?}", ts[i], ts[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn verify_catches_corruption() {
+        let mut sts = SteinerTripleSystem::new(9).unwrap();
+        sts.triples[0] = sts.triples[1];
+        assert!(sts.verify().is_err());
+
+        let mut sts2 = SteinerTripleSystem::new(9).unwrap();
+        sts2.triples[0] = [0, 0, 1];
+        assert!(sts2.verify().is_err());
+    }
+}

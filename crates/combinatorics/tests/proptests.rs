@@ -1,0 +1,113 @@
+//! Property tests for the combinatorial substrates: field axioms over
+//! random prime powers, the polynomial agreement bound, STS invariants, and
+//! cover-free guarantees of the constructions.
+
+use proptest::prelude::*;
+use ttdc_combinatorics::{
+    as_prime_power, CoverFreeFamily, Gf, Poly, SteinerTripleSystem, TsmaParams,
+};
+
+const SMALL_PRIME_POWERS: [usize; 10] = [2, 3, 4, 5, 7, 8, 9, 11, 13, 16];
+
+fn arb_field() -> impl Strategy<Value = Gf> {
+    (0..SMALL_PRIME_POWERS.len()).prop_map(|i| Gf::new(SMALL_PRIME_POWERS[i]).unwrap())
+}
+
+proptest! {
+    #[test]
+    fn field_axioms_hold_pointwise(gf in arb_field(), seed in 0usize..10_000) {
+        let q = gf.order();
+        let a = seed % q;
+        let b = (seed / q) % q;
+        let c = (seed / (q * q)) % q;
+        prop_assert_eq!(gf.add(a, b), gf.add(b, a));
+        prop_assert_eq!(gf.mul(a, b), gf.mul(b, a));
+        prop_assert_eq!(gf.add(gf.add(a, b), c), gf.add(a, gf.add(b, c)));
+        prop_assert_eq!(gf.mul(gf.mul(a, b), c), gf.mul(a, gf.mul(b, c)));
+        prop_assert_eq!(gf.mul(a, gf.add(b, c)), gf.add(gf.mul(a, b), gf.mul(a, c)));
+        prop_assert_eq!(gf.sub(gf.add(a, b), b), a);
+        if b != 0 {
+            prop_assert_eq!(gf.div(gf.mul(a, b), b), a);
+        }
+    }
+
+    #[test]
+    fn pow_is_repeated_multiplication(gf in arb_field(), a in 0usize..16, e in 0u64..12) {
+        let q = gf.order();
+        let a = a % q;
+        let mut acc = 1usize;
+        for _ in 0..e {
+            acc = gf.mul(acc, a);
+        }
+        prop_assert_eq!(gf.pow(a, e), acc);
+    }
+
+    #[test]
+    fn interpolation_inverts_evaluation(gf in arb_field(), idx in 0u64..1000, k in 1u32..3) {
+        let q = gf.order() as u64;
+        prop_assume!((k as usize) < gf.order());
+        let idx = idx % q.pow(k + 1);
+        let p = Poly::from_index(&gf, idx, k);
+        let pts: Vec<(usize, usize)> =
+            (0..=k as usize).map(|x| (x, p.eval(&gf, x))).collect();
+        prop_assert_eq!(Poly::interpolate(&gf, &pts), p);
+    }
+
+    #[test]
+    fn distinct_polys_agree_in_at_most_k_points(
+        gf in arb_field(), i in 0u64..2000, j in 0u64..2000, k in 1u32..3,
+    ) {
+        let q = gf.order() as u64;
+        let cap = q.pow(k + 1);
+        let (i, j) = (i % cap, j % cap);
+        prop_assume!(i != j);
+        let a = Poly::from_index(&gf, i, k);
+        let b = Poly::from_index(&gf, j, k);
+        prop_assert!(a.agreement_count(&gf, &b) <= k as usize);
+    }
+
+    #[test]
+    fn sts_verifies_for_all_admissible_orders(t in 1usize..8) {
+        for v in [6 * t + 1, 6 * t + 3] {
+            if v >= 7 {
+                let sts = SteinerTripleSystem::new(v).unwrap();
+                prop_assert!(sts.verify().is_ok(), "STS({}) invalid", v);
+            }
+        }
+    }
+
+    #[test]
+    fn tsma_params_always_feasible(n in 1u64..5000, d in 1u64..10) {
+        let p = TsmaParams::search(n, d).unwrap();
+        prop_assert!(p.capacity() >= n);
+        prop_assert!(p.max_degree() >= d);
+        prop_assert!(as_prime_power(p.q.q).is_some());
+    }
+
+    #[test]
+    fn polynomial_cff_is_cover_free_at_guarantee(
+        q_idx in 2usize..6, // q ∈ {4, 5, 7, 8}: big enough for D ≥ 1 at k=1
+        n in 4u64..20,
+    ) {
+        let q = SMALL_PRIME_POWERS[q_idx];
+        let gf = Gf::new(q).unwrap();
+        let n = n.min((q * q) as u64);
+        let f = CoverFreeFamily::from_polynomials(&gf, 1, n);
+        let d = (q - 1).min(3); // cap the exhaustive check cost
+        prop_assert!(f.is_d_cover_free(d), "q={} n={} d={}", q, n, d);
+    }
+
+    #[test]
+    fn steiner_cff_is_2_cover_free(t in 1usize..5, n in 3usize..20) {
+        let v = 6 * t + 3;
+        let sts = SteinerTripleSystem::new(v).unwrap();
+        let total = sts.triples().len();
+        let n = n.min(total);
+        let blocks: Vec<_> = sts.triples()[..n]
+            .iter()
+            .map(|tr| ttdc_util::BitSet::from_iter(v, tr.iter().copied()))
+            .collect();
+        let f = CoverFreeFamily::from_blocks(v, blocks);
+        prop_assert!(f.is_d_cover_free(2.min(n.saturating_sub(1)).max(1)));
+    }
+}

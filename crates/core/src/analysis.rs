@@ -1,0 +1,263 @@
+//! Performance analysis of the construction (§7, Theorems 7–9).
+//!
+//! * **Theorem 7** — the exact frame length of the constructed schedule and
+//!   its closed upper bound.
+//! * **Theorem 8** — a lower bound on the ratio of the constructed
+//!   schedule's average throughput to the Theorem-4 optimum, via the
+//!   function `r(x)`; equality (`ratio = 1`) whenever the source schedule
+//!   has `|T[i]| ≥ α_T*` in every slot.
+//! * **Theorem 9** — a lower bound on the constructed schedule's minimum
+//!   throughput in terms of the source schedule's.
+
+use crate::bounds::alpha_bound;
+use crate::schedule::Schedule;
+use crate::throughput::average_throughput;
+
+/// Theorem 7 (exact): `L̄ = Σ_i ⌈|T[i]|/α_T*⌉ · ⌈(n−|T[i]|)/α_R⌉`.
+pub fn constructed_frame_length(
+    t_sizes: &[usize],
+    n: usize,
+    alpha_t_star: usize,
+    alpha_r: usize,
+) -> usize {
+    assert!(alpha_t_star >= 1 && alpha_r >= 1);
+    t_sizes
+        .iter()
+        .map(|&ti| {
+            assert!(ti <= n);
+            ti.div_ceil(alpha_t_star) * (n - ti).div_ceil(alpha_r)
+        })
+        .sum()
+}
+
+/// Theorem 7 (bound): `L̄ ≤ ⌈M_ax/α_T*⌉ · ⌈(n−M_in)/α_R⌉ · L`.
+pub fn frame_length_upper_bound(
+    t_sizes: &[usize],
+    n: usize,
+    alpha_t_star: usize,
+    alpha_r: usize,
+) -> usize {
+    let max = t_sizes.iter().copied().max().unwrap_or(0);
+    let min = t_sizes.iter().copied().min().unwrap_or(0);
+    max.div_ceil(alpha_t_star) * (n - min).div_ceil(alpha_r) * t_sizes.len()
+}
+
+/// The optimality weight `r(x) = (x/α_T*) · ∏_{i=1}^{D−1} (n−i−x)/(n−i−α_T*)`
+/// of §7: the ratio of the per-slot throughput contribution of a slot with
+/// `x` transmitters (and `α_R` receivers) to that of an optimal slot.
+/// `r(α_T*) = 1`.
+pub fn r_ratio(n: usize, d: usize, alpha_t_star: usize, x: usize) -> f64 {
+    assert!(d >= 1 && d < n && alpha_t_star >= 1);
+    let mut acc = x as f64 / alpha_t_star as f64;
+    for i in 1..d {
+        let denom = n as isize - i as isize - alpha_t_star as isize;
+        assert!(denom > 0, "α_T* too large for r(x) to be defined");
+        acc *= (n as f64 - i as f64 - x as f64) / denom as f64;
+    }
+    acc
+}
+
+/// The Theorem-8 lower bound on `Thr_ave(⟨T̄,R̄⟩) / Thr*_{α_R,α_T}` computed
+/// from the **source** schedule's per-slot transmitter counts:
+///
+/// ```text
+///   ≥ (r(M_in)·|A_1| + c·|A_2|) / (|A_1| + c·|A_2|)
+/// ```
+///
+/// with `A_1 = {i : |T[i]| < α_T*}`, `A_2 = {i : |T[i]| ≥ α_T*}` and
+/// `c = (⌈n/α_m⌉ − 1) / ⌈(n−M_in)/α_R⌉`, `α_m = max{α_T*, α_R}`.
+pub fn theorem8_lower_bound(
+    t_sizes: &[usize],
+    n: usize,
+    d: usize,
+    alpha_t_star: usize,
+    alpha_r: usize,
+) -> f64 {
+    assert!(!t_sizes.is_empty());
+    let min = *t_sizes.iter().min().unwrap();
+    let a1 = t_sizes.iter().filter(|&&t| t < alpha_t_star).count();
+    let a2 = t_sizes.len() - a1;
+    if a1 == 0 {
+        return 1.0;
+    }
+    let alpha_m = alpha_t_star.max(alpha_r);
+    let c = (n.div_ceil(alpha_m) - 1) as f64 / (n - min).div_ceil(alpha_r) as f64;
+    let r_min = r_ratio(n, d, alpha_t_star, min);
+    (r_min * a1 as f64 + c * a2 as f64) / (a1 as f64 + c * a2 as f64)
+}
+
+/// The *measured* optimality ratio `Thr_ave(constructed) / Thr*_{α_R,α_T}`
+/// (Theorem 2 over Theorem 4). Theorem 8 lower-bounds this.
+pub fn optimality_ratio(
+    constructed: &Schedule,
+    d: usize,
+    alpha_t: usize,
+    alpha_r: usize,
+) -> f64 {
+    let n = constructed.num_nodes();
+    let bound = alpha_bound(n, d, alpha_t, alpha_r);
+    average_throughput(constructed, d) / bound.thr_star
+}
+
+/// The §7 identity: when every constructed slot has exactly `α_R` receivers,
+/// `Thr_ave/Thr* = (1/L̄)·Σ_i r(|T̄[i]|)`. Used to cross-check
+/// [`optimality_ratio`] in tests and experiment E7.
+pub fn optimality_ratio_via_r(
+    constructed: &Schedule,
+    d: usize,
+    alpha_t_star: usize,
+) -> f64 {
+    let n = constructed.num_nodes();
+    let l = constructed.frame_length();
+    let sum: f64 = (0..l)
+        .map(|i| r_ratio(n, d, alpha_t_star, constructed.transmitters(i).len()))
+        .sum();
+    sum / l as f64
+}
+
+/// Theorem 9 (tight form): `Thr_min(⟨T̄,R̄⟩) ≥ (L/L̄) · Thr_min(⟨T⟩)`.
+pub fn theorem9_bound(thr_min_source: f64, l_source: usize, l_constructed: usize) -> f64 {
+    thr_min_source * l_source as f64 / l_constructed as f64
+}
+
+/// Theorem 9 (loose form):
+/// `Thr_min(⟨T̄,R̄⟩) ≥ Thr_min(⟨T⟩) / (⌈M_ax/α_T*⌉·⌈(n−M_in)/α_R⌉)`.
+pub fn theorem9_loose_bound(
+    thr_min_source: f64,
+    t_sizes: &[usize],
+    n: usize,
+    alpha_t_star: usize,
+    alpha_r: usize,
+) -> f64 {
+    let max = t_sizes.iter().copied().max().unwrap_or(0);
+    let min = t_sizes.iter().copied().min().unwrap_or(0);
+    thr_min_source
+        / (max.div_ceil(alpha_t_star) * (n - min).div_ceil(alpha_r)) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::construct::{construct, construct_exact, PartitionStrategy};
+    use crate::throughput::min_throughput;
+    use ttdc_combinatorics::CoverFreeFamily;
+
+    fn polynomial_schedule(q: usize, k: u32, n: u64) -> Schedule {
+        let gf = ttdc_combinatorics::Gf::new(q).unwrap();
+        Schedule::from_cff(&CoverFreeFamily::from_polynomials(&gf, k, n))
+    }
+
+    #[test]
+    fn frame_length_exact_vs_constructed() {
+        for (q, n, at, ar) in [(5usize, 25u64, 2usize, 3usize), (4, 13, 1, 2), (3, 9, 2, 4)] {
+            let ns = polynomial_schedule(q, 1, n);
+            let c = construct_exact(&ns, at, ar, PartitionStrategy::Contiguous);
+            let exact =
+                constructed_frame_length(&ns.t_sizes(), n as usize, at, ar);
+            assert_eq!(c.schedule.frame_length(), exact, "q={q} at={at} ar={ar}");
+            let bound =
+                frame_length_upper_bound(&ns.t_sizes(), n as usize, at, ar);
+            assert!(exact <= bound);
+        }
+    }
+
+    #[test]
+    fn frame_length_bound_tight_for_uniform_sizes() {
+        // Full polynomial schedule: |T[i]| = q^k in every slot, so the
+        // bound is exact.
+        let ns = polynomial_schedule(5, 1, 25);
+        let exact = constructed_frame_length(&ns.t_sizes(), 25, 2, 3);
+        let bound = frame_length_upper_bound(&ns.t_sizes(), 25, 2, 3);
+        assert_eq!(exact, bound);
+    }
+
+    #[test]
+    fn r_is_one_at_alpha_star_and_monotone_below() {
+        let (n, d, a) = (25usize, 3usize, 4usize);
+        assert!((r_ratio(n, d, a, a) - 1.0).abs() < 1e-12);
+        let mut last = 0.0;
+        for x in 0..=a {
+            let v = r_ratio(n, d, a, x);
+            assert!(v >= last - 1e-12, "r should grow up to α_T* ({x})");
+            last = v;
+        }
+        assert_eq!(r_ratio(n, d, a, 0), 0.0);
+    }
+
+    #[test]
+    fn theorem8_equality_when_min_at_least_alpha_star() {
+        // q = 5 full schedule: |T[i]| = 5 ≥ α_T* when α_T ≤ 5.
+        let ns = polynomial_schedule(5, 1, 25);
+        let (d, at, ar) = (2usize, 3usize, 4usize);
+        let c = construct(&ns, d, at, ar, PartitionStrategy::RoundRobin);
+        assert!(c.alpha_t_star <= 5);
+        let bound = theorem8_lower_bound(&ns.t_sizes(), 25, d, c.alpha_t_star, ar);
+        assert_eq!(bound, 1.0);
+        let measured = optimality_ratio(&c.schedule, d, at, ar);
+        assert!(
+            (measured - 1.0).abs() < 1e-9,
+            "optimal construction must hit the Theorem-4 bound, got {measured}"
+        );
+    }
+
+    #[test]
+    fn theorem8_bound_below_measured_for_thin_schedules() {
+        // Truncated polynomial schedule: some slots have < α_T*
+        // transmitters, so the ratio drops below 1 but stays above the
+        // Theorem-8 bound.
+        let ns = polynomial_schedule(5, 1, 12); // 12 of 25 polynomials
+        let (d, at, ar) = (2usize, 4usize, 5usize);
+        let c = construct(&ns, d, at, ar, PartitionStrategy::RoundRobin);
+        let measured = optimality_ratio(&c.schedule, d, at, ar);
+        let bound = theorem8_lower_bound(&ns.t_sizes(), 12, d, c.alpha_t_star, ar);
+        assert!(measured <= 1.0 + 1e-9);
+        assert!(
+            measured >= bound - 1e-9,
+            "measured {measured} below Theorem-8 bound {bound}"
+        );
+    }
+
+    #[test]
+    fn optimality_ratio_identity_via_r() {
+        let ns = polynomial_schedule(5, 1, 18);
+        let (d, at, ar) = (2usize, 3usize, 4usize);
+        let c = construct(&ns, d, at, ar, PartitionStrategy::Contiguous);
+        let direct = optimality_ratio(&c.schedule, d, at, ar);
+        let via_r = optimality_ratio_via_r(&c.schedule, d, c.alpha_t_star);
+        assert!(
+            (direct - via_r).abs() < 1e-9,
+            "identity broken: {direct} vs {via_r}"
+        );
+    }
+
+    #[test]
+    fn theorem9_bounds_hold() {
+        let ns = polynomial_schedule(4, 1, 16);
+        let d = 3usize;
+        let thr_min_src = min_throughput(&ns, d);
+        assert!(thr_min_src > 0.0);
+        let c = construct(&ns, d, 2, 4, PartitionStrategy::RoundRobin);
+        let measured = min_throughput(&c.schedule, d);
+        let tight = theorem9_bound(
+            thr_min_src,
+            ns.frame_length(),
+            c.schedule.frame_length(),
+        );
+        let loose = theorem9_loose_bound(
+            thr_min_src,
+            &ns.t_sizes(),
+            16,
+            c.alpha_t_star,
+            4,
+        );
+        assert!(measured >= tight - 1e-12, "{measured} < tight {tight}");
+        assert!(tight >= loose - 1e-12, "tight {tight} < loose {loose}");
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn r_rejects_oversized_alpha() {
+        // n − (D−1) − α_T* must stay positive.
+        r_ratio(6, 3, 4, 2);
+    }
+}

@@ -1,0 +1,371 @@
+//! Upper bounds on average worst-case throughput (Theorems 3 and 4).
+//!
+//! * **Theorem 3** — over *all* schedules for `N_n^D`, the average
+//!   throughput is at most `Thr* = α_T*·C(n−α_T*, D) / (n·C(n−1, D))` with
+//!   `α_T* ∈ {⌊(n−D)/(D+1)⌋, ⌈(n−D)/(D+1)⌉}`, attained exactly by
+//!   non-sleeping schedules with `|T[i]| = α_T*` in every slot.
+//! * **Theorem 4** — over `(α_T, α_R)`-schedules, the bound becomes
+//!   `Thr*_{α_R,α_T} = α_R·α_T*·C(n−α_T*−1, D−1) / (n(n−1)C(n−2, D−1))`
+//!   with `α_T* = min{α_T, α}`, `α ∈ {⌊(n−D)/D⌋, ⌈(n−D)/D⌉}`, attained
+//!   exactly when `|T[i]| = α_T*` and `|R[i]| = α_R` in every slot.
+
+use ttdc_util::binomial_ratio;
+
+/// The Theorem-3 optimum for general schedules.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GeneralBound {
+    /// The optimal per-slot transmitter count `α_T*` (≈ `(n−D)/(D+1)`).
+    pub alpha_t_star: usize,
+    /// The tight bound `Thr* = g_{n,D}(α_T*)`.
+    pub thr_star: f64,
+    /// The looser closed-form bound `nD^D / ((n−D)(D+1)^(D+1))`.
+    pub loose: f64,
+}
+
+/// Theorem 3: bound and optimal transmitter count for general schedules.
+pub fn general_bound(n: usize, d: usize) -> GeneralBound {
+    assert!(d >= 1 && d < n, "need 1 ≤ D < n");
+    let alpha = crate::gfunc::g_argmax(n, d);
+    GeneralBound {
+        alpha_t_star: alpha,
+        thr_star: crate::gfunc::g(n, d, alpha),
+        loose: crate::gfunc::g_upper_bound(n, d),
+    }
+}
+
+/// The Theorem-4 optimum for `(α_T, α_R)`-schedules.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AlphaBound {
+    /// The unconstrained per-slot optimum `α` (≈ `(n−D)/D`).
+    pub alpha_unconstrained: usize,
+    /// The constrained optimum `α_T* = min{α_T, α}`.
+    pub alpha_t_star: usize,
+    /// The tight bound `Thr*_{α_R, α_T}`.
+    pub thr_star: f64,
+    /// The looser closed-form bound `α_R(n−1)(D−1)^(D−1) / (n(n−D)D^D)`.
+    pub loose: f64,
+}
+
+/// The per-slot transmitter objective of Theorem 4:
+/// `h(x) = x·C(n−x−1, D−1) / ((n−1)·C(n−2, D−1)) = g_{n−1,D−1}(x)·(…)` —
+/// the factor multiplying `α_R/n` in the throughput of a schedule with
+/// `x` transmitters and `α_R` receivers per slot.
+pub fn transmitter_objective(n: usize, d: usize, x: usize) -> f64 {
+    assert!(d >= 1 && d < n && x < n);
+    x as f64 / (n - 1) as f64
+        * binomial_ratio((n - x - 1) as u64, (n - 2) as u64, (d - 1) as u64)
+}
+
+/// Theorem 4: bound and optimal transmitter count for
+/// `(α_T, α_R)`-schedules. Requires `α_T ≥ 1`, `α_R ≥ 1`, `α_T + α_R ≤ n`.
+pub fn alpha_bound(n: usize, d: usize, alpha_t: usize, alpha_r: usize) -> AlphaBound {
+    assert!(d >= 1 && d < n, "need 1 ≤ D < n");
+    assert!(alpha_t >= 1 && alpha_r >= 1, "need α_T, α_R ≥ 1");
+    assert!(alpha_t + alpha_r <= n, "need α_T + α_R ≤ n");
+    // α maximises x·C(n−x−1, D−1) over {⌊(n−D)/D⌋, ⌈(n−D)/D⌉} (clamped so
+    // that a zero-transmitter "optimum" is never selected).
+    let lo = ((n - d) / d).max(1).min(n - 1);
+    let hi = (n - d).div_ceil(d).max(1).min(n - 1);
+    let alpha = if transmitter_objective(n, d, lo) >= transmitter_objective(n, d, hi) {
+        lo
+    } else {
+        hi
+    };
+    let alpha_t_star = alpha_t.min(alpha);
+    let thr_star = alpha_r as f64 / n as f64 * transmitter_objective(n, d, alpha_t_star);
+    let loose = if d == 1 {
+        // (D−1)^(D−1) = 0^0 = 1.
+        alpha_r as f64 * (n - 1) as f64 / (n as f64 * (n - 1) as f64)
+    } else {
+        let (nf, df) = (n as f64, d as f64);
+        alpha_r as f64 * (nf - 1.0) * (df - 1.0).powf(df - 1.0)
+            / (nf * (nf - df) * df.powf(df))
+    };
+    AlphaBound {
+        alpha_unconstrained: alpha,
+        alpha_t_star,
+        thr_star,
+        loose,
+    }
+}
+
+
+/// The best `(α_T, α_R)` split under a duty-cycle budget.
+///
+/// An operator usually has an *energy* target — "no more than β of the
+/// network awake per slot" — not separate transmitter/receiver budgets.
+/// Theorem 4 turns that into an allocation problem: over all
+/// `α_T + α_R ≤ ⌊β·n⌋`, pick the split maximising `Thr*_{α_R, α_T}`.
+/// Since the bound is linear in `α_R` and saturates in `α_T` at
+/// `α ≈ (n−D)/D`, the optimum gives the transmitters only what helps and
+/// the receivers everything else — but the exact integer split is what
+/// this function computes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BudgetAllocation {
+    /// Chosen transmitter budget.
+    pub alpha_t: usize,
+    /// Chosen receiver budget.
+    pub alpha_r: usize,
+    /// The Theorem-4 bound at that split.
+    pub thr_star: f64,
+}
+
+/// Maximises the Theorem-4 bound subject to `α_T + α_R ≤ ⌊duty·n⌋`
+/// (`α_T, α_R ≥ 1`). Returns `None` if the budget cannot fit even
+/// `(1, 1)`.
+pub fn optimize_budget(n: usize, d: usize, duty: f64) -> Option<BudgetAllocation> {
+    assert!(d >= 1 && d < n, "need 1 ≤ D < n");
+    assert!((0.0..=1.0).contains(&duty), "duty must be in [0, 1]");
+    let total = (duty * n as f64).floor() as usize;
+    if total < 2 {
+        return None;
+    }
+    let total = total.min(n);
+    let mut best: Option<BudgetAllocation> = None;
+    for at in 1..total {
+        let ar = total - at;
+        let b = alpha_bound(n, d, at, ar);
+        // Spending beyond α_T* on transmitters is pure waste; skip splits
+        // whose cap doesn't bind the evaluation anyway (they are dominated
+        // by at = α_T* with the freed slots moved to α_R).
+        let cand = BudgetAllocation {
+            alpha_t: at,
+            alpha_r: ar,
+            thr_star: b.thr_star,
+        };
+        if best.is_none_or(|b| cand.thr_star > b.thr_star) {
+            best = Some(cand);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::Schedule;
+    use crate::throughput::average_throughput;
+    use ttdc_util::BitSet;
+
+    #[test]
+    fn theorem3_bound_dominates_all_uniform_schedules() {
+        // Any non-sleeping schedule with fixed |T[i]| = x has Thr = g(x);
+        // the bound must dominate every x and be attained at α_T*.
+        for n in [6usize, 10, 17, 25] {
+            for d in 1..=4usize {
+                if d >= n {
+                    continue;
+                }
+                let b = general_bound(n, d);
+                for x in 0..n {
+                    assert!(crate::gfunc::g(n, d, x) <= b.thr_star + 1e-12);
+                }
+                assert!((crate::gfunc::g(n, d, b.alpha_t_star) - b.thr_star).abs() < 1e-15);
+                assert!(b.thr_star <= b.loose + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn theorem3_equality_for_optimal_non_sleeping_schedule() {
+        // n = 9, D = 2: α_T* = ⌊7/3⌋ or ⌈7/3⌉. Build a non-sleeping
+        // schedule with exactly α_T* transmitters per slot and check the
+        // closed-form throughput meets the bound.
+        let (n, d) = (9usize, 2usize);
+        let b = general_bound(n, d);
+        let a = b.alpha_t_star;
+        // Rotating blocks of size a.
+        let t: Vec<BitSet> = (0..n)
+            .map(|i| BitSet::from_iter(n, (0..a).map(|j| (i + j) % n)))
+            .collect();
+        let s = Schedule::non_sleeping(n, t);
+        let thr = average_throughput(&s, d);
+        assert!(
+            (thr - b.thr_star).abs() < 1e-12,
+            "thr {thr} vs bound {}",
+            b.thr_star
+        );
+    }
+
+    #[test]
+    fn theorem3_random_schedules_never_exceed_bound() {
+        // Deterministic pseudo-random schedules (varying |T[i]|) must stay
+        // below the bound.
+        let (n, d) = (12usize, 3usize);
+        let b = general_bound(n, d);
+        for seed in 0..20usize {
+            let l = 4 + seed % 5;
+            let t: Vec<BitSet> = (0..l)
+                .map(|i| {
+                    let size = 1 + (seed * 7 + i * 13) % (n - 1);
+                    BitSet::from_iter(n, (0..size).map(|j| (seed + i * 3 + j * 5) % n))
+                })
+                .collect();
+            let s = Schedule::non_sleeping(n, t);
+            assert!(average_throughput(&s, d) <= b.thr_star + 1e-12, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn theorem4_alpha_star_caps_at_alpha_t() {
+        let b = alpha_bound(20, 2, 3, 5);
+        // Unconstrained α ≈ (20−2)/2 = 9 > α_T = 3, so the cap binds.
+        assert_eq!(b.alpha_unconstrained, 9);
+        assert_eq!(b.alpha_t_star, 3);
+
+        let b2 = alpha_bound(20, 2, 15, 5);
+        assert_eq!(b2.alpha_t_star, 9, "unconstrained optimum when α_T is generous");
+    }
+
+    #[test]
+    fn theorem4_bound_attained_by_exact_count_schedule() {
+        // n = 8, D = 2, α_T = 3, α_R = 4: build a schedule with exactly
+        // α_T* transmitters and α_R receivers in every slot.
+        let (n, d, at, ar) = (8usize, 2usize, 3usize, 4usize);
+        let b = alpha_bound(n, d, at, ar);
+        let a = b.alpha_t_star;
+        let t: Vec<BitSet> = (0..n)
+            .map(|i| BitSet::from_iter(n, (0..a).map(|j| (i + j) % n)))
+            .collect();
+        let r: Vec<BitSet> = (0..n)
+            .map(|i| BitSet::from_iter(n, (0..ar).map(|j| (i + a + j) % n)))
+            .collect();
+        let s = Schedule::new(n, t, r);
+        assert!(s.is_alpha_schedule(at, ar));
+        let thr = average_throughput(&s, d);
+        assert!(
+            (thr - b.thr_star).abs() < 1e-12,
+            "thr {thr} vs bound {}",
+            b.thr_star
+        );
+    }
+
+    #[test]
+    fn theorem4_dominates_alpha_schedules() {
+        // Sweep hand-built (α_T, α_R)-schedules with varying per-slot
+        // counts; none may exceed the Theorem-4 bound.
+        let (n, d, at, ar) = (10usize, 3usize, 4usize, 5usize);
+        let b = alpha_bound(n, d, at, ar);
+        for l in 2..6usize {
+            let t: Vec<BitSet> = (0..l)
+                .map(|i| {
+                    let size = 1 + (i * 3) % at;
+                    BitSet::from_iter(n, (0..size).map(|j| (i + j * 2) % n))
+                })
+                .collect();
+            let r: Vec<BitSet> = (0..l)
+                .map(|i| {
+                    let t_i = &t[i];
+                    let size = 1 + (i * 5) % ar;
+                    BitSet::from_iter(
+                        n,
+                        (0..n).filter(|v| !t_i.contains(*v)).take(size),
+                    )
+                })
+                .collect();
+            let s = Schedule::new(n, t, r);
+            assert!(s.is_alpha_schedule(at, ar));
+            assert!(average_throughput(&s, d) <= b.thr_star + 1e-12, "L={l}");
+        }
+    }
+
+    #[test]
+    fn theorem4_loose_bound_dominates_tight() {
+        for n in [6usize, 12, 30] {
+            for d in 1..=4 {
+                if d >= n {
+                    continue;
+                }
+                for at in 1..=(n / 2) {
+                    let ar = n - at;
+                    let b = alpha_bound(n, d, at, ar);
+                    assert!(
+                        b.thr_star <= b.loose + 1e-12,
+                        "n={n} d={d} at={at}: {} > {}",
+                        b.thr_star,
+                        b.loose
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn theorem4_monotone_in_alpha_r() {
+        // "The number of receivers should be as large as possible."
+        let mut last = 0.0;
+        for ar in 1..=16usize {
+            let b = alpha_bound(20, 3, 4, ar);
+            assert!(b.thr_star >= last);
+            last = b.thr_star;
+        }
+    }
+
+    #[test]
+    fn theorem4_saturates_in_alpha_t() {
+        // Increasing α_T beyond the unconstrained optimum must not help.
+        let base = alpha_bound(20, 3, 6, 5); // α ≈ 17/3 ≈ 6
+        let more = alpha_bound(20, 3, 12, 5);
+        assert!(more.thr_star <= base.thr_star + 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "α_T + α_R ≤ n")]
+    fn alpha_sum_exceeding_n_rejected() {
+        alpha_bound(8, 2, 5, 4);
+    }
+
+    #[test]
+    fn degenerate_small_network() {
+        // n = 3, D = 1: α = ⌊2/1⌋ = 2, α_T* = min(α_T, 2).
+        let b = alpha_bound(3, 1, 1, 1);
+        assert_eq!(b.alpha_t_star, 1);
+        assert!(b.thr_star > 0.0);
+    }
+
+    #[test]
+    fn budget_optimizer_never_wastes_transmitters() {
+        let (n, d) = (30usize, 3usize);
+        for duty in [0.1f64, 0.2, 0.4, 0.8] {
+            let a = optimize_budget(n, d, duty).unwrap();
+            let total = (duty * n as f64).floor() as usize;
+            assert!(a.alpha_t + a.alpha_r <= total);
+            // Exhaustive check: no other split under the budget beats it.
+            for at in 1..total {
+                let ar = total - at;
+                if at + ar <= n {
+                    assert!(
+                        alpha_bound(n, d, at, ar).thr_star <= a.thr_star + 1e-15,
+                        "duty {duty}: ({at},{ar}) beats ({},{})",
+                        a.alpha_t,
+                        a.alpha_r
+                    );
+                }
+            }
+            // The optimum never allocates transmitters past the saturation
+            // point α (the rest is better spent listening).
+            let b = alpha_bound(n, d, a.alpha_t, a.alpha_r);
+            assert!(a.alpha_t <= b.alpha_unconstrained.max(1));
+        }
+    }
+
+    #[test]
+    fn budget_optimizer_monotone_in_budget() {
+        let mut last = 0.0;
+        for pct in 1..=10usize {
+            let duty = pct as f64 / 10.0;
+            if let Some(a) = optimize_budget(24, 2, duty) {
+                assert!(a.thr_star >= last - 1e-15, "duty {duty}");
+                last = a.thr_star;
+            }
+        }
+    }
+
+    #[test]
+    fn budget_too_small_returns_none() {
+        assert!(optimize_budget(20, 2, 0.05).is_none(), "⌊0.05·20⌋ = 1 < 2");
+        assert!(optimize_budget(20, 2, 0.0).is_none());
+        assert!(optimize_budget(20, 2, 0.1).is_some());
+    }
+
+}

@@ -1,0 +1,151 @@
+//! The function `g_{n,D}(x)` of §5 and its two properties.
+//!
+//! `g_{n,D}(x) = x·C(n−x, D) / (n·C(n−1, D))` is the average worst-case
+//! throughput of a non-sleeping schedule whose every slot has exactly `x`
+//! transmitters. The paper uses two properties:
+//!
+//! 1. `g_{n,D}(x) ≤ nD^D / ((n−D)(D+1)^(D+1))` for all `x ∈ [0, n−1]`;
+//! 2. the maximiser lies in `{⌊(n−D)/(D+1)⌋, ⌈(n−D)/(D+1)⌉}`.
+//!
+//! Both are verified exhaustively in this module's tests and property
+//! tests; experiment E3 sweeps `g` to regenerate the Theorem-3 picture.
+
+use ttdc_util::binomial_ratio;
+
+/// `g_{n,D}(x) = x·C(n−x, D) / (n·C(n−1, D))`.
+///
+/// Defined for `0 ≤ x ≤ n−1` and `1 ≤ D ≤ n−1`; evaluates to `0` whenever
+/// the numerator binomial vanishes (`x > n−D`).
+pub fn g(n: usize, d: usize, x: usize) -> f64 {
+    assert!(d >= 1 && d < n, "need 1 ≤ D ≤ n−1");
+    assert!(x < n, "x must be in [0, n−1]");
+    x as f64 / n as f64 * binomial_ratio((n - x) as u64, (n - 1) as u64, d as u64)
+}
+
+/// Property (1): the closed upper bound `nD^D / ((n−D)(D+1)^(D+1))`.
+pub fn g_upper_bound(n: usize, d: usize) -> f64 {
+    assert!(d >= 1 && d < n);
+    let (n, d) = (n as f64, d as f64);
+    n / (n - d) * (d / (d + 1.0)).powf(d) / (d + 1.0)
+}
+
+/// Property (2): the integer maximiser of `g_{n,D}` over `[0, n−1]`,
+/// chosen from `{⌊(n−D)/(D+1)⌋, ⌈(n−D)/(D+1)⌉}` (clamped into range).
+pub fn g_argmax(n: usize, d: usize) -> usize {
+    assert!(d >= 1 && d < n);
+    let lo = (n - d) / (d + 1);
+    let hi = (n - d).div_ceil(d + 1).min(n - 1);
+    if g(n, d, lo) >= g(n, d, hi) {
+        lo
+    } else {
+        hi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force argmax of g over the full range, for cross-checking.
+    fn argmax_bruteforce(n: usize, d: usize) -> usize {
+        (0..n)
+            .max_by(|&a, &b| g(n, d, a).partial_cmp(&g(n, d, b)).unwrap())
+            .unwrap()
+    }
+
+    #[test]
+    fn g_at_boundaries() {
+        assert_eq!(g(10, 3, 0), 0.0, "no transmitters, no throughput");
+        // x = n−1: C(1, D) = 0 for D ≥ 2.
+        assert_eq!(g(10, 3, 9), 0.0);
+        // D = 1, x = n−1: C(1,1) = 1 → g = (n−1)/(n·(n−1)/(n−1)) ...
+        let v = g(10, 1, 9);
+        assert!((v - 9.0 / 10.0 * (1.0 / 9.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn g_closed_form_spot_values() {
+        // n=10, D=2, x=3: 3·C(7,2)/(10·C(9,2)) = 3·21/(10·36) = 0.175
+        assert!((g(10, 2, 3) - 0.175).abs() < 1e-12);
+        // n=6, D=3, x=1: 1·C(5,3)/(6·C(5,3)) = 1/6
+        assert!((g(6, 3, 1) - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn property1_upper_bound_holds_exhaustively() {
+        for n in 3..40usize {
+            for d in 1..n {
+                let bound = g_upper_bound(n, d);
+                for x in 0..n {
+                    assert!(
+                        g(n, d, x) <= bound + 1e-12,
+                        "g({n},{d},{x}) = {} > bound {bound}",
+                        g(n, d, x)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn property2_argmax_location_exhaustively() {
+        for n in 3..40usize {
+            for d in 1..n {
+                let fast = g_argmax(n, d);
+                let brute = argmax_bruteforce(n, d);
+                assert!(
+                    (g(n, d, fast) - g(n, d, brute)).abs() < 1e-15,
+                    "n={n} d={d}: argmax {fast} vs brute {brute}"
+                );
+                // And the maximiser really is one of the two candidates.
+                let lo = (n - d) / (d + 1);
+                let hi = (n - d).div_ceil(d + 1).min(n - 1);
+                assert!(fast == lo || fast == hi);
+            }
+        }
+    }
+
+    #[test]
+    fn unimodality_up_to_n_minus_d() {
+        // The proof of property (2) uses that g increases then decreases on
+        // the support. Check the sign pattern of successive differences.
+        for (n, d) in [(20usize, 3usize), (15, 2), (30, 5), (9, 1)] {
+            let vals: Vec<f64> = (0..=(n - d)).map(|x| g(n, d, x)).collect();
+            let mut decreasing = false;
+            for w in vals.windows(2) {
+                if w[1] < w[0] - 1e-15 {
+                    decreasing = true;
+                } else if decreasing {
+                    assert!(
+                        w[1] <= w[0] + 1e-15,
+                        "n={n} d={d}: g increases again after decreasing"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn crossover_ratio_identity() {
+        // g(x)/g(x+1) = x(n−x) / ((x+1)(n−D−x)) — the identity used in the
+        // proof of property (2).
+        let (n, d) = (20usize, 4usize);
+        for x in 1..(n - d) {
+            let lhs = g(n, d, x) / g(n, d, x + 1);
+            let rhs = (x * (n - x)) as f64 / ((x + 1) * (n - d - x)) as f64;
+            assert!((lhs - rhs).abs() < 1e-9, "x={x}: {lhs} vs {rhs}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "1 ≤ D ≤ n−1")]
+    fn degenerate_degree_rejected() {
+        g(5, 5, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "x must be in")]
+    fn out_of_range_x_rejected() {
+        g(5, 2, 5);
+    }
+}

@@ -1,0 +1,256 @@
+//! Worst-case packet latency (access delay).
+//!
+//! The abstract promises duty cycling "while bounding packet latency in the
+//! presence of collisions": because a topology-transparent schedule gives
+//! every `(x, y, S)` at least one guaranteed slot per frame, a packet
+//! arriving at `x` waits at most one maximal gap between consecutive
+//! guaranteed slots — never more than one frame. This module computes
+//! those gaps exactly: the worst-case and arrival-averaged access delay per
+//! link and over the whole class `N_n^D`.
+
+use crate::schedule::Schedule;
+use crate::throughput::guaranteed_slots;
+use rayon::prelude::*;
+use ttdc_util::{for_each_subset_of, BitSet};
+
+/// The maximum cyclic gap between consecutive set slots: the number of
+/// slots a packet can wait for the next guaranteed opportunity if it
+/// arrives at the worst moment. `None` if the set is empty (unbounded).
+pub fn max_cyclic_gap(slots: &BitSet) -> Option<usize> {
+    let l = slots.universe();
+    let elems: Vec<usize> = slots.iter().collect();
+    if elems.is_empty() {
+        return None;
+    }
+    let mut max_gap = 0;
+    for (i, &s) in elems.iter().enumerate() {
+        let next = if i + 1 < elems.len() {
+            elems[i + 1]
+        } else {
+            elems[0] + l
+        };
+        max_gap = max_gap.max(next - s);
+    }
+    Some(max_gap)
+}
+
+/// The arrival-averaged wait until the next set slot, assuming the packet
+/// arrives uniformly at random within a frame: `Σ g_i·(g_i+1)/2 / L` over
+/// the cyclic gaps `g_i` (a packet arriving during a gap of length `g`
+/// waits `1..=g` slots, uniformly). `None` if the set is empty.
+pub fn mean_cyclic_wait(slots: &BitSet) -> Option<f64> {
+    let l = slots.universe();
+    let elems: Vec<usize> = slots.iter().collect();
+    if elems.is_empty() {
+        return None;
+    }
+    let mut acc = 0.0;
+    for (i, &s) in elems.iter().enumerate() {
+        let next = if i + 1 < elems.len() {
+            elems[i + 1]
+        } else {
+            elems[0] + l
+        };
+        let g = (next - s) as f64;
+        acc += g * (g + 1.0) / 2.0;
+    }
+    Some(acc / l as f64)
+}
+
+/// Worst-case access delay for the link `x → y` when `y`'s other
+/// neighbours are `others`: the maximum wait until a guaranteed slot.
+pub fn link_access_delay(
+    s: &Schedule,
+    x: usize,
+    y: usize,
+    others: &[usize],
+) -> Option<usize> {
+    max_cyclic_gap(&guaranteed_slots(s, x, y, others))
+}
+
+/// The schedule's worst-case access delay over the whole class `N_n^D`:
+/// the maximum of [`link_access_delay`] over every `x ≠ y` and every
+/// `(D−1)`-set `S` of other nodes. `None` if some configuration has no
+/// guaranteed slot at all (the schedule is not topology-transparent, so no
+/// finite latency bound exists).
+pub fn worst_case_access_delay(s: &Schedule, d: usize) -> Option<usize> {
+    assert!(d >= 1);
+    let n = s.num_nodes();
+    assert!(n > d);
+    (0..n)
+        .into_par_iter()
+        .map(|x| {
+            let mut worst = 0usize;
+            let mut scratch = BitSet::new(s.frame_length());
+            for y in 0..n {
+                if y == x {
+                    continue;
+                }
+                let pool: Vec<usize> = (0..n).filter(|&v| v != x && v != y).collect();
+                let mut dead = false;
+                for_each_subset_of(&pool, d - 1, |others| {
+                    scratch.clear();
+                    scratch.union_with(s.recv(y));
+                    scratch.intersect_with(s.tran(x));
+                    scratch.difference_with(s.tran(y));
+                    for &z in others {
+                        scratch.difference_with(s.tran(z));
+                    }
+                    match max_cyclic_gap(&scratch) {
+                        Some(g) => {
+                            worst = worst.max(g);
+                            true
+                        }
+                        None => {
+                            dead = true;
+                            false
+                        }
+                    }
+                });
+                if dead {
+                    return None;
+                }
+            }
+            Some(worst)
+        })
+        .try_reduce(|| 0, |a, b| Some(a.max(b)))
+}
+
+/// The class-wide mean access delay: [`mean_cyclic_wait`] averaged over
+/// every `(x, y, S)`. `None` under the same condition as
+/// [`worst_case_access_delay`].
+pub fn average_access_delay(s: &Schedule, d: usize) -> Option<f64> {
+    assert!(d >= 1);
+    let n = s.num_nodes();
+    assert!(n > d);
+    let per_x: Option<Vec<(f64, u64)>> = (0..n)
+        .into_par_iter()
+        .map(|x| {
+            let mut sum = 0.0;
+            let mut count = 0u64;
+            let mut scratch = BitSet::new(s.frame_length());
+            for y in 0..n {
+                if y == x {
+                    continue;
+                }
+                let pool: Vec<usize> = (0..n).filter(|&v| v != x && v != y).collect();
+                let mut dead = false;
+                for_each_subset_of(&pool, d - 1, |others| {
+                    scratch.clear();
+                    scratch.union_with(s.recv(y));
+                    scratch.intersect_with(s.tran(x));
+                    scratch.difference_with(s.tran(y));
+                    for &z in others {
+                        scratch.difference_with(s.tran(z));
+                    }
+                    match mean_cyclic_wait(&scratch) {
+                        Some(w) => {
+                            sum += w;
+                            count += 1;
+                            true
+                        }
+                        None => {
+                            dead = true;
+                            false
+                        }
+                    }
+                });
+                if dead {
+                    return None;
+                }
+            }
+            Some((sum, count))
+        })
+        .collect();
+    let per_x = per_x?;
+    let total: f64 = per_x.iter().map(|(s, _)| s).sum();
+    let count: u64 = per_x.iter().map(|(_, c)| c).sum();
+    Some(total / count as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::construct::{construct, PartitionStrategy};
+    use crate::tsma::{build_identity, build_polynomial};
+
+    #[test]
+    fn cyclic_gap_basics() {
+        let mut s = BitSet::new(10);
+        assert_eq!(max_cyclic_gap(&s), None);
+        assert_eq!(mean_cyclic_wait(&s), None);
+        s.insert(3);
+        // Single slot: gap wraps the whole frame.
+        assert_eq!(max_cyclic_gap(&s), Some(10));
+        assert!((mean_cyclic_wait(&s).unwrap() - 5.5).abs() < 1e-12);
+        s.insert(8);
+        assert_eq!(max_cyclic_gap(&s), Some(5));
+        // Gaps 5 and 5: mean wait = (15 + 15)/10 = 3.
+        assert!((mean_cyclic_wait(&s).unwrap() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_slots_give_even_gaps() {
+        let s = BitSet::from_iter(12, [0, 4, 8]);
+        assert_eq!(max_cyclic_gap(&s), Some(4));
+        // All gaps 4: mean wait = 3·(4·5/2)/12 = 2.5.
+        assert!((mean_cyclic_wait(&s).unwrap() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_set_waits_one_slot() {
+        let s = BitSet::full(6);
+        assert_eq!(max_cyclic_gap(&s), Some(1));
+        assert!((mean_cyclic_wait(&s).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_schedule_delay_is_one_frame() {
+        // Each link has exactly one guaranteed slot per frame.
+        let ns = build_identity(6).schedule;
+        for d in 1..=3 {
+            assert_eq!(worst_case_access_delay(&ns, d), Some(6), "d={d}");
+        }
+        let mean = average_access_delay(&ns, 2).unwrap();
+        assert!((mean - 3.5).abs() < 1e-12, "uniform arrival in 6 slots: {mean}");
+    }
+
+    #[test]
+    fn transparent_schedule_delay_bounded_by_frame() {
+        let ns = build_polynomial(16, 3).schedule;
+        let delay = worst_case_access_delay(&ns, 3).unwrap();
+        assert!(delay <= ns.frame_length());
+        assert!(delay >= 1);
+        let mean = average_access_delay(&ns, 3).unwrap();
+        assert!(mean <= delay as f64);
+    }
+
+    #[test]
+    fn non_transparent_schedule_has_unbounded_delay() {
+        let gf = ttdc_combinatorics::Gf::new(3).unwrap();
+        let cff = ttdc_combinatorics::CoverFreeFamily::from_polynomials(&gf, 1, 9);
+        let s = Schedule::from_cff(&cff);
+        assert_eq!(worst_case_access_delay(&s, 3), None);
+        assert_eq!(average_access_delay(&s, 3), None);
+        assert!(worst_case_access_delay(&s, 2).is_some());
+    }
+
+    #[test]
+    fn construction_delay_still_bounded_by_new_frame() {
+        let ns = build_polynomial(12, 2).schedule;
+        let c = construct(&ns, 2, 2, 3, PartitionStrategy::RoundRobin);
+        let delay = worst_case_access_delay(&c.schedule, 2).unwrap();
+        assert!(delay <= c.schedule.frame_length());
+        // Duty cycling pays latency: the bound grows with the frame.
+        let src_delay = worst_case_access_delay(&ns, 2).unwrap();
+        assert!(delay >= src_delay, "{delay} < {src_delay}");
+    }
+
+    #[test]
+    fn per_link_delay_accessor() {
+        let ns = build_identity(5).schedule;
+        assert_eq!(link_access_delay(&ns, 0, 1, &[2]), Some(5));
+        // x never reaches itself.
+        assert_eq!(link_access_delay(&ns, 0, 0, &[]), None);
+    }
+}

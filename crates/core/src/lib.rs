@@ -1,0 +1,60 @@
+//! # ttdc-core — Topology-Transparent Duty Cycling
+//!
+//! A from-scratch implementation of *"Topology-Transparent Duty Cycling for
+//! Wireless Sensor Networks"* (Chen, Fleury, Syrotiuk; IPDPS 2007).
+//!
+//! A WSN schedule `⟨T, R⟩` assigns each slot a set of permitted
+//! transmitters and receivers; everyone else sleeps. The schedule is
+//! *topology-transparent* for the class `N_n^D` (≤ n nodes, degree ≤ D)
+//! when every node can reach every neighbour collision-free once per frame
+//! in **every** topology of the class — no topology information needed, so
+//! mobility and churn are free. This crate implements:
+//!
+//! * the schedule model and set algebra ([`schedule`]);
+//! * the three equivalent topology-transparency requirements and their
+//!   exhaustive/parallel/sampled checkers ([`requirements`]);
+//! * worst-case throughput: Definitions 1–2, the Theorem-2 closed form, and
+//!   brute-force twins ([`throughput`]);
+//! * the `g_{n,D}` machinery and the Theorem-3/4 upper bounds
+//!   ([`gfunc`], [`bounds`]);
+//! * the Figure-2 construction of `(α_T, α_R)`-schedules with pluggable
+//!   partition strategies ([`construct`](mod@construct));
+//! * the Theorem-7/8/9 frame-length and optimality analysis ([`analysis`]);
+//! * worst-case and mean access delay — the latency the abstract promises
+//!   to bound ([`latency`]) — and a deployment text format ([`io`]);
+//! * ready-made non-sleeping substrates — polynomial/orthogonal-array TSMA,
+//!   Steiner triple systems, identity TDMA ([`tsma`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ttdc_core::construct::PartitionStrategy;
+//!
+//! // 30 nodes, degree ≤ 3, at most 2 transmitters and 4 receivers per slot.
+//! let c = ttdc_core::tsma::build_duty_cycled(30, 3, 2, 4, PartitionStrategy::RoundRobin);
+//! assert!(c.schedule.is_alpha_schedule(2, 4));
+//! assert!(ttdc_core::requirements::is_topology_transparent(&c.schedule, 3));
+//! println!(
+//!     "frame = {} slots, mean duty cycle = {:.1}%",
+//!     c.schedule.frame_length(),
+//!     100.0 * c.schedule.average_duty_cycle()
+//! );
+//! ```
+
+pub mod analysis;
+pub mod bounds;
+pub mod construct;
+pub mod gfunc;
+pub mod io;
+pub mod latency;
+pub mod requirements;
+pub mod schedule;
+pub mod throughput;
+pub mod tsma;
+
+pub use bounds::{alpha_bound, general_bound, AlphaBound, GeneralBound};
+pub use construct::{construct, construct_exact, Construction, PartitionStrategy};
+pub use requirements::{is_topology_transparent, Violation};
+pub use schedule::Schedule;
+pub use throughput::{average_throughput, min_throughput};
+pub use tsma::{build_duty_cycled, NonSleepingSchedule, SourceKind};

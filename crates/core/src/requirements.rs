@@ -1,0 +1,381 @@
+//! The topology-transparency requirements of §4 of the paper.
+//!
+//! * **Requirement 1** (Colbourn-Ling-Syrotiuk): a *non-sleeping* `⟨T⟩` is
+//!   topology-transparent for `N_n^D` iff for every node `x` and every set
+//!   `Y` of `D` other nodes, `freeSlots(x, Y) ≠ ∅`.
+//! * **Requirement 2** (Dukes-Colbourn-Syrotiuk): a general `⟨T,R⟩` is
+//!   topology-transparent iff for all `x ≠ y` and every set of `d ≤ D−1`
+//!   interferers, `∪_i σ(y_i, y) ⊉ σ(x, y)`.
+//! * **Requirement 3** (this paper): equivalently, for every `x` and every
+//!   `D`-set `Y`, `freeSlots(x, Y)` is non-empty **and** meets `recv(y_k)`
+//!   for every `y_k ∈ Y`.
+//!
+//! Theorem 1 proves Requirements 2 and 3 equivalent; the property test
+//! `req2_iff_req3` in this module checks exactly that, and experiment E1
+//! sweeps it over constructed schedules.
+
+use crate::schedule::Schedule;
+use rayon::prelude::*;
+use ttdc_util::{for_each_subset_of, BitSet};
+
+/// A witness that a schedule is **not** topology-transparent: transmissions
+/// from `x` to `y` (when `y`'s other neighbours are `interferers`) are never
+/// guaranteed to succeed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// The transmitter.
+    pub x: usize,
+    /// The intended receiver (`None` for Requirement-1 violations, which
+    /// quantify over the whole neighbourhood at once).
+    pub y: Option<usize>,
+    /// The other nodes in `y`'s neighbourhood.
+    pub interferers: Vec<usize>,
+}
+
+fn pool_excluding(n: usize, excl: &[usize]) -> Vec<usize> {
+    (0..n).filter(|v| !excl.contains(v)).collect()
+}
+
+/// Checks Requirement 1 on the transmission part of `s` (ignores `R`):
+/// returns the first `(x, Y)` with `freeSlots(x, Y) = ∅`, or `None` if the
+/// non-sleeping schedule `⟨T⟩` is topology-transparent for `N_n^D`.
+pub fn requirement1_violation(s: &Schedule, d: usize) -> Option<Violation> {
+    assert!(d >= 1, "degree bound must be at least 1");
+    let n = s.num_nodes();
+    let mut union = BitSet::new(s.frame_length());
+    for x in 0..n {
+        let pool = pool_excluding(n, &[x]);
+        let mut witness = None;
+        for_each_subset_of(&pool, d, |ys| {
+            union.clear();
+            for &y in ys {
+                union.union_with(s.tran(y));
+            }
+            if s.tran(x).difference_len(&union) == 0 {
+                witness = Some(ys.to_vec());
+                false
+            } else {
+                true
+            }
+        });
+        if let Some(ys) = witness {
+            return Some(Violation {
+                x,
+                y: None,
+                interferers: ys,
+            });
+        }
+    }
+    None
+}
+
+/// `true` if `⟨T⟩` satisfies Requirement 1 for degree bound `d`.
+pub fn satisfies_requirement1(s: &Schedule, d: usize) -> bool {
+    requirement1_violation(s, d).is_none()
+}
+
+/// Checks Requirement 2: returns the first `(x, y, {y_1..y_d})` whose
+/// σ-union covers `σ(x, y)`, or `None` if the schedule is
+/// topology-transparent for `N_n^D`.
+///
+/// The requirement quantifies over all `d ≤ D−1`; since the σ-union grows
+/// monotonically with the interferer set, it suffices to check the largest
+/// admissible `d`, namely `min(D−1, n−2)`.
+pub fn requirement2_violation(s: &Schedule, d: usize) -> Option<Violation> {
+    assert!(d >= 1, "degree bound must be at least 1");
+    let n = s.num_nodes();
+    let dd = (d - 1).min(n.saturating_sub(2));
+    let mut union = BitSet::new(s.frame_length());
+    for x in 0..n {
+        for y in 0..n {
+            if x == y {
+                continue;
+            }
+            let sigma_xy = s.sigma(x, y);
+            let pool = pool_excluding(n, &[x, y]);
+            let mut witness = None;
+            for_each_subset_of(&pool, dd, |ys| {
+                union.clear();
+                for &yi in ys {
+                    union.union_with(&s.sigma(yi, y));
+                }
+                if sigma_xy.is_subset(&union) {
+                    witness = Some(ys.to_vec());
+                    false
+                } else {
+                    true
+                }
+            });
+            if let Some(ys) = witness {
+                return Some(Violation {
+                    x,
+                    y: Some(y),
+                    interferers: ys,
+                });
+            }
+        }
+    }
+    None
+}
+
+/// `true` if the schedule satisfies Requirement 2 for degree bound `d`.
+pub fn satisfies_requirement2(s: &Schedule, d: usize) -> bool {
+    requirement2_violation(s, d).is_none()
+}
+
+/// Checks Requirement 3: returns the first `(x, Y, y_k)` with
+/// `recv(y_k) ∩ freeSlots(x, Y) = ∅`, or `None` if the schedule is
+/// topology-transparent for `N_n^D`.
+pub fn requirement3_violation(s: &Schedule, d: usize) -> Option<Violation> {
+    assert!(d >= 1, "degree bound must be at least 1");
+    requirement3_violation_for(s, d, 0, s.num_nodes())
+}
+
+/// Requirement-3 scan restricted to transmitters `x ∈ [x_lo, x_hi)` — the
+/// work item of the parallel checker.
+fn requirement3_violation_for(
+    s: &Schedule,
+    d: usize,
+    x_lo: usize,
+    x_hi: usize,
+) -> Option<Violation> {
+    let n = s.num_nodes();
+    let mut free = BitSet::new(s.frame_length());
+    for x in x_lo..x_hi {
+        let pool = pool_excluding(n, &[x]);
+        let mut witness = None;
+        for_each_subset_of(&pool, d, |ys| {
+            free.clear();
+            free.union_with(s.tran(x));
+            for &y in ys {
+                free.difference_with(s.tran(y));
+            }
+            // Condition (2): every y_k must be able to listen in a free slot.
+            // (Condition (1), freeSlots ≠ ∅, is implied.)
+            for &yk in ys {
+                if s.recv(yk).intersection_len(&free) == 0 {
+                    witness = Some((yk, ys.to_vec()));
+                    return false;
+                }
+            }
+            true
+        });
+        if let Some((yk, ys)) = witness {
+            return Some(Violation {
+                x,
+                y: Some(yk),
+                interferers: ys.into_iter().filter(|&v| v != yk).collect(),
+            });
+        }
+    }
+    None
+}
+
+/// `true` if the schedule satisfies Requirement 3 for degree bound `d`.
+pub fn satisfies_requirement3(s: &Schedule, d: usize) -> bool {
+    requirement3_violation(s, d).is_none()
+}
+
+/// The paper's definition of topology transparency for `N_n^D` — an alias
+/// for Requirement 3 (Theorem 1 shows it equivalent to Requirement 2).
+pub fn is_topology_transparent(s: &Schedule, d: usize) -> bool {
+    satisfies_requirement3(s, d)
+}
+
+/// Parallel Requirement-3 check: the outer quantifier over `x` fans out
+/// across the rayon pool. Exact (not sampled); use for medium `n` where the
+/// serial scan is the bottleneck.
+pub fn is_topology_transparent_par(s: &Schedule, d: usize) -> bool {
+    (0..s.num_nodes())
+        .into_par_iter()
+        .all(|x| requirement3_violation_for(s, d, x, x + 1).is_none())
+}
+
+/// Randomized spot check: draws `samples` random `(x, Y)` pairs and tests
+/// Requirement 3 on each. Finding a violation proves the schedule is *not*
+/// topology-transparent; finding none is only evidence. Deterministic in
+/// `seed`; used for large instances where `C(n−1, D)` is out of reach.
+pub fn spot_check_topology_transparent(
+    s: &Schedule,
+    d: usize,
+    samples: usize,
+    seed: u64,
+) -> Option<Violation> {
+    let n = s.num_nodes();
+    if n < 2 || d + 1 > n {
+        return None;
+    }
+    let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut next = move || {
+        // splitmix64
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let mut free = BitSet::new(s.frame_length());
+    for _ in 0..samples {
+        let x = (next() % n as u64) as usize;
+        // Floyd's algorithm for a D-subset of V − {x}.
+        let mut ys: Vec<usize> = Vec::with_capacity(d);
+        while ys.len() < d {
+            let c = (next() % n as u64) as usize;
+            if c != x && !ys.contains(&c) {
+                ys.push(c);
+            }
+        }
+        free.clear();
+        free.union_with(s.tran(x));
+        for &y in &ys {
+            free.difference_with(s.tran(y));
+        }
+        for &yk in &ys {
+            if s.recv(yk).intersection_len(&free) == 0 {
+                return Some(Violation {
+                    x,
+                    y: Some(yk),
+                    interferers: ys.iter().copied().filter(|&v| v != yk).collect(),
+                });
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ttdc_combinatorics::CoverFreeFamily;
+    use ttdc_util::BitSet;
+
+    fn identity_schedule(n: usize) -> Schedule {
+        Schedule::from_cff(&CoverFreeFamily::identity(n))
+    }
+
+    fn polynomial_schedule(q: usize, k: u32, n: u64) -> Schedule {
+        let gf = ttdc_combinatorics::Gf::new(q).unwrap();
+        Schedule::from_cff(&CoverFreeFamily::from_polynomials(&gf, k, n))
+    }
+
+    #[test]
+    fn identity_satisfies_everything() {
+        let s = identity_schedule(6);
+        for d in 1..=5 {
+            assert!(satisfies_requirement1(&s, d), "req1 d={d}");
+            assert!(satisfies_requirement2(&s, d), "req2 d={d}");
+            assert!(satisfies_requirement3(&s, d), "req3 d={d}");
+            assert!(is_topology_transparent(&s, d));
+            assert!(is_topology_transparent_par(&s, d));
+            assert!(spot_check_topology_transparent(&s, d, 200, 7).is_none());
+        }
+    }
+
+    #[test]
+    fn polynomial_schedule_transparent_up_to_guarantee() {
+        // q = 5, k = 1 → guaranteed for D ≤ 4; n = 25 nodes.
+        let s = polynomial_schedule(5, 1, 25);
+        assert!(satisfies_requirement1(&s, 2));
+        assert!(satisfies_requirement3(&s, 2));
+        assert!(satisfies_requirement2(&s, 2));
+        assert!(satisfies_requirement3(&s, 4));
+    }
+
+    #[test]
+    fn polynomial_schedule_fails_beyond_guarantee() {
+        // q = 3, k = 1, all 9 nodes: guaranteed only for D ≤ 2; D = 3 must
+        // produce a concrete violation.
+        let s = polynomial_schedule(3, 1, 9);
+        assert!(satisfies_requirement3(&s, 2));
+        let v = requirement1_violation(&s, 3).expect("D=3 must fail");
+        assert_eq!(v.interferers.len(), 3);
+        assert!(requirement3_violation(&s, 3).is_some());
+        assert!(requirement2_violation(&s, 3).is_some());
+        assert!(!is_topology_transparent_par(&s, 3));
+        assert!(
+            spot_check_topology_transparent(&s, 3, 5000, 42).is_some(),
+            "a dense violation set should be hit by 5000 samples"
+        );
+    }
+
+    #[test]
+    fn sleeping_schedule_can_break_transparency() {
+        // Start from the identity schedule on 4 nodes but make node 3 sleep
+        // always (remove it from every R): transmissions to 3 can never
+        // succeed, so Requirement 3 (and 2) must fail while Requirement 1
+        // (which ignores R) still holds.
+        let n = 4;
+        let t: Vec<BitSet> = (0..n).map(|i| BitSet::from_iter(n, [i])).collect();
+        let r: Vec<BitSet> = (0..n)
+            .map(|i| BitSet::from_iter(n, (0..n).filter(|&v| v != i && v != 3)))
+            .collect();
+        let s = Schedule::new(n, t, r);
+        assert!(satisfies_requirement1(&s, 2));
+        let v3 = requirement3_violation(&s, 2).unwrap();
+        assert_eq!(v3.y, Some(3));
+        let v2 = requirement2_violation(&s, 2).unwrap();
+        assert_eq!(v2.y, Some(3));
+    }
+
+    #[test]
+    fn req2_and_req3_agree_on_structured_cases() {
+        // Theorem 1 (equivalence), exercised on a mix of transparent and
+        // non-transparent schedules.
+        let cases: Vec<(Schedule, usize)> = vec![
+            (identity_schedule(5), 2),
+            (identity_schedule(5), 3),
+            (polynomial_schedule(3, 1, 9), 2),
+            (polynomial_schedule(3, 1, 9), 3),
+            (polynomial_schedule(4, 1, 16), 3),
+            (polynomial_schedule(5, 2, 20), 2),
+        ];
+        for (s, d) in &cases {
+            assert_eq!(
+                satisfies_requirement2(s, *d),
+                satisfies_requirement3(s, *d),
+                "n={} d={d}",
+                s.num_nodes()
+            );
+        }
+    }
+
+    #[test]
+    fn requirement2_catches_empty_sigma() {
+        // Node 1 never listens while 0 transmits: σ(0,1) = ∅, so even a
+        // single interferer's (empty or not) σ-union covers it.
+        let t = vec![
+            BitSet::from_iter(3, [0]),
+            BitSet::from_iter(3, [1]),
+            BitSet::from_iter(3, [2]),
+        ];
+        let r = vec![
+            BitSet::from_iter(3, [2]),          // 1 does not listen to 0
+            BitSet::from_iter(3, [0, 2]),
+            BitSet::from_iter(3, [0, 1]),
+        ];
+        let s = Schedule::new(3, t, r);
+        let v = requirement2_violation(&s, 2).unwrap();
+        assert_eq!((v.x, v.y), (0, Some(1)));
+    }
+
+    #[test]
+    fn small_universe_edge_cases() {
+        // n = 2, D = 1: round-robin pair is transparent.
+        let t = vec![BitSet::from_iter(2, [0]), BitSet::from_iter(2, [1])];
+        let s = Schedule::non_sleeping(2, t);
+        assert!(satisfies_requirement1(&s, 1));
+        assert!(satisfies_requirement2(&s, 1));
+        assert!(satisfies_requirement3(&s, 1));
+        // D larger than n−1: vacuous (no D-subset of other nodes exists).
+        assert!(satisfies_requirement3(&s, 5));
+        assert!(spot_check_topology_transparent(&s, 5, 10, 1).is_none());
+    }
+
+    #[test]
+    fn spot_check_is_deterministic_in_seed() {
+        let s = polynomial_schedule(3, 1, 9);
+        let a = spot_check_topology_transparent(&s, 3, 100, 123);
+        let b = spot_check_topology_transparent(&s, 3, 100, 123);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,317 @@
+//! The schedule model of §3 of the paper.
+//!
+//! A schedule of node activities is a pair `⟨T, R⟩` of equal-length arrays
+//! of node sets: in slot `i (mod L)` the nodes of `T[i]` may transmit, the
+//! nodes of `R[i]` may receive, and everyone else sleeps. `T[i]` and `R[i]`
+//! are disjoint (a half-duplex radio cannot do both). A *non-sleeping*
+//! schedule has `R[i] = V − T[i]` in every slot.
+//!
+//! [`Schedule`] stores both the per-slot view (`T[i]`, `R[i]` as node sets)
+//! and the transposed per-node view (`tran(x)`, `recv(x)` as slot sets); the
+//! paper's set algebra — `σ(a,b) = tran(a) ∩ recv(b)`, `freeSlots(x, Y) =
+//! tran(x) − ∪_{y∈Y} tran(y)` — runs on the transposed view.
+
+use ttdc_util::BitSet;
+
+/// An immutable slot schedule `⟨T, R⟩` over node universe `V_n = [0, n)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Schedule {
+    n: usize,
+    /// `T[i]`: nodes eligible to transmit in slot `i`.
+    t: Vec<BitSet>,
+    /// `R[i]`: nodes eligible to receive in slot `i`.
+    r: Vec<BitSet>,
+    /// Transposed: `tran(x)` over slot universe `[0, L)`.
+    tran: Vec<BitSet>,
+    /// Transposed: `recv(x)` over slot universe `[0, L)`.
+    recv: Vec<BitSet>,
+}
+
+impl Schedule {
+    /// Builds a schedule from per-slot transmitter and receiver sets.
+    ///
+    /// # Panics
+    /// If the arrays differ in length, a set has the wrong universe, or
+    /// some `T[i]` and `R[i]` intersect.
+    pub fn new(n: usize, t: Vec<BitSet>, r: Vec<BitSet>) -> Schedule {
+        assert_eq!(t.len(), r.len(), "T and R must have the same length");
+        assert!(!t.is_empty(), "a schedule needs at least one slot");
+        let l = t.len();
+        for i in 0..l {
+            assert_eq!(t[i].universe(), n, "T[{i}] universe mismatch");
+            assert_eq!(r[i].universe(), n, "R[{i}] universe mismatch");
+            assert!(
+                t[i].is_disjoint(&r[i]),
+                "T[{i}] and R[{i}] intersect: a node cannot transmit and receive in the same slot"
+            );
+        }
+        let mut tran = vec![BitSet::new(l); n];
+        let mut recv = vec![BitSet::new(l); n];
+        for i in 0..l {
+            for x in &t[i] {
+                tran[x].insert(i);
+            }
+            for x in &r[i] {
+                recv[x].insert(i);
+            }
+        }
+        Schedule { n, t, r, tran, recv }
+    }
+
+    /// Builds the non-sleeping schedule `⟨T⟩`: `R[i] = V − T[i]`.
+    pub fn non_sleeping(n: usize, t: Vec<BitSet>) -> Schedule {
+        let r = t.iter().map(BitSet::complement).collect();
+        Schedule::new(n, t, r)
+    }
+
+    /// Builds the non-sleeping schedule induced by a cover-free family:
+    /// slot universe is the ground set, and `T[i] = { x : i ∈ block(x) }`.
+    pub fn from_cff(cff: &ttdc_combinatorics::CoverFreeFamily) -> Schedule {
+        let n = cff.len();
+        let l = cff.ground_size();
+        let mut t = vec![BitSet::new(n); l];
+        for (x, block) in cff.blocks().iter().enumerate() {
+            for i in block {
+                t[i].insert(x);
+            }
+        }
+        Schedule::non_sleeping(n, t)
+    }
+
+    /// Number of nodes `n = |V_n|`.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Frame length `L`.
+    #[inline]
+    pub fn frame_length(&self) -> usize {
+        self.t.len()
+    }
+
+    /// `T[i]`.
+    #[inline]
+    pub fn transmitters(&self, slot: usize) -> &BitSet {
+        &self.t[slot]
+    }
+
+    /// `R[i]`.
+    #[inline]
+    pub fn receivers(&self, slot: usize) -> &BitSet {
+        &self.r[slot]
+    }
+
+    /// `tran(x)`: the slots in which `x` may transmit.
+    #[inline]
+    pub fn tran(&self, x: usize) -> &BitSet {
+        &self.tran[x]
+    }
+
+    /// `recv(x)`: the slots in which `x` may receive.
+    #[inline]
+    pub fn recv(&self, x: usize) -> &BitSet {
+        &self.recv[x]
+    }
+
+    /// `σ(a, b) = tran(a) ∩ recv(b)`: slots where `a` may transmit while
+    /// `b` listens.
+    pub fn sigma(&self, a: usize, b: usize) -> BitSet {
+        self.tran[a].intersection(&self.recv[b])
+    }
+
+    /// `freeSlots(x, Y) = tran(x) − ∪_{y∈Y} tran(y)`: slots in which `x`
+    /// is the only potential transmitter among `{x} ∪ Y`.
+    pub fn free_slots(&self, x: usize, ys: &[usize]) -> BitSet {
+        let mut out = self.tran[x].clone();
+        for &y in ys {
+            out.difference_with(&self.tran[y]);
+        }
+        out
+    }
+
+    /// `true` if every node is active (transmitting or receiving) in every
+    /// slot — the paper's non-sleeping condition `T[i] ∪ R[i] = V`.
+    pub fn is_non_sleeping(&self) -> bool {
+        self.t
+            .iter()
+            .zip(&self.r)
+            .all(|(t, r)| t.union(r).len() == self.n)
+    }
+
+    /// `true` if the schedule is an `(α_T, α_R)`-schedule:
+    /// `|T[i]| ≤ α_T` and `|R[i]| ≤ α_R` in every slot.
+    pub fn is_alpha_schedule(&self, alpha_t: usize, alpha_r: usize) -> bool {
+        self.t.iter().all(|t| t.len() <= alpha_t)
+            && self.r.iter().all(|r| r.len() <= alpha_r)
+    }
+
+    /// Per-slot transmitter counts `|T[i]|`.
+    pub fn t_sizes(&self) -> Vec<usize> {
+        self.t.iter().map(BitSet::len).collect()
+    }
+
+    /// Per-slot receiver counts `|R[i]|`.
+    pub fn r_sizes(&self) -> Vec<usize> {
+        self.r.iter().map(BitSet::len).collect()
+    }
+
+    /// `min` and `max` of `|T[i]|` over the frame — the paper's `M_in` and
+    /// `M_ax` (Theorems 7–9).
+    pub fn t_size_range(&self) -> (usize, usize) {
+        let sizes = self.t_sizes();
+        (
+            sizes.iter().copied().min().unwrap_or(0),
+            sizes.iter().copied().max().unwrap_or(0),
+        )
+    }
+
+    /// Fraction of the frame node `x` is active (its duty cycle).
+    pub fn duty_cycle(&self, x: usize) -> f64 {
+        let active = self.tran[x].len() + self.recv[x].len();
+        active as f64 / self.frame_length() as f64
+    }
+
+    /// Average duty cycle across all nodes — the energy proxy the paper's
+    /// `(α_T, α_R)` constraint controls: it equals
+    /// `Σ_i (|T[i]| + |R[i]|) / (nL) ≤ (α_T + α_R)/n`.
+    pub fn average_duty_cycle(&self) -> f64 {
+        (0..self.n).map(|x| self.duty_cycle(x)).sum::<f64>() / self.n as f64
+    }
+
+    /// Restriction of the schedule to its first `l` slots (used by tests
+    /// and by schedule surgery in the experiments).
+    pub fn truncated(&self, l: usize) -> Schedule {
+        assert!(l >= 1 && l <= self.frame_length());
+        Schedule::new(self.n, self.t[..l].to_vec(), self.r[..l].to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ttdc_combinatorics::CoverFreeFamily;
+
+    /// 3 nodes, 3 slots, round-robin TDMA: T[i] = {i}, R[i] = V − {i}.
+    fn rr3() -> Schedule {
+        let t = (0..3).map(|i| BitSet::from_iter(3, [i])).collect();
+        Schedule::non_sleeping(3, t)
+    }
+
+    #[test]
+    fn round_robin_basics() {
+        let s = rr3();
+        assert_eq!(s.num_nodes(), 3);
+        assert_eq!(s.frame_length(), 3);
+        assert!(s.is_non_sleeping());
+        assert!(s.is_alpha_schedule(1, 2));
+        assert!(!s.is_alpha_schedule(1, 1));
+        assert_eq!(s.t_sizes(), vec![1, 1, 1]);
+        assert_eq!(s.r_sizes(), vec![2, 2, 2]);
+        assert_eq!(s.t_size_range(), (1, 1));
+        for x in 0..3 {
+            assert_eq!(s.tran(x), &BitSet::from_iter(3, [x]));
+            assert_eq!(
+                s.recv(x),
+                &BitSet::from_iter(3, (0..3).filter(|&i| i != x))
+            );
+            assert_eq!(s.duty_cycle(x), 1.0);
+        }
+        assert_eq!(s.average_duty_cycle(), 1.0);
+    }
+
+    #[test]
+    fn sigma_and_free_slots() {
+        let s = rr3();
+        // σ(0, 1): 0 transmits in slot 0, 1 listens there.
+        assert_eq!(s.sigma(0, 1), BitSet::from_iter(3, [0]));
+        assert_eq!(s.sigma(0, 0), BitSet::new(3), "no self-reception");
+        // freeSlots(0, {1,2}) = {0}: nobody else transmits in slot 0.
+        assert_eq!(s.free_slots(0, &[1, 2]), BitSet::from_iter(3, [0]));
+        assert_eq!(s.free_slots(0, &[]), BitSet::from_iter(3, [0]));
+    }
+
+    #[test]
+    fn duty_cycled_schedule() {
+        // 4 nodes, 2 slots: slot 0 = {0}→{1}, slot 1 = {1}→{0}; 2,3 sleep.
+        let t = vec![BitSet::from_iter(4, [0]), BitSet::from_iter(4, [1])];
+        let r = vec![BitSet::from_iter(4, [1]), BitSet::from_iter(4, [0])];
+        let s = Schedule::new(4, t, r);
+        assert!(!s.is_non_sleeping());
+        assert!(s.is_alpha_schedule(1, 1));
+        assert_eq!(s.duty_cycle(0), 1.0);
+        assert_eq!(s.duty_cycle(2), 0.0);
+        assert_eq!(s.average_duty_cycle(), 0.5);
+        assert!(s.sigma(0, 1).contains(0));
+        assert!(s.sigma(2, 3).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "intersect")]
+    fn overlapping_t_r_rejected() {
+        let t = vec![BitSet::from_iter(2, [0])];
+        let r = vec![BitSet::from_iter(2, [0, 1])];
+        Schedule::new(2, t, r);
+    }
+
+    #[test]
+    #[should_panic(expected = "same length")]
+    fn length_mismatch_rejected() {
+        Schedule::new(2, vec![BitSet::new(2)], vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn empty_schedule_rejected() {
+        Schedule::new(2, vec![], vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "universe mismatch")]
+    fn wrong_universe_rejected() {
+        Schedule::new(3, vec![BitSet::new(2)], vec![BitSet::new(3)]);
+    }
+
+    #[test]
+    fn from_cff_transposes_blocks() {
+        let cff = CoverFreeFamily::identity(4);
+        let s = Schedule::from_cff(&cff);
+        assert_eq!(s.num_nodes(), 4);
+        assert_eq!(s.frame_length(), 4);
+        assert!(s.is_non_sleeping());
+        for x in 0..4 {
+            assert_eq!(s.tran(x), &BitSet::from_iter(4, [x]));
+        }
+    }
+
+    #[test]
+    fn from_cff_polynomial_slot_counts() {
+        // q=3, k=1, all 9 nodes: every slot (i, j) has exactly q^k = 3
+        // transmitters (polynomials with f(i) = j).
+        let gf = ttdc_combinatorics::Gf::new(3).unwrap();
+        let cff = CoverFreeFamily::from_polynomials(&gf, 1, 9);
+        let s = Schedule::from_cff(&cff);
+        assert_eq!(s.frame_length(), 9);
+        assert!(s.t_sizes().iter().all(|&c| c == 3));
+        assert!(s.is_non_sleeping());
+        // Every node transmits q = 3 times per frame.
+        for x in 0..9 {
+            assert_eq!(s.tran(x).len(), 3);
+        }
+    }
+
+    #[test]
+    fn truncation() {
+        let s = rr3();
+        let t = s.truncated(2);
+        assert_eq!(t.frame_length(), 2);
+        assert_eq!(t.transmitters(0), s.transmitters(0));
+        assert_eq!(t.tran(2).len(), 0, "node 2's slot was cut off");
+    }
+
+    #[test]
+    #[should_panic]
+    fn truncation_out_of_range() {
+        rr3().truncated(4);
+    }
+}

@@ -1,0 +1,192 @@
+//! Ready-made topology-transparent non-sleeping schedules.
+//!
+//! The paper's construction takes a topology-transparent non-sleeping
+//! schedule as *input* and cites the standard ways to obtain one
+//! (orthogonal arrays / polynomials \[2, 13, 22\], Steiner systems \[3\],
+//! cover-free families in general \[9, 5\]). This module packages those
+//! constructions, all built from scratch in `ttdc-combinatorics`, behind a
+//! single API keyed by `(n, D)`.
+
+use crate::construct::{construct, Construction, PartitionStrategy};
+use crate::schedule::Schedule;
+use ttdc_combinatorics::{CoverFreeFamily, SteinerTripleSystem, TsmaParams};
+
+/// Which non-sleeping substrate to build the duty-cycled schedule on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SourceKind {
+    /// Polynomials over GF(q) (Ju-Li / orthogonal-array TSMA): frame `q²`,
+    /// supports any `(n, D)` with parameters from [`TsmaParams::search`].
+    Polynomial,
+    /// Steiner triple systems (Colbourn-Ling-Syrotiuk): frame `v`, blocks of
+    /// size 3, topology-transparent only for `D ≤ 2`.
+    Steiner,
+    /// One-node-per-slot TDMA: frame `n`, transparent for every `D ≤ n−1`,
+    /// but the frame grows linearly in `n`.
+    Identity,
+}
+
+/// A constructed non-sleeping schedule together with its provenance.
+#[derive(Clone, Debug)]
+pub struct NonSleepingSchedule {
+    /// The schedule `⟨T⟩` (with `R[i] = V − T[i]`).
+    pub schedule: Schedule,
+    /// Which construction produced it.
+    pub kind: SourceKind,
+    /// The `(q, k)` parameters when `kind == Polynomial`.
+    pub params: Option<TsmaParams>,
+}
+
+/// Builds the polynomial (orthogonal-array) TSMA schedule for `(n, D)`:
+/// frame length `q²` with the smallest feasible prime power `q`.
+pub fn build_polynomial(n: usize, d: usize) -> NonSleepingSchedule {
+    let params = TsmaParams::search(n as u64, d as u64)
+        .expect("n ≥ 1 and D ≥ 1 always have TSMA parameters");
+    let cff = CoverFreeFamily::from_tsma_params(&params, n as u64);
+    NonSleepingSchedule {
+        schedule: Schedule::from_cff(&cff),
+        kind: SourceKind::Polynomial,
+        params: Some(params),
+    }
+}
+
+/// Builds a Steiner-system schedule for `n` nodes: the smallest STS(v) with
+/// at least `n` triples, truncated to `n` blocks. Topology-transparent for
+/// `D ≤ 2` (triples pairwise intersect in ≤ 1 point).
+pub fn build_steiner(n: usize) -> Result<NonSleepingSchedule, String> {
+    if n == 0 {
+        return Err("need at least one node".into());
+    }
+    let mut v = 7;
+    loop {
+        if (v % 6 == 1 || v % 6 == 3)
+            && v * (v - 1) / 6 >= n {
+                break;
+            }
+        v += 1;
+    }
+    let sts = SteinerTripleSystem::new(v)?;
+    let blocks: Vec<_> = sts.triples()[..n]
+        .iter()
+        .map(|t| ttdc_util::BitSet::from_iter(v, t.iter().copied()))
+        .collect();
+    let cff = CoverFreeFamily::from_blocks(v, blocks);
+    Ok(NonSleepingSchedule {
+        schedule: Schedule::from_cff(&cff),
+        kind: SourceKind::Steiner,
+        params: None,
+    })
+}
+
+/// Builds the trivial TDMA identity schedule: node `x` owns slot `x`.
+pub fn build_identity(n: usize) -> NonSleepingSchedule {
+    NonSleepingSchedule {
+        schedule: Schedule::from_cff(&CoverFreeFamily::identity(n)),
+        kind: SourceKind::Identity,
+        params: None,
+    }
+}
+
+/// Builds a non-sleeping schedule of the requested kind for `(n, D)`.
+pub fn build(n: usize, d: usize, kind: SourceKind) -> Result<NonSleepingSchedule, String> {
+    match kind {
+        SourceKind::Polynomial => Ok(build_polynomial(n, d)),
+        SourceKind::Steiner => {
+            if d > 2 {
+                return Err(format!(
+                    "Steiner triple systems are only topology-transparent for D ≤ 2 (got D = {d})"
+                ));
+            }
+            build_steiner(n)
+        }
+        SourceKind::Identity => Ok(build_identity(n)),
+    }
+}
+
+/// One-call pipeline: build a polynomial non-sleeping schedule for
+/// `(n, D)` and run the Figure-2 construction to get a topology-transparent
+/// `(α_T, α_R)`-schedule. The quickstart API.
+pub fn build_duty_cycled(
+    n: usize,
+    d: usize,
+    alpha_t: usize,
+    alpha_r: usize,
+    strategy: PartitionStrategy,
+) -> Construction {
+    let ns = build_polynomial(n, d);
+    construct(&ns.schedule, d, alpha_t, alpha_r, strategy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::requirements::is_topology_transparent;
+
+    #[test]
+    fn polynomial_schedules_transparent_for_requested_degree() {
+        for (n, d) in [(10usize, 2usize), (25, 3), (30, 2)] {
+            let ns = build_polynomial(n, d);
+            assert_eq!(ns.schedule.num_nodes(), n);
+            assert!(ns.schedule.is_non_sleeping());
+            let p = ns.params.unwrap();
+            assert_eq!(ns.schedule.frame_length(), p.frame_length() as usize);
+            assert!(
+                is_topology_transparent(&ns.schedule, d),
+                "n={n} d={d} params={p:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn steiner_schedules_transparent_for_d2() {
+        for n in [5usize, 12, 20] {
+            let ns = build_steiner(n).unwrap();
+            assert_eq!(ns.schedule.num_nodes(), n);
+            assert!(ns.schedule.is_non_sleeping());
+            assert!(is_topology_transparent(&ns.schedule, 2), "n={n}");
+            // Every node transmits exactly 3 slots per frame.
+            for x in 0..n {
+                assert_eq!(ns.schedule.tran(x).len(), 3);
+            }
+        }
+    }
+
+    #[test]
+    fn steiner_frame_shorter_than_identity_for_large_n() {
+        // The whole point of CFF schedules: frame grows like Θ(√n) (STS:
+        // v(v−1)/6 ≥ n ⇒ v = O(√n)) instead of n.
+        let n = 100;
+        let sts = build_steiner(n).unwrap();
+        let id = build_identity(n);
+        assert!(sts.schedule.frame_length() < id.schedule.frame_length() / 3);
+    }
+
+    #[test]
+    fn build_dispatch_and_guards() {
+        assert!(build(10, 3, SourceKind::Steiner).is_err());
+        assert!(build(10, 2, SourceKind::Steiner).is_ok());
+        assert_eq!(
+            build(10, 5, SourceKind::Identity).unwrap().kind,
+            SourceKind::Identity
+        );
+        assert!(build_steiner(0).is_err());
+        let poly = build(10, 3, SourceKind::Polynomial).unwrap();
+        assert!(poly.params.is_some());
+    }
+
+    #[test]
+    fn identity_transparent_for_all_degrees() {
+        let ns = build_identity(7);
+        for d in 1..7 {
+            assert!(is_topology_transparent(&ns.schedule, d));
+        }
+    }
+
+    #[test]
+    fn one_call_pipeline_is_transparent_and_constrained() {
+        let c = build_duty_cycled(20, 2, 3, 4, PartitionStrategy::RoundRobin);
+        assert!(c.schedule.is_alpha_schedule(3, 4));
+        assert!(is_topology_transparent(&c.schedule, 2));
+        // Duty cycle is bounded by (α_T + α_R)/n.
+        assert!(c.schedule.average_duty_cycle() <= (3.0 + 4.0) / 20.0 + 1e-12);
+    }
+}

@@ -1,0 +1,13 @@
+//! Runs every experiment in the registry, writing `results/<id>.{txt,csv,json}`.
+fn main() {
+    let only: Vec<String> = std::env::args().skip(1).collect();
+    for (id, runner) in ttdc_experiments::registry() {
+        if !only.is_empty() && !only.iter().any(|o| id.contains(o.as_str())) {
+            continue;
+        }
+        eprintln!("=== running {id} ===");
+        let start = std::time::Instant::now();
+        ttdc_experiments::run_and_write(id, runner);
+        eprintln!("=== {id} done in {:.1}s ===", start.elapsed().as_secs_f64());
+    }
+}

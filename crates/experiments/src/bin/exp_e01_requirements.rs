@@ -1,0 +1,4 @@
+//! Runner for experiment e01_requirements — see `ttdc_experiments::e01_requirements`.
+fn main() {
+    ttdc_experiments::run_and_write("e01_requirements", ttdc_experiments::e01_requirements::run);
+}

@@ -1,0 +1,4 @@
+//! Runner for experiment e04_alpha_bound — see `ttdc_experiments::e04_alpha_bound`.
+fn main() {
+    ttdc_experiments::run_and_write("e04_alpha_bound", ttdc_experiments::e04_alpha_bound::run);
+}

@@ -1,0 +1,4 @@
+//! Runner for experiment e06_frame_length — see `ttdc_experiments::e06_frame_length`.
+fn main() {
+    ttdc_experiments::run_and_write("e06_frame_length", ttdc_experiments::e06_frame_length::run);
+}

@@ -1,0 +1,4 @@
+//! Runner for experiment e09_figure1 — see `ttdc_experiments::e09_figure1`.
+fn main() {
+    ttdc_experiments::run_and_write("e09_figure1", ttdc_experiments::e09_figure1::run);
+}

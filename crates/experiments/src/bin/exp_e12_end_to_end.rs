@@ -1,0 +1,4 @@
+//! Runner for experiment e12_end_to_end — see `ttdc_experiments::e12_end_to_end`.
+fn main() {
+    ttdc_experiments::run_and_write("e12_end_to_end", ttdc_experiments::e12_end_to_end::run);
+}

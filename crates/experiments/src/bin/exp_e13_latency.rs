@@ -1,0 +1,4 @@
+//! Runner for experiment e13_latency — see `ttdc_experiments::e13_latency`.
+fn main() {
+    ttdc_experiments::run_and_write("e13_latency", ttdc_experiments::e13_latency::run);
+}

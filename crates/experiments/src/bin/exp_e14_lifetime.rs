@@ -1,0 +1,4 @@
+//! Runner for experiment e14_lifetime — see `ttdc_experiments::e14_lifetime`.
+fn main() {
+    ttdc_experiments::run_and_write("e14_lifetime", ttdc_experiments::e14_lifetime::run);
+}

@@ -1,0 +1,4 @@
+//! Runner for experiment e16_sender_policy — see `ttdc_experiments::e16_sender_policy`.
+fn main() {
+    ttdc_experiments::run_and_write("e16_sender_policy", ttdc_experiments::e16_sender_policy::run);
+}

@@ -1,0 +1,62 @@
+//! E2 — Theorem 2: the closed-form average worst-case throughput equals the
+//! Definition-2 enumeration, on non-sleeping, duty-cycled, and truncated
+//! schedules across `(n, D)`.
+
+use ttdc_core::construct::{construct, PartitionStrategy};
+use ttdc_core::throughput::{average_throughput, average_throughput_bruteforce};
+use ttdc_core::tsma::{build_polynomial, build_steiner};
+use ttdc_core::Schedule;
+use ttdc_util::{table::fmt_f, Table};
+
+/// Runs E2.
+pub fn run() -> Vec<Table> {
+    let mut table = Table::new(
+        "E2 — Theorem 2: closed form vs Definition-2 enumeration",
+        &["schedule", "n", "L", "D", "closed", "bruteforce", "abs_err"],
+    );
+    let mut cases: Vec<(String, Schedule, usize)> = Vec::new();
+    for (n, d) in [(9usize, 2usize), (12, 2), (16, 3), (10, 4)] {
+        let ns = build_polynomial(n, d);
+        cases.push(("poly".to_string(), ns.schedule.clone(), d));
+        let alpha_t = 2.min(n / 3).max(1);
+        let alpha_r = 3.min(n - alpha_t);
+        let c = construct(&ns.schedule, d, alpha_t, alpha_r, PartitionStrategy::RoundRobin);
+        cases.push((
+            format!("constructed(a_T={alpha_t},a_R={alpha_r})"),
+            c.schedule,
+            d,
+        ));
+    }
+    cases.push(("steiner".into(), build_steiner(12).unwrap().schedule, 2));
+
+    for (name, s, d) in &cases {
+        let closed = average_throughput(s, *d);
+        let brute = average_throughput_bruteforce(s, *d);
+        table.row(&[
+            name.clone(),
+            s.num_nodes().to_string(),
+            s.frame_length().to_string(),
+            d.to_string(),
+            fmt_f(closed),
+            fmt_f(brute),
+            format!("{:.2e}", (closed - brute).abs()),
+        ]);
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_form_is_exact_on_every_row() {
+        let t = &run()[0];
+        assert!(t.len() >= 9);
+        let err_col = t.columns().iter().position(|c| c == "abs_err").unwrap();
+        for row in t.rows() {
+            let err: f64 = row[err_col].parse().unwrap();
+            assert!(err < 1e-10, "{row:?}");
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! E3 — Theorem 3 and the `g_{n,D}` properties: the throughput sweep over
+//! the per-slot transmitter count, its argmax at `≈ (n−D)/(D+1)`, and the
+//! closed upper bound dominating everything.
+
+use ttdc_core::bounds::general_bound;
+use ttdc_core::gfunc::{g, g_argmax, g_upper_bound};
+use ttdc_util::{table::fmt_f, Table};
+
+/// Runs E3.
+pub fn run() -> Vec<Table> {
+    // Figure-style sweep: g_{n,D}(x) for the paper-scale (n, D) pairs.
+    let mut sweep = Table::new(
+        "E3a — g_{n,D}(x): average throughput of uniform schedules vs transmitters/slot",
+        &["n", "D", "x", "g(x)", "is_argmax"],
+    );
+    for (n, d) in [(25usize, 2usize), (25, 4), (64, 3), (100, 5)] {
+        let best = g_argmax(n, d);
+        for x in 0..n {
+            sweep.row(&[
+                n.to_string(),
+                d.to_string(),
+                x.to_string(),
+                fmt_f(g(n, d, x)),
+                (x == best).to_string(),
+            ]);
+        }
+    }
+
+    let mut summary = Table::new(
+        "E3b — Theorem 3: optimal transmitter count and bounds",
+        &[
+            "n",
+            "D",
+            "alpha_T*",
+            "(n-D)/(D+1)",
+            "Thr*",
+            "loose_bound",
+            "max_g_sweep",
+            "attained",
+        ],
+    );
+    for (n, d) in [(16usize, 2usize), (25, 2), (25, 4), (64, 3), (100, 5), (256, 8)] {
+        let b = general_bound(n, d);
+        let max_sweep = (0..n).map(|x| g(n, d, x)).fold(0.0, f64::max);
+        summary.row(&[
+            n.to_string(),
+            d.to_string(),
+            b.alpha_t_star.to_string(),
+            format!("{:.2}", (n - d) as f64 / (d + 1) as f64),
+            fmt_f(b.thr_star),
+            fmt_f(b.loose),
+            fmt_f(max_sweep),
+            ((max_sweep - b.thr_star).abs() < 1e-12).to_string(),
+        ]);
+        debug_assert!(b.thr_star <= g_upper_bound(n, d) + 1e-12);
+    }
+    vec![sweep, summary]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_never_exceeds_bound_and_argmax_is_attained() {
+        let tables = run();
+        let summary = &tables[1];
+        let attained = summary.columns().iter().position(|c| c == "attained").unwrap();
+        assert!(summary.rows().iter().all(|r| r[attained] == "true"));
+        // The sweep marks exactly one argmax row per (n, D).
+        let sweep = &tables[0];
+        let is_arg = sweep.columns().iter().position(|c| c == "is_argmax").unwrap();
+        let marked = sweep.rows().iter().filter(|r| r[is_arg] == "true").count();
+        assert_eq!(marked, 4, "one argmax per (n,D) pair");
+    }
+}

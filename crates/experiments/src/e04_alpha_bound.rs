@@ -1,0 +1,101 @@
+//! E4 — Theorem 4: the `(α_T, α_R)` throughput bound surface. Two cuts:
+//! linear growth in `α_R` at fixed `α_T`, and saturation in `α_T` at
+//! `α ≈ (n−D)/D` (more transmit budget stops helping).
+
+use ttdc_core::bounds::alpha_bound;
+use ttdc_util::{table::fmt_f, Table};
+
+/// Runs E4.
+pub fn run() -> Vec<Table> {
+    let (n, d) = (30usize, 3usize);
+
+    let mut by_ar = Table::new(
+        "E4a — Theorem 4 bound vs alpha_R (n=30, D=3, alpha_T=4)",
+        &["alpha_R", "alpha_T*", "Thr*", "loose"],
+    );
+    for ar in 1..=(n - 4) {
+        let b = alpha_bound(n, d, 4, ar);
+        by_ar.row(&[
+            ar.to_string(),
+            b.alpha_t_star.to_string(),
+            fmt_f(b.thr_star),
+            fmt_f(b.loose),
+        ]);
+    }
+
+    let mut by_at = Table::new(
+        "E4b — Theorem 4 bound vs alpha_T (n=30, D=3, alpha_R=6)",
+        &["alpha_T", "alpha_unconstrained", "alpha_T*", "Thr*", "saturated"],
+    );
+    let mut prev = 0.0;
+    for at in 1..=(n - 6) {
+        let b = alpha_bound(n, d, at, 6);
+        by_at.row(&[
+            at.to_string(),
+            b.alpha_unconstrained.to_string(),
+            b.alpha_t_star.to_string(),
+            fmt_f(b.thr_star),
+            (b.thr_star <= prev + 1e-15 && at > 1).to_string(),
+        ]);
+        prev = prev.max(b.thr_star);
+    }
+
+    let mut grid = Table::new(
+        "E4c — optimal alpha_T* across (n, D)",
+        &["n", "D", "alpha=(n-D)/D", "alpha_T*_unconstrained", "Thr*(alpha_R=n-alpha)"],
+    );
+    for (n, d) in [(16usize, 2usize), (25, 2), (25, 4), (64, 3), (100, 5)] {
+        let b = alpha_bound(n, d, n / 2, n - n / 2);
+        grid.row(&[
+            n.to_string(),
+            d.to_string(),
+            format!("{:.2}", (n - d) as f64 / d as f64),
+            b.alpha_unconstrained.to_string(),
+            fmt_f(
+                alpha_bound(n, d, b.alpha_unconstrained, n - b.alpha_unconstrained).thr_star,
+            ),
+        ]);
+    }
+    vec![by_ar, by_at, grid]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_grows_linearly_in_ar_and_saturates_in_at() {
+        let tables = run();
+        // E4a: Thr* strictly increases with α_R.
+        let a = &tables[0];
+        let thr_col = a.columns().iter().position(|c| c == "Thr*").unwrap();
+        let vals: Vec<f64> = a.rows().iter().map(|r| r[thr_col].parse().unwrap()).collect();
+        assert!(vals.windows(2).all(|w| w[1] > w[0] - 1e-15));
+        // Linearity: ratio to α_R constant.
+        let per_unit: Vec<f64> = vals
+            .iter()
+            .enumerate()
+            .map(|(i, v)| v / (i + 1) as f64)
+            .collect();
+        // Values round-trip through the table's decimal formatting, so
+        // compare with a loose relative tolerance.
+        assert!((per_unit[0] - per_unit.last().unwrap()).abs() < 1e-3 * per_unit[0]);
+
+        // E4b: after the unconstrained optimum, the bound stops growing.
+        let b = &tables[1];
+        let sat = b.columns().iter().position(|c| c == "saturated").unwrap();
+        let at_col = b.columns().iter().position(|c| c == "alpha_T").unwrap();
+        let alpha_col = b
+            .columns()
+            .iter()
+            .position(|c| c == "alpha_unconstrained")
+            .unwrap();
+        for row in b.rows() {
+            let at: usize = row[at_col].parse().unwrap();
+            let alpha: usize = row[alpha_col].parse().unwrap();
+            if at > alpha {
+                assert_eq!(row[sat], "true", "row {row:?}");
+            }
+        }
+    }
+}

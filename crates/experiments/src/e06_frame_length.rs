@@ -1,0 +1,86 @@
+//! E6 — Theorem 7: the constructed frame length matches
+//! `Σ ⌈|T[i]|/α_T*⌉·⌈(n−|T[i]|)/α_R⌉` exactly and stays below the closed
+//! bound; the bound is tight when all `|T[i]|` are equal.
+
+use ttdc_core::analysis::{constructed_frame_length, frame_length_upper_bound};
+use ttdc_core::construct::{construct, PartitionStrategy};
+use ttdc_core::tsma::build_polynomial;
+use ttdc_combinatorics::{CoverFreeFamily, Gf};
+use ttdc_core::Schedule;
+use ttdc_util::Table;
+
+/// Runs E6.
+pub fn run() -> Vec<Table> {
+    let mut table = Table::new(
+        "E6 — Theorem 7: constructed frame length, formula vs measured vs bound",
+        &[
+            "source", "n", "D", "a_T", "a_R", "M_in", "M_ax", "L", "measured_L_bar",
+            "formula", "bound", "formula_matches", "bound_tight",
+        ],
+    );
+    let mut cases: Vec<(String, Schedule, usize)> = Vec::new();
+    for (n, d) in [(20usize, 2usize), (16, 3)] {
+        cases.push(("poly-full".into(), build_polynomial(n, d).schedule, d));
+    }
+    // Truncated families give non-uniform |T[i]| (bound not tight).
+    let gf = Gf::new(5).unwrap();
+    for n in [12u64, 18, 22] {
+        let s = Schedule::from_cff(&CoverFreeFamily::from_polynomials(&gf, 1, n));
+        cases.push(("poly-trunc".to_string(), s, 2));
+    }
+
+    for (src, ns, d) in &cases {
+        let n = ns.num_nodes();
+        for (at, ar) in [(2usize, 3usize), (3, 5)] {
+            if at + ar > n {
+                continue;
+            }
+            let c = construct(ns, *d, at, ar, PartitionStrategy::Contiguous);
+            let sizes = ns.t_sizes();
+            let (min, max) = ns.t_size_range();
+            let formula = constructed_frame_length(&sizes, n, c.alpha_t_star, ar);
+            let bound = frame_length_upper_bound(&sizes, n, c.alpha_t_star, ar);
+            table.row(&[
+                src.clone(),
+                n.to_string(),
+                d.to_string(),
+                at.to_string(),
+                ar.to_string(),
+                min.to_string(),
+                max.to_string(),
+                ns.frame_length().to_string(),
+                c.schedule.frame_length().to_string(),
+                formula.to_string(),
+                bound.to_string(),
+                (formula == c.schedule.frame_length()).to_string(),
+                (formula == bound).to_string(),
+            ]);
+        }
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formula_exact_everywhere_bound_tight_only_for_uniform() {
+        let t = &run()[0];
+        let cols = t.columns();
+        let matches = cols.iter().position(|c| c == "formula_matches").unwrap();
+        let tight = cols.iter().position(|c| c == "bound_tight").unwrap();
+        let src = cols.iter().position(|c| c == "source").unwrap();
+        assert!(t.rows().iter().all(|r| r[matches] == "true"));
+        // Uniform (full) sources: tight. Truncated: at least one not tight.
+        assert!(t
+            .rows()
+            .iter()
+            .filter(|r| r[src] == "poly-full")
+            .all(|r| r[tight] == "true"));
+        assert!(t
+            .rows()
+            .iter()
+            .any(|r| r[src] == "poly-trunc" && r[tight] == "false"));
+    }
+}

@@ -1,0 +1,77 @@
+//! E7 — Theorem 8: the constructed schedule's average-throughput
+//! optimality ratio. The sweep truncates the q=7 polynomial family so that
+//! `M_in` (the smallest per-slot transmitter count of the source) crosses
+//! `α_T*`: ratio = 1 exactly when `M_in ≥ α_T*`, and below that the
+//! Theorem-8 lower bound holds while ratio degrades with `M_in`.
+
+use ttdc_core::analysis::{optimality_ratio, r_ratio, theorem8_lower_bound};
+use ttdc_core::construct::{construct, PartitionStrategy};
+use ttdc_combinatorics::{CoverFreeFamily, Gf};
+use ttdc_core::Schedule;
+use ttdc_util::{table::fmt_f, Table};
+
+/// Runs E7.
+pub fn run() -> Vec<Table> {
+    let mut table = Table::new(
+        "E7 — Theorem 8: Thr_ave / Thr* of the construction vs its lower bound",
+        &[
+            "n", "D", "a_T", "a_R", "alpha_T*", "M_in", "r(M_in)", "measured_ratio",
+            "thm8_bound", "bound_holds", "equality_case",
+        ],
+    );
+    let gf = Gf::new(7).unwrap();
+    let (d, at, ar) = (2usize, 3usize, 4usize);
+    // n from 8 to 49: M_in = min #polynomials per (i, f(i)) slot grows with n.
+    for n in [8u64, 12, 16, 20, 24, 28, 35, 42, 49] {
+        let ns = Schedule::from_cff(&CoverFreeFamily::from_polynomials(&gf, 1, n));
+        let nn = n as usize;
+        let c = construct(&ns, d, at, ar, PartitionStrategy::RoundRobin);
+        let (min, _) = ns.t_size_range();
+        let measured = optimality_ratio(&c.schedule, d, at, ar);
+        let bound = theorem8_lower_bound(&ns.t_sizes(), nn, d, c.alpha_t_star, ar);
+        let equality = min >= c.alpha_t_star;
+        table.row(&[
+            n.to_string(),
+            d.to_string(),
+            at.to_string(),
+            ar.to_string(),
+            c.alpha_t_star.to_string(),
+            min.to_string(),
+            fmt_f(r_ratio(nn, d, c.alpha_t_star, min)),
+            fmt_f(measured),
+            fmt_f(bound),
+            (measured >= bound - 1e-9).to_string(),
+            equality.to_string(),
+        ]);
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_holds_and_equality_cases_hit_one() {
+        let t = &run()[0];
+        let cols = t.columns();
+        let holds = cols.iter().position(|c| c == "bound_holds").unwrap();
+        let eq = cols.iter().position(|c| c == "equality_case").unwrap();
+        let ratio = cols.iter().position(|c| c == "measured_ratio").unwrap();
+        assert!(t.rows().iter().all(|r| r[holds] == "true"));
+        let mut saw_equality = false;
+        let mut saw_degraded = false;
+        for row in t.rows() {
+            let m: f64 = row[ratio].parse().unwrap();
+            assert!(m <= 1.0 + 1e-9, "ratio cannot exceed 1: {row:?}");
+            if row[eq] == "true" {
+                saw_equality = true;
+                assert!((m - 1.0).abs() < 1e-9, "equality case must hit 1: {row:?}");
+            } else if m < 1.0 - 1e-9 {
+                saw_degraded = true;
+            }
+        }
+        assert!(saw_equality, "sweep must include M_in ≥ α_T* rows");
+        assert!(saw_degraded, "sweep must include degraded rows");
+    }
+}

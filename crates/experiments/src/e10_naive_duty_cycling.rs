@@ -1,0 +1,99 @@
+//! E10 — the §1 motivating observation: naive 1-in-k duty cycling
+//! concentrates transmissions into the receiver's single wake slot and
+//! collides, while the Figure-2 schedule achieves the *same duty cycle*
+//! with guaranteed collision-free delivery.
+//!
+//! Both protocols run on the same degree-bounded random geometric network
+//! with the same Bernoulli unicast workload; `k` for the naive scheme is
+//! chosen to match the TTDC schedule's receive duty cycle.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use ttdc_core::construct::PartitionStrategy;
+use ttdc_protocols::{NaiveDutyCycleMac, TtdcMac};
+use ttdc_sim::{
+    run_replications, summarize, GeometricNetwork, MacProtocol, SimConfig, Simulator,
+    TrafficPattern,
+};
+use ttdc_util::Table;
+
+const N: usize = 25;
+const D: usize = 4;
+const SLOTS: u64 = 30_000;
+const REPS: u64 = 8;
+
+fn scenario(mac: &dyn MacProtocol, rate: f64, seed: u64) -> ttdc_sim::SimReport {
+    let mut rng = SmallRng::seed_from_u64(seed * 977 + 13);
+    let topo = GeometricNetwork::random(N, 0.35, D, &mut rng).topology();
+    let mut sim = Simulator::new(
+        topo,
+        TrafficPattern::PoissonUnicast { rate },
+        SimConfig {
+            seed,
+            ..Default::default()
+        },
+    );
+    sim.run(mac, SLOTS);
+    sim.report()
+}
+
+/// Runs E10.
+pub fn run() -> Vec<Table> {
+    let mut table = Table::new(
+        "E10 — §1: naive 1-in-k duty cycling vs TTDC at matched duty cycle",
+        &[
+            "protocol", "rate", "duty_cycle", "delivery_ratio", "collisions/1k-slots",
+            "mean_latency", "energy_mJ/node",
+        ],
+    );
+    let ttdc = TtdcMac::new(N, D, 2, 4, PartitionStrategy::RoundRobin);
+    // Match the naive scheme's duty cycle to TTDC's (receivers-per-slot
+    // α_R/n ⇒ wake one slot in ~n/α_R).
+    let duty = ttdc.schedule().average_duty_cycle();
+    let k = (1.0 / duty).round().max(2.0) as u64;
+    let naive = NaiveDutyCycleMac::new(k);
+
+    for rate in [0.001f64, 0.005, 0.02] {
+        for (name, mac) in [("ttdc", &ttdc as &dyn MacProtocol), ("naive-1-in-k", &naive)] {
+            let reports = run_replications(REPS, 1, |seed| scenario(mac, rate, seed));
+            let s = summarize(&reports);
+            table.row(&[
+                name.to_string(),
+                format!("{rate}"),
+                format!("{:.3}", s.duty_cycle.mean()),
+                format!("{:.3}", s.delivery_ratio.mean()),
+                format!(
+                    "{:.2}",
+                    s.collisions.mean() / (SLOTS as f64 / 1000.0)
+                ),
+                format!("{:.1}", s.latency_mean.mean()),
+                format!("{:.1}", s.energy_mean_mj.mean()),
+            ]);
+        }
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ttdc_never_collides_and_naive_does() {
+        let ttdc = TtdcMac::new(N, D, 2, 4, PartitionStrategy::RoundRobin);
+        let naive = NaiveDutyCycleMac::new(8);
+        let rate = 0.02;
+        let r_ttdc = scenario(&ttdc, rate, 3);
+        let r_naive = scenario(&naive, rate, 3);
+        // TTDC under schedule-aware senders may still collide when two
+        // senders pick the same slot, but the guaranteed slots dominate:
+        // delivery must be high and collisions far below the naive scheme.
+        assert!(
+            r_naive.collisions > 5 * r_ttdc.collisions.max(1),
+            "naive {} vs ttdc {}",
+            r_naive.collisions,
+            r_ttdc.collisions
+        );
+        assert!(r_ttdc.delivery_ratio() > r_naive.delivery_ratio());
+    }
+}

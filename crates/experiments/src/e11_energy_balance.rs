@@ -1,0 +1,86 @@
+//! E11 — §7's balanced-energy remark: how the partition strategy in lines
+//! 3–4 of Figure 2 spreads active slots across nodes. Contiguous division
+//! always re-uses the same nodes to pad the last subset; round-robin
+//! spreads appearances within ±1; the randomized division lands in between
+//! per-slot but evens out across the frame.
+
+use ttdc_core::construct::{construct, PartitionStrategy};
+use ttdc_core::tsma::build_polynomial;
+use ttdc_util::Table;
+
+/// Per-node active-slot statistics of a schedule.
+fn activity_stats(s: &ttdc_core::Schedule) -> (usize, usize, f64) {
+    let counts: Vec<usize> = (0..s.num_nodes())
+        .map(|x| s.tran(x).len() + s.recv(x).len())
+        .collect();
+    let min = *counts.iter().min().unwrap();
+    let max = *counts.iter().max().unwrap();
+    let n = counts.len() as f64;
+    let sum: f64 = counts.iter().map(|&c| c as f64).sum();
+    let sum2: f64 = counts.iter().map(|&c| (c * c) as f64).sum();
+    let jain = if sum2 == 0.0 { 1.0 } else { sum * sum / (n * sum2) };
+    (min, max, jain)
+}
+
+/// Runs E11.
+pub fn run() -> Vec<Table> {
+    let mut table = Table::new(
+        "E11 — §7: energy balance across partition strategies",
+        &[
+            "n", "D", "a_T", "a_R", "strategy", "L_bar", "min_active", "max_active",
+            "spread", "jain_fairness",
+        ],
+    );
+    for (n, d, at, ar) in [(18usize, 2usize, 2usize, 3usize), (25, 2, 3, 4), (16, 3, 2, 4)] {
+        let ns = build_polynomial(n, d);
+        for (name, strat) in [
+            ("contig", PartitionStrategy::Contiguous),
+            ("roundrobin", PartitionStrategy::RoundRobin),
+            ("random", PartitionStrategy::Randomized { seed: 5 }),
+        ] {
+            let c = construct(&ns.schedule, d, at, ar, strat);
+            let (min, max, jain) = activity_stats(&c.schedule);
+            table.row(&[
+                n.to_string(),
+                d.to_string(),
+                at.to_string(),
+                ar.to_string(),
+                name.to_string(),
+                c.schedule.frame_length().to_string(),
+                min.to_string(),
+                max.to_string(),
+                (max - min).to_string(),
+                format!("{jain:.4}"),
+            ]);
+        }
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_is_at_least_as_fair_as_contiguous() {
+        let t = &run()[0];
+        let cols = t.columns();
+        let strat = cols.iter().position(|c| c == "strategy").unwrap();
+        let jain = cols.iter().position(|c| c == "jain_fairness").unwrap();
+        let spread = cols.iter().position(|c| c == "spread").unwrap();
+        // Group rows in threes (contig, roundrobin, random per config).
+        for chunk in t.rows().chunks(3) {
+            assert_eq!(chunk[0][strat], "contig");
+            assert_eq!(chunk[1][strat], "roundrobin");
+            let j_contig: f64 = chunk[0][jain].parse().unwrap();
+            let j_rr: f64 = chunk[1][jain].parse().unwrap();
+            assert!(
+                j_rr >= j_contig - 1e-9,
+                "round robin lost fairness: {chunk:?}"
+            );
+            let s_rr: usize = chunk[1][spread].parse().unwrap();
+            let s_contig: usize = chunk[0][spread].parse().unwrap();
+            assert!(s_rr <= s_contig, "{chunk:?}");
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! E12 — end-to-end protocol comparison (the evaluation the paper's
+//! motivation implies but never runs): convergecast over a degree-bounded
+//! geometric WSN, static and under edge churn, comparing
+//!
+//! * `ttdc` — this paper (topology-transparent, duty-cycled),
+//! * `tsma` — the non-sleeping topology-transparent baseline,
+//! * `naive-1-in-k` — uncoordinated duty cycling,
+//! * `random-wakeup` — asynchronous random wakeup at TTDC's duty cycle,
+//! * `slotted-aloha` — always-on contention,
+//! * `smac-like` — coordinated listen/sleep with contention,
+//! * `coloring-tdma` — topology-*dependent* TDMA computed once for the
+//!   initial topology (optimal there, stale after churn).
+//!
+//! Expected shape: under churn the topology-dependent TDMA degrades while
+//! the topology-transparent schedules are unaffected by design; TTDC holds
+//! TSMA-like delivery at a fraction of the energy; the contention schemes
+//! trade energy against collisions.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use ttdc_core::construct::PartitionStrategy;
+use ttdc_protocols::{
+    ColoringTdmaMac, NaiveDutyCycleMac, RandomWakeupMac, SlottedAlohaMac, SmacLikeMac, TsmaMac,
+    TtdcMac,
+};
+use ttdc_sim::{
+    churn, run_replications, summarize, GeometricNetwork, MacProtocol, SimConfig, Simulator,
+    Topology, TrafficPattern,
+};
+use ttdc_util::Table;
+
+const N: usize = 25;
+const D: usize = 4;
+const SLOTS: u64 = 24_000;
+const CHURN_PERIOD: u64 = 1_500;
+const RATE: f64 = 0.0008;
+const REPS: u64 = 6;
+
+fn make_topology(seed: u64) -> Topology {
+    let mut rng = SmallRng::seed_from_u64(seed * 7919 + 1);
+    loop {
+        let t = GeometricNetwork::random(N, 0.35, D, &mut rng).topology();
+        if t.is_connected() {
+            return t;
+        }
+    }
+}
+
+fn scenario(mac: &dyn MacProtocol, dynamic: bool, seed: u64) -> ttdc_sim::SimReport {
+    let topo = make_topology(seed);
+    let mut sim = Simulator::new(
+        topo,
+        TrafficPattern::Convergecast { sink: 0, rate: RATE },
+        SimConfig {
+            seed,
+            ..Default::default()
+        },
+    );
+    if dynamic {
+        let mut rng = SmallRng::seed_from_u64(seed * 31 + 7);
+        let mut remaining = SLOTS;
+        while remaining > 0 {
+            let chunk = CHURN_PERIOD.min(remaining);
+            sim.run(mac, chunk);
+            remaining -= chunk;
+            let mut t = sim.topology().clone();
+            churn(&mut t, 2, 2, D, &mut rng);
+            sim.set_topology(t);
+        }
+    } else {
+        sim.run(mac, SLOTS);
+    }
+    sim.report()
+}
+
+/// All competitor protocols for a given initial topology (TDMA needs it).
+fn protocols(initial: &Topology) -> Vec<(String, Box<dyn MacProtocol>)> {
+    let ttdc = TtdcMac::new(N, D, 2, 4, PartitionStrategy::RoundRobin);
+    let duty = ttdc.schedule().average_duty_cycle();
+    let k = (1.0 / duty).round().max(2.0) as u64;
+    vec![
+        ("ttdc".into(), Box::new(ttdc) as Box<dyn MacProtocol>),
+        ("tsma".into(), Box::new(TsmaMac::new(N, D))),
+        ("naive-1-in-k".into(), Box::new(NaiveDutyCycleMac::new(k))),
+        ("slotted-aloha".into(), Box::new(SlottedAlohaMac::new(0.05))),
+        ("smac-like".into(), Box::new(SmacLikeMac::new(k, 1, 0.2))),
+        ("random-wakeup".into(), Box::new(RandomWakeupMac::new(duty, 17))),
+        ("coloring-tdma".into(), Box::new(ColoringTdmaMac::new(initial))),
+    ]
+}
+
+/// Runs E12.
+pub fn run() -> Vec<Table> {
+    let mut table = Table::new(
+        "E12 — convergecast: delivery / latency / energy, static vs churn",
+        &[
+            "protocol", "scenario", "delivery_ratio", "mean_latency_slots",
+            "energy_mJ/node", "mJ/delivered", "collisions/1k", "duty_cycle",
+        ],
+    );
+    for dynamic in [false, true] {
+        let scenario_name = if dynamic { "churn" } else { "static" };
+        // One protocol set per replication seed (TDMA binds to seed's topo).
+        let names: Vec<String> = protocols(&make_topology(1)).into_iter().map(|p| p.0).collect();
+        for name in &names {
+            let reports = run_replications(REPS, 1, |seed| {
+                let initial = make_topology(seed);
+                let protos = protocols(&initial);
+                let (_, mac) = protos
+                    .into_iter()
+                    .find(|(n, _)| n == name)
+                    .expect("protocol registered");
+                scenario(mac.as_ref(), dynamic, seed)
+            });
+            let s = summarize(&reports);
+            table.row(&[
+                name.clone(),
+                scenario_name.to_string(),
+                format!("{:.3}", s.delivery_ratio.mean()),
+                format!("{:.1}", s.latency_mean.mean()),
+                format!("{:.1}", s.energy_mean_mj.mean()),
+                format!("{:.2}", s.energy_per_delivery_mj.mean()),
+                format!("{:.2}", s.collisions.mean() / (SLOTS as f64 / 1000.0)),
+                format!("{:.3}", s.duty_cycle.mean()),
+            ]);
+        }
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(t: &Table, name: &str) -> usize {
+        t.columns().iter().position(|c| c == name).unwrap()
+    }
+
+    fn cell(t: &Table, proto: &str, scenario: &str, column: &str) -> f64 {
+        let p = col(t, "protocol");
+        let s = col(t, "scenario");
+        let c = col(t, column);
+        t.rows()
+            .iter()
+            .find(|r| r[p] == proto && r[s] == scenario)
+            .unwrap_or_else(|| panic!("{proto}/{scenario} missing"))[c]
+            .parse()
+            .unwrap()
+    }
+
+    #[test]
+    #[ignore = "long-running end-to-end sweep; exercised by exp_e12 and exp_all"]
+    fn expected_shape_holds() {
+        let t = &run()[0];
+        // TTDC delivers like TSMA but much cheaper.
+        let ttdc_e = cell(t, "ttdc", "static", "energy_mJ/node");
+        let tsma_e = cell(t, "tsma", "static", "energy_mJ/node");
+        assert!(ttdc_e < tsma_e * 0.6, "ttdc {ttdc_e} vs tsma {tsma_e}");
+        assert!(cell(t, "ttdc", "static", "delivery_ratio") > 0.9);
+        // Topology-transparent protocols survive churn.
+        assert!(cell(t, "ttdc", "churn", "delivery_ratio") > 0.85);
+        // Topology-dependent TDMA loses ground under churn.
+        let tdma_static = cell(t, "coloring-tdma", "static", "delivery_ratio");
+        let tdma_churn = cell(t, "coloring-tdma", "churn", "delivery_ratio");
+        assert!(tdma_churn < tdma_static, "{tdma_churn} !< {tdma_static}");
+    }
+
+    #[test]
+    fn single_scenario_smoke() {
+        let ttdc = TtdcMac::new(N, D, 2, 4, PartitionStrategy::RoundRobin);
+        let r = scenario(&ttdc, false, 2);
+        assert!(r.generated > 200, "{}", r.generated);
+        assert!(r.delivery_ratio() > 0.8, "{}", r.delivery_ratio());
+    }
+}

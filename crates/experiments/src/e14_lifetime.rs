@@ -1,0 +1,108 @@
+//! E14 — network lifetime: give every node the same battery and measure
+//! how long until the first death (and how many survive a fixed horizon)
+//! under each duty-cycle budget. The paper's whole purpose in one number:
+//! lifetime scales roughly with `n/(α_T + α_R)`.
+
+use ttdc_core::construct::PartitionStrategy;
+use ttdc_protocols::{TsmaMac, TtdcMac};
+use ttdc_sim::{MacProtocol, SimConfig, Simulator, Topology, TrafficPattern};
+use ttdc_util::Table;
+
+const N: usize = 20;
+const D: usize = 2;
+const HORIZON: u64 = 200_000;
+const BATTERY_MJ: f64 = 20_000.0; // ~44k listening slots at 0.45 mJ/slot
+
+fn lifetime(mac: &dyn MacProtocol) -> (Option<u64>, u64, f64) {
+    let mut sim = Simulator::new(
+        Topology::ring(N),
+        TrafficPattern::PoissonUnicast { rate: 0.0005 },
+        SimConfig {
+            seed: 17,
+            battery_capacity_mj: Some(BATTERY_MJ),
+            ..Default::default()
+        },
+    );
+    sim.run(mac, HORIZON);
+    let r = sim.report();
+    (r.first_death_slot, r.deaths, r.delivery_ratio())
+}
+
+/// Runs E14.
+pub fn run() -> Vec<Table> {
+    let mut table = Table::new(
+        "E14 — network lifetime under a fixed battery (20 J/node)",
+        &[
+            "protocol", "a_T", "a_R", "duty", "first_death_slot", "deaths@200k",
+            "delivery_ratio", "lifetime_gain",
+        ],
+    );
+    let tsma = TsmaMac::new(N, D);
+    let (tsma_death, tsma_deaths, tsma_ratio) = lifetime(&tsma);
+    let baseline = tsma_death.unwrap_or(HORIZON) as f64;
+    table.row(&[
+        "tsma".to_string(),
+        "-".into(),
+        "-".into(),
+        "1.000".into(),
+        tsma_death.map_or("alive".into(), |s| s.to_string()),
+        tsma_deaths.to_string(),
+        format!("{tsma_ratio:.3}"),
+        "1.0x".into(),
+    ]);
+    for (at, ar) in [(3usize, 6usize), (2, 4), (1, 2)] {
+        let mac = TtdcMac::new(N, D, at, ar, PartitionStrategy::RoundRobin);
+        let duty = mac.schedule().average_duty_cycle();
+        let (death, deaths, ratio) = lifetime(&mac);
+        let gain = death.unwrap_or(HORIZON) as f64 / baseline;
+        table.row(&[
+            "ttdc".to_string(),
+            at.to_string(),
+            ar.to_string(),
+            format!("{duty:.3}"),
+            death.map_or("alive".into(), |s| s.to_string()),
+            deaths.to_string(),
+            format!("{ratio:.3}"),
+            format!("{gain:.1}x"),
+        ]);
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lower_duty_cycles_live_longer() {
+        let t = &run()[0];
+        let cols = t.columns();
+        let death = cols.iter().position(|c| c == "first_death_slot").unwrap();
+        let duty = cols.iter().position(|c| c == "duty").unwrap();
+        let parse_death = |s: &str| -> u64 {
+            if s == "alive" {
+                u64::MAX
+            } else {
+                s.parse().unwrap()
+            }
+        };
+        // TSMA (row 0) dies first; each lower-duty TTDC row lives at least
+        // as long as any higher-duty one.
+        let tsma_death = parse_death(&t.rows()[0][death]);
+        assert!(tsma_death < HORIZON, "tsma must die within the horizon");
+        let mut rows: Vec<(f64, u64)> = t
+            .rows()
+            .iter()
+            .map(|r| (r[duty].parse().unwrap(), parse_death(&r[death])))
+            .collect();
+        rows.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap()); // high duty first
+        for w in rows.windows(2) {
+            assert!(
+                w[1].1 >= w[0].1,
+                "lower duty must not die earlier: {rows:?}"
+            );
+        }
+        // The thriftiest schedule should outlive TSMA by a lot.
+        assert!(rows.last().unwrap().1 > 3 * tsma_death);
+    }
+}

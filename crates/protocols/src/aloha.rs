@@ -1,0 +1,66 @@
+//! p-persistent slotted ALOHA (always-on contention baseline).
+
+use ttdc_sim::MacProtocol;
+
+/// Every node may transmit and listen in every slot; a node with pending
+/// traffic transmits with probability `p`. No sleeping — the energy
+/// baseline duty cycling is measured against.
+pub struct SlottedAlohaMac {
+    p: f64,
+}
+
+impl SlottedAlohaMac {
+    /// A `p`-persistent ALOHA MAC (`0 < p ≤ 1`).
+    pub fn new(p: f64) -> SlottedAlohaMac {
+        assert!(p > 0.0 && p <= 1.0, "persistence must be in (0, 1]");
+        SlottedAlohaMac { p }
+    }
+
+    /// The persistence probability.
+    pub fn persistence(&self) -> f64 {
+        self.p
+    }
+}
+
+impl MacProtocol for SlottedAlohaMac {
+    fn name(&self) -> &str {
+        "slotted-aloha"
+    }
+
+    fn frame_length(&self) -> usize {
+        1
+    }
+
+    fn may_transmit(&self, _node: usize, _slot: u64) -> bool {
+        true
+    }
+
+    fn may_receive(&self, _node: usize, _slot: u64) -> bool {
+        true
+    }
+
+    fn transmit_probability(&self, _node: usize, _slot: u64) -> f64 {
+        self.p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_eligible_with_persistence() {
+        let mac = SlottedAlohaMac::new(0.25);
+        assert!(mac.may_transmit(0, 5));
+        assert!(mac.may_receive(1, 5));
+        assert_eq!(mac.transmit_probability(0, 5), 0.25);
+        assert_eq!(mac.frame_length(), 1);
+        assert_eq!(mac.persistence(), 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "persistence")]
+    fn zero_persistence_rejected() {
+        SlottedAlohaMac::new(0.0);
+    }
+}

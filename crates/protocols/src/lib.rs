@@ -1,0 +1,37 @@
+//! # ttdc-protocols — MAC protocols over the simulator
+//!
+//! The paper's protocol (topology-transparent duty cycling) and the
+//! baselines its introduction positions it against, all implementing
+//! [`ttdc_sim::MacProtocol`]:
+//!
+//! * [`ttdc::TtdcMac`] — the Figure-2 `(α_T, α_R)`-schedule (this paper);
+//! * [`tsma::TsmaMac`] — the non-sleeping polynomial/orthogonal-array
+//!   schedule it is built from (Chlamtac-Farago / Ju-Li), full energy cost;
+//! * [`naive::NaiveDutyCycleMac`] — the §1 strawman: every node wakes one
+//!   slot in `k`, senders chase the receiver's wake slot, transmissions
+//!   concentrate and collide;
+//! * [`aloha::SlottedAlohaMac`] — p-persistent slotted ALOHA, always on;
+//! * [`smac::SmacLikeMac`] — coordinated listen/sleep windows with
+//!   contention inside the active window (S-MAC-style);
+//! * [`random_dc::RandomWakeupMac`] — asynchronous random wakeup
+//!   (Zheng-Hou-Sha): probabilistic rendezvous, unbounded worst-case
+//!   latency;
+//! * [`tdma::ColoringTdmaMac`] — distance-2 colouring TDMA: collision-free
+//!   and energy-optimal on the topology it was computed for, and exactly
+//!   as fragile as topology-*dependent* scheduling implies under churn.
+
+pub mod aloha;
+pub mod naive;
+pub mod random_dc;
+pub mod smac;
+pub mod tdma;
+pub mod tsma;
+pub mod ttdc;
+
+pub use aloha::SlottedAlohaMac;
+pub use naive::NaiveDutyCycleMac;
+pub use random_dc::RandomWakeupMac;
+pub use smac::SmacLikeMac;
+pub use tdma::ColoringTdmaMac;
+pub use tsma::TsmaMac;
+pub use ttdc::TtdcMac;

@@ -1,0 +1,116 @@
+//! Uncoordinated random wakeup (Zheng-Hou-Sha, cited as \[26\] in §1).
+//!
+//! Each node is awake in each slot independently with probability `duty`
+//! (derived from a hash of `(node, slot)`, so the sender can *not* predict
+//! the receiver's schedule — the defining weakness of asynchronous wakeup:
+//! rendezvous is probabilistic, so latency is unbounded in the worst case,
+//! in contrast to the one-frame bound of a topology-transparent schedule).
+
+use ttdc_sim::MacProtocol;
+
+/// Asynchronous random duty cycling at rate `duty`.
+pub struct RandomWakeupMac {
+    duty: f64,
+    threshold: u64,
+    seed: u64,
+}
+
+impl RandomWakeupMac {
+    /// Awake with probability `duty ∈ (0, 1]` per slot, keyed by `seed`.
+    pub fn new(duty: f64, seed: u64) -> RandomWakeupMac {
+        assert!(duty > 0.0 && duty <= 1.0, "duty must be in (0, 1]");
+        RandomWakeupMac {
+            duty,
+            threshold: (duty * u64::MAX as f64) as u64,
+            seed,
+        }
+    }
+
+    /// The configured duty cycle.
+    pub fn duty(&self) -> f64 {
+        self.duty
+    }
+
+    fn awake(&self, node: usize, slot: u64) -> bool {
+        // splitmix64 over (node, slot, seed): stateless, reproducible.
+        let mut z = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((node as u64) << 32)
+            .wrapping_add(slot)
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (z ^ (z >> 31)) <= self.threshold
+    }
+}
+
+impl MacProtocol for RandomWakeupMac {
+    fn name(&self) -> &str {
+        "random-wakeup"
+    }
+
+    fn frame_length(&self) -> usize {
+        1 // memoryless
+    }
+
+    fn may_transmit(&self, node: usize, slot: u64) -> bool {
+        self.awake(node, slot)
+    }
+
+    fn may_receive(&self, node: usize, slot: u64) -> bool {
+        self.awake(node, slot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empirical_duty_matches_configuration() {
+        for duty in [0.1f64, 0.3, 0.7] {
+            let mac = RandomWakeupMac::new(duty, 42);
+            let awake = (0..20_000u64).filter(|&s| mac.may_receive(3, s)).count();
+            let measured = awake as f64 / 20_000.0;
+            assert!(
+                (measured - duty).abs() < 0.02,
+                "duty {duty}: measured {measured}"
+            );
+        }
+    }
+
+    #[test]
+    fn transmit_and_receive_coincide() {
+        let mac = RandomWakeupMac::new(0.5, 7);
+        for s in 0..200u64 {
+            assert_eq!(mac.may_transmit(1, s), mac.may_receive(1, s));
+        }
+    }
+
+    #[test]
+    fn nodes_are_decorrelated() {
+        let mac = RandomWakeupMac::new(0.5, 9);
+        let same = (0..5_000u64)
+            .filter(|&s| mac.may_receive(0, s) == mac.may_receive(1, s))
+            .count();
+        // Independent fair coins agree ~50% of the time.
+        assert!((2_000..3_000).contains(&same), "agreement {same}");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = RandomWakeupMac::new(0.4, 1);
+        let b = RandomWakeupMac::new(0.4, 1);
+        let c = RandomWakeupMac::new(0.4, 2);
+        let pat = |m: &RandomWakeupMac| (0..100u64).map(|s| m.awake(0, s)).collect::<Vec<_>>();
+        assert_eq!(pat(&a), pat(&b));
+        assert_ne!(pat(&a), pat(&c));
+    }
+
+    #[test]
+    #[should_panic(expected = "duty must be")]
+    fn zero_duty_rejected() {
+        RandomWakeupMac::new(0.0, 0);
+    }
+}

@@ -1,0 +1,39 @@
+//! # ttdc-sim — a slot-synchronous WSN simulator
+//!
+//! The paper's evaluation is analytical; this crate supplies the empirical
+//! side of the reproduction: a deterministic (seeded) discrete-event
+//! simulator of a wireless sensor network operating under a slotted MAC,
+//! with the paper's collision model (a reception succeeds iff exactly one
+//! neighbour of a listening node transmits), degree-bounded static and
+//! dynamic topologies, WSN traffic workloads, and a Mica2-class radio
+//! energy model.
+//!
+//! * [`topology`] — members of `N_n^D`: rings/lines/stars/grids/trees,
+//!   degree-capped random graphs, geometric deployments with
+//!   random-waypoint mobility, and edge churn;
+//! * [`mac`] — the [`mac::MacProtocol`] trait and the [`mac::ScheduleMac`]
+//!   adapter for `ttdc-core` schedules;
+//! * [`traffic`] — saturated worst-case broadcast (the paper's regime),
+//!   Bernoulli/CBR unicast, multi-hop convergecast;
+//! * [`engine`] — the per-slot simulation loop with schedule-aware senders
+//!   and a sync-miss knob;
+//! * [`energy`] — transmit/listen/sleep accounting;
+//! * [`metrics`], [`montecarlo`] — reports and parallel replication.
+
+pub mod energy;
+pub mod engine;
+pub mod mac;
+pub mod metrics;
+pub mod montecarlo;
+pub mod topology;
+pub mod trace;
+pub mod traffic;
+
+pub use energy::{EnergyLedger, EnergyModel, RadioState};
+pub use engine::{CaptureModel, SimConfig, Simulator};
+pub use mac::{MacProtocol, ScheduleMac};
+pub use metrics::SimReport;
+pub use montecarlo::{run_replications, summarize, McSummary};
+pub use topology::{churn, GeometricNetwork, Topology};
+pub use trace::{Trace, TraceEvent};
+pub use traffic::{Packet, TrafficPattern};

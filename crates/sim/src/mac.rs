@@ -1,0 +1,100 @@
+//! The MAC interface the simulation engine drives.
+//!
+//! A MAC protocol, for the purposes of this simulator, answers three
+//! questions per (node, slot): may it transmit, may it listen, and — for
+//! contention protocols like slotted ALOHA — with what probability should
+//! it actually use a transmit opportunity. Schedule-based protocols
+//! (everything derived from the paper) are [`ScheduleMac`] wrappers around
+//! a [`ttdc_core::Schedule`]; the contention and coordinated-sleeping
+//! baselines live in `ttdc-protocols`.
+
+use ttdc_core::Schedule;
+
+/// A slotted MAC protocol: per-slot eligibility plus an optional
+/// persistence probability.
+pub trait MacProtocol: Send + Sync {
+    /// Human-readable protocol name (used in experiment tables).
+    fn name(&self) -> &str;
+
+    /// The protocol's period in slots (1 for memoryless protocols).
+    fn frame_length(&self) -> usize;
+
+    /// May `node` transmit in `slot`?
+    fn may_transmit(&self, node: usize, slot: u64) -> bool;
+
+    /// May `node` listen in `slot`?
+    fn may_receive(&self, node: usize, slot: u64) -> bool;
+
+    /// Probability that a node with pending traffic actually uses a
+    /// transmit opportunity (p-persistence). Defaults to 1 (fully
+    /// persistent), which is what schedule-based protocols want.
+    fn transmit_probability(&self, _node: usize, _slot: u64) -> f64 {
+        1.0
+    }
+}
+
+/// A [`Schedule`] driven periodically: slot `s` of the simulation maps to
+/// schedule slot `s mod L`.
+#[derive(Clone, Debug)]
+pub struct ScheduleMac {
+    name: String,
+    schedule: Schedule,
+}
+
+impl ScheduleMac {
+    /// Wraps a schedule under the given display name.
+    pub fn new(name: impl Into<String>, schedule: Schedule) -> Self {
+        ScheduleMac {
+            name: name.into(),
+            schedule,
+        }
+    }
+
+    /// The wrapped schedule.
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+}
+
+impl MacProtocol for ScheduleMac {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn frame_length(&self) -> usize {
+        self.schedule.frame_length()
+    }
+
+    fn may_transmit(&self, node: usize, slot: u64) -> bool {
+        let i = (slot % self.schedule.frame_length() as u64) as usize;
+        self.schedule.transmitters(i).contains(node)
+    }
+
+    fn may_receive(&self, node: usize, slot: u64) -> bool {
+        let i = (slot % self.schedule.frame_length() as u64) as usize;
+        self.schedule.receivers(i).contains(node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ttdc_util::BitSet;
+
+    #[test]
+    fn schedule_mac_wraps_periodically() {
+        let t = vec![BitSet::from_iter(2, [0]), BitSet::from_iter(2, [1])];
+        let s = Schedule::non_sleeping(2, t);
+        let mac = ScheduleMac::new("rr2", s);
+        assert_eq!(mac.name(), "rr2");
+        assert_eq!(mac.frame_length(), 2);
+        for frame in 0..3u64 {
+            assert!(mac.may_transmit(0, 2 * frame));
+            assert!(!mac.may_transmit(0, 2 * frame + 1));
+            assert!(mac.may_receive(1, 2 * frame));
+            assert!(!mac.may_receive(1, 2 * frame + 1));
+        }
+        assert_eq!(mac.transmit_probability(0, 0), 1.0);
+        assert_eq!(mac.schedule().num_nodes(), 2);
+    }
+}

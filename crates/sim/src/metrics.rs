@@ -1,0 +1,133 @@
+//! Simulation output metrics.
+
+use crate::energy::EnergyLedger;
+use crate::trace::Trace;
+use std::collections::BTreeMap;
+use ttdc_util::{Histogram, OnlineStats};
+
+/// Everything a simulation run measured.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// Slots simulated.
+    pub slots: u64,
+    /// Packets generated (end-to-end, not per hop).
+    pub generated: u64,
+    /// Packets that reached their final destination.
+    pub delivered: u64,
+    /// Successful link-level receptions (per hop).
+    pub hop_deliveries: u64,
+    /// Receiver-slots in which two or more neighbours transmitted.
+    pub collisions: u64,
+    /// Packets whose generator had no route / no neighbour.
+    pub undeliverable: u64,
+    /// End-to-end latency in slots, over delivered packets.
+    pub latency: OnlineStats,
+    /// Latency distribution (log-bucketed; p50/p99/max).
+    pub latency_hist: Histogram,
+    /// Per-node energy ledger.
+    pub energy: EnergyLedger,
+    /// Packets still queued at the end.
+    pub backlog: u64,
+    /// Saturated mode: guaranteed successes per directed link `(x, y)`.
+    pub link_success: BTreeMap<(usize, usize), u64>,
+    /// Slot of the first battery death, if any (network lifetime).
+    pub first_death_slot: Option<u64>,
+    /// Battery deaths so far.
+    pub deaths: u64,
+    /// Event trace (empty unless enabled in the config).
+    pub trace: Trace,
+}
+
+impl SimReport {
+    /// A fresh report for `n` nodes.
+    pub fn new(n: usize) -> Self {
+        SimReport {
+            slots: 0,
+            generated: 0,
+            delivered: 0,
+            hop_deliveries: 0,
+            collisions: 0,
+            undeliverable: 0,
+            latency: OnlineStats::new(),
+            latency_hist: Histogram::new(),
+            energy: EnergyLedger::new(n),
+            backlog: 0,
+            link_success: BTreeMap::new(),
+            first_death_slot: None,
+            deaths: 0,
+            trace: Trace::default(),
+        }
+    }
+
+    /// Fraction of generated packets delivered end-to-end.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.generated == 0 {
+            0.0
+        } else {
+            self.delivered as f64 / self.generated as f64
+        }
+    }
+
+    /// End-to-end deliveries per slot.
+    pub fn throughput_per_slot(&self) -> f64 {
+        if self.slots == 0 {
+            0.0
+        } else {
+            self.delivered as f64 / self.slots as f64
+        }
+    }
+
+    /// Total energy per delivered packet (mJ); infinite if none delivered.
+    pub fn energy_per_delivery_mj(&self) -> f64 {
+        if self.delivered == 0 {
+            f64::INFINITY
+        } else {
+            self.energy.total_mj() / self.delivered as f64
+        }
+    }
+
+    /// Mean observed duty cycle over all nodes.
+    pub fn mean_duty_cycle(&self) -> f64 {
+        let n = self.energy.consumed_mj.len();
+        (0..n).map(|v| self.energy.duty_cycle(v)).sum::<f64>() / n.max(1) as f64
+    }
+
+    /// Saturated mode: minimum per-link successes (over links present in
+    /// the map) and the mean.
+    pub fn link_success_summary(&self) -> (u64, f64) {
+        if self.link_success.is_empty() {
+            return (0, 0.0);
+        }
+        let min = *self.link_success.values().min().unwrap();
+        let mean = self.link_success.values().sum::<u64>() as f64
+            / self.link_success.len() as f64;
+        (min, mean)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_and_guards() {
+        let mut r = SimReport::new(2);
+        assert_eq!(r.delivery_ratio(), 0.0);
+        assert_eq!(r.throughput_per_slot(), 0.0);
+        assert!(r.energy_per_delivery_mj().is_infinite());
+        assert_eq!(r.link_success_summary(), (0, 0.0));
+
+        r.generated = 10;
+        r.delivered = 7;
+        r.slots = 100;
+        assert!((r.delivery_ratio() - 0.7).abs() < 1e-12);
+        assert!((r.throughput_per_slot() - 0.07).abs() < 1e-12);
+
+        r.energy.consumed_mj = vec![3.0, 4.0];
+        assert!((r.energy_per_delivery_mj() - 1.0).abs() < 1e-12);
+
+        r.link_success.insert((0, 1), 4);
+        r.link_success.insert((1, 0), 6);
+        assert_eq!(r.link_success_summary(), (4, 5.0));
+    }
+}

@@ -1,0 +1,131 @@
+//! Event tracing.
+//!
+//! An optional bounded ring buffer of per-slot events for debugging
+//! schedules and writing precise tests against engine behaviour. Disabled
+//! (zero capacity) by default — tracing a long run would otherwise swamp
+//! memory.
+
+/// One observable engine event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// `node` generated a packet destined for `final_dst`.
+    Generated {
+        /// Originating node.
+        node: usize,
+        /// End-to-end destination.
+        final_dst: usize,
+    },
+    /// `node` transmitted toward `next_hop`.
+    Transmitted {
+        /// Sender.
+        node: usize,
+        /// Intended next hop (`usize::MAX` in saturated broadcast mode).
+        next_hop: usize,
+    },
+    /// A hop `from → to` succeeded.
+    HopDelivered {
+        /// Sender.
+        from: usize,
+        /// Receiver.
+        to: usize,
+    },
+    /// Listener `at` observed a collision (≥ 2 transmitting neighbours).
+    Collision {
+        /// The listening node that heard garbage.
+        at: usize,
+    },
+    /// `node` ran out of battery.
+    NodeDied {
+        /// The exhausted node.
+        node: usize,
+    },
+}
+
+/// A bounded ring of `(slot, event)` pairs; oldest entries are evicted.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    capacity: usize,
+    events: std::collections::VecDeque<(u64, TraceEvent)>,
+}
+
+impl Trace {
+    /// A trace keeping at most `capacity` events (0 disables tracing).
+    pub fn new(capacity: usize) -> Trace {
+        Trace {
+            capacity,
+            events: std::collections::VecDeque::with_capacity(capacity.min(4096)),
+        }
+    }
+
+    /// `true` if recording is enabled.
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Records an event (no-op when disabled).
+    pub fn record(&mut self, slot: u64, event: TraceEvent) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+        }
+        self.events.push_back((slot, event));
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &(u64, TraceEvent)> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` if nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::new(0);
+        assert!(!t.enabled());
+        t.record(1, TraceEvent::Collision { at: 0 });
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut t = Trace::new(3);
+        for i in 0..5u64 {
+            t.record(i, TraceEvent::NodeDied { node: i as usize });
+        }
+        assert_eq!(t.len(), 3);
+        let slots: Vec<u64> = t.events().map(|&(s, _)| s).collect();
+        assert_eq!(slots, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn events_preserved_in_order() {
+        let mut t = Trace::new(10);
+        t.record(0, TraceEvent::Generated { node: 1, final_dst: 2 });
+        t.record(0, TraceEvent::Transmitted { node: 1, next_hop: 2 });
+        t.record(1, TraceEvent::HopDelivered { from: 1, to: 2 });
+        let kinds: Vec<TraceEvent> = t.events().map(|&(_, e)| e).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TraceEvent::Generated { node: 1, final_dst: 2 },
+                TraceEvent::Transmitted { node: 1, next_hop: 2 },
+                TraceEvent::HopDelivered { from: 1, to: 2 },
+            ]
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! Traffic workloads.
+//!
+//! The paper evaluates the *worst case* — every node saturated toward every
+//! neighbour — which [`TrafficPattern::SaturatedBroadcast`] reproduces
+//! exactly (it is how the simulator cross-validates the analytic
+//! `𝒯(x,y,S)` sets). The light-load regimes that motivate duty cycling in
+//! §1 are modelled by Bernoulli-arrival unicast to random neighbours and by
+//! multi-hop convergecast toward a sink (the canonical environment-
+//! monitoring workload).
+
+/// A packet travelling through the network.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Packet {
+    /// Node that generated the packet.
+    pub origin: usize,
+    /// Final destination.
+    pub final_dst: usize,
+    /// Slot of generation (for latency accounting).
+    pub created: u64,
+}
+
+/// Workload driving the simulator.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TrafficPattern {
+    /// Worst-case validation mode: every node eligible to transmit always
+    /// does, packets are "addressed" to every listening neighbour, and the
+    /// engine counts per-link guaranteed successes. No queues, no latency.
+    SaturatedBroadcast,
+    /// Each node independently generates a packet with probability `rate`
+    /// per slot, addressed to a uniformly random current neighbour
+    /// (single hop).
+    PoissonUnicast {
+        /// Per-node per-slot generation probability.
+        rate: f64,
+    },
+    /// Each node generates one packet every `period` slots (staggered by
+    /// node id), addressed to a random neighbour.
+    CbrUnicast {
+        /// Generation period in slots.
+        period: u64,
+    },
+    /// Every non-sink node generates with probability `rate` per slot; the
+    /// packet is relayed hop-by-hop along BFS parents toward `sink`.
+    Convergecast {
+        /// Collection point.
+        sink: usize,
+        /// Per-node per-slot generation probability.
+        rate: f64,
+    },
+}
+
+impl TrafficPattern {
+    /// `true` for the per-link validation workload.
+    pub fn is_saturated(&self) -> bool {
+        matches!(self, TrafficPattern::SaturatedBroadcast)
+    }
+
+    /// The convergecast sink, if any.
+    pub fn sink(&self) -> Option<usize> {
+        match self {
+            TrafficPattern::Convergecast { sink, .. } => Some(*sink),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_accessors() {
+        assert!(TrafficPattern::SaturatedBroadcast.is_saturated());
+        assert!(!TrafficPattern::PoissonUnicast { rate: 0.1 }.is_saturated());
+        assert_eq!(
+            TrafficPattern::Convergecast { sink: 3, rate: 0.1 }.sink(),
+            Some(3)
+        );
+        assert_eq!(TrafficPattern::CbrUnicast { period: 10 }.sink(), None);
+    }
+}

@@ -1,0 +1,29 @@
+//! # ttdc — Topology-Transparent Duty Cycling for Wireless Sensor Networks
+//!
+//! Umbrella crate for the reproduction of Chen, Fleury and Syrotiuk
+//! (IPDPS 2007). Re-exports the whole workspace under one roof:
+//!
+//! * [`core`] — schedules, topology-transparency requirements, throughput
+//!   theory, the Figure-2 construction (the paper's contribution);
+//! * [`combinatorics`] — finite fields, orthogonal arrays, Steiner triple
+//!   systems, cover-free families (the substrate the schedules come from);
+//! * [`sim`] — the slot-synchronous WSN simulator;
+//! * [`protocols`] — the TTDC MAC and its baselines;
+//! * [`experiments`] — runners regenerating every figure/theorem;
+//! * [`util`] — bit sets, statistics, tables.
+//!
+//! ```
+//! use ttdc::core::construct::PartitionStrategy;
+//!
+//! // A topology-transparent schedule for ≤ 30 nodes of degree ≤ 3 in which
+//! // at most 2 nodes transmit and 4 listen per slot — everyone else sleeps.
+//! let c = ttdc::core::tsma::build_duty_cycled(30, 3, 2, 4, PartitionStrategy::RoundRobin);
+//! assert!(ttdc::core::is_topology_transparent(&c.schedule, 3));
+//! ```
+
+pub use ttdc_combinatorics as combinatorics;
+pub use ttdc_core as core;
+pub use ttdc_experiments as experiments;
+pub use ttdc_protocols as protocols;
+pub use ttdc_sim as sim;
+pub use ttdc_util as util;

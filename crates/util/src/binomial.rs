@@ -1,0 +1,178 @@
+//! Binomial-coefficient arithmetic for the throughput formulas.
+//!
+//! The paper's closed forms (Theorems 2–4, 7–9) are ratios of binomial
+//! coefficients such as `C(n−|T[i]|−1, D−1) / C(n−2, D−1)`. For the network
+//! sizes a WSN deployment cares about these overflow `u128` quickly, so we
+//! provide three tiers: an exact checked `u128` path, a log-space path, and
+//! [`binomial_ratio`] which evaluates the *ratio* directly as a product of
+//! `≤ D` well-conditioned factors — the form every formula in the paper
+//! actually needs.
+
+/// Exact `C(n, k)` in `u128`, or `None` on overflow.
+///
+/// Uses the multiplicative formula with intermediate divisions, so it only
+/// overflows if the final value (times a factor `< n`) does.
+pub fn binomial_exact(n: u64, k: u64) -> Option<u128> {
+    if k > n {
+        return Some(0);
+    }
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        // acc * (n - i) is divisible by (i + 1) after the multiplication
+        // because acc holds C(n, i) exactly.
+        acc = acc.checked_mul((n - i) as u128)?;
+        acc /= (i + 1) as u128;
+    }
+    Some(acc)
+}
+
+/// `C(n, k)` as `f64` (goes through log-space above the exact range).
+pub fn binomial_f64(n: u64, k: u64) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    match binomial_exact(n, k) {
+        Some(v) if v < (1u128 << 100) => v as f64,
+        _ => ln_binomial(n, k).exp(),
+    }
+}
+
+/// `ln C(n, k)` via `ln Γ`.
+pub fn ln_binomial(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// `ln(n!)` using Stirling's series for large `n`, exact products for small.
+fn ln_factorial(n: u64) -> f64 {
+    if n < 2 {
+        return 0.0;
+    }
+    if n < 256 {
+        return (2..=n).map(|i| (i as f64).ln()).sum();
+    }
+    let x = n as f64;
+    // Stirling with 1/x and 1/x^3 correction terms: |error| < 1e-10 for n ≥ 256.
+    x * x.ln() - x + 0.5 * (2.0 * std::f64::consts::PI * x).ln() + 1.0 / (12.0 * x)
+        - 1.0 / (360.0 * x.powi(3))
+}
+
+/// `C(a, k) / C(b, k)` evaluated as `∏_{j=0}^{k−1} (a−j)/(b−j)`.
+///
+/// This is numerically stable for the paper's ratios (every factor is in
+/// `(0, 1]` when `a ≤ b`) and never overflows. Returns `0` when `k > a`
+/// (numerator vanishes) and panics if `k > b` (the paper's formulas never
+/// divide by a vanishing binomial).
+pub fn binomial_ratio(a: u64, b: u64, k: u64) -> f64 {
+    assert!(k <= b, "denominator C({b},{k}) vanishes");
+    if k > a {
+        return 0.0;
+    }
+    (0..k)
+        .map(|j| (a - j) as f64 / (b - j) as f64)
+        .product()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_small_values() {
+        assert_eq!(binomial_exact(0, 0), Some(1));
+        assert_eq!(binomial_exact(5, 0), Some(1));
+        assert_eq!(binomial_exact(5, 5), Some(1));
+        assert_eq!(binomial_exact(5, 2), Some(10));
+        assert_eq!(binomial_exact(10, 3), Some(120));
+        assert_eq!(binomial_exact(52, 5), Some(2_598_960));
+        assert_eq!(binomial_exact(3, 7), Some(0));
+    }
+
+    #[test]
+    fn exact_pascal_identity() {
+        for n in 1..40u64 {
+            for k in 1..n {
+                let lhs = binomial_exact(n, k).unwrap();
+                let rhs = binomial_exact(n - 1, k - 1).unwrap() + binomial_exact(n - 1, k).unwrap();
+                assert_eq!(lhs, rhs, "C({n},{k})");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_overflow_detected() {
+        // C(120, 60) ~ 9.5e34 fits in u128 with headroom for the intermediate
+        // multiply; C(200, 100) ~ 9e58 does not.
+        assert!(binomial_exact(120, 60).is_some());
+        assert!(binomial_exact(200, 100).is_none());
+    }
+
+    #[test]
+    fn f64_matches_exact() {
+        for (n, k) in [(10, 4), (60, 30), (100, 3)] {
+            let e = binomial_exact(n, k).unwrap() as f64;
+            let f = binomial_f64(n, k);
+            assert!((e - f).abs() / e < 1e-12, "C({n},{k}): {e} vs {f}");
+        }
+    }
+
+    #[test]
+    fn f64_large_via_logspace() {
+        // C(1000, 500): check against ln-space self-consistency and symmetry.
+        let v = binomial_f64(1000, 500);
+        assert!(v.is_finite() && v > 1e298);
+        let l = ln_binomial(1000, 500);
+        assert!((v.ln() - l).abs() < 1e-6);
+        assert!((ln_binomial(1000, 499) - ln_binomial(1000, 501)).abs() < 1e-8);
+    }
+
+    #[test]
+    fn ln_factorial_against_exact() {
+        let mut acc = 1f64;
+        for n in 2..=20u64 {
+            acc *= n as f64;
+            assert!((ln_factorial(n) - acc.ln()).abs() < 1e-9, "{n}!");
+        }
+        // Cross the Stirling threshold: compare n=300 against the exact-product branch.
+        let exact: f64 = (2..=300u64).map(|i| (i as f64).ln()).sum();
+        assert!((ln_factorial(300) - exact).abs() < 1e-8);
+    }
+
+    #[test]
+    fn ratio_matches_exact_quotient() {
+        for a in 2..30u64 {
+            for b in a..30u64 {
+                for k in 0..=a {
+                    let num = binomial_exact(a, k).unwrap() as f64;
+                    let den = binomial_exact(b, k).unwrap() as f64;
+                    let r = binomial_ratio(a, b, k);
+                    assert!(
+                        (r - num / den).abs() < 1e-12,
+                        "C({a},{k})/C({b},{k})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ratio_zero_when_numerator_vanishes() {
+        assert_eq!(binomial_ratio(3, 10, 5), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "vanishes")]
+    fn ratio_panics_on_vanishing_denominator() {
+        binomial_ratio(3, 4, 5);
+    }
+
+    #[test]
+    fn ratio_huge_operands_stable() {
+        // D−1 = 9 factors, n = 10^6: no overflow, result in (0,1).
+        let r = binomial_ratio(999_000, 1_000_000, 9);
+        assert!(r > 0.0 && r < 1.0);
+    }
+}

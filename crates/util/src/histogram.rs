@@ -1,0 +1,206 @@
+//! A log-bucketed histogram for latency distributions.
+//!
+//! [`OnlineStats`](crate::OnlineStats) gives mean/variance/min/max, which is
+//! not enough for tail claims ("random wakeup is heavy-tailed"); this
+//! histogram adds approximate quantiles with bounded memory. Buckets grow
+//! geometrically (factor 2 with 8 sub-buckets per octave), so relative
+//! error per quantile is ≤ ~9% regardless of range — the standard
+//! HDR-histogram shape, implemented compactly.
+
+const SUB: usize = 8; // sub-buckets per octave
+
+/// A fixed-memory histogram of non-negative integer samples.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    max: u64,
+}
+
+fn bucket_of(v: u64) -> usize {
+    if v < SUB as u64 {
+        return v as usize;
+    }
+    let octave = (63 - v.leading_zeros()) as usize; // ⌊log2 v⌋ ≥ 3
+    let base = SUB * (octave - 2);
+    let offset = ((v >> (octave - 3)) & (SUB as u64 - 1)) as usize;
+    base + offset
+}
+
+fn bucket_low(idx: usize) -> u64 {
+    if idx < SUB {
+        return idx as u64;
+    }
+    let octave = idx / SUB + 2;
+    let offset = (idx % SUB) as u64;
+    (1u64 << octave) + (offset << (octave - 3))
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Adds one sample.
+    pub fn record(&mut self, v: u64) {
+        let b = bucket_of(v);
+        if b >= self.counts.len() {
+            self.counts.resize(b + 1, 0);
+        }
+        self.counts[b] += 1;
+        self.total += 1;
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest recorded sample (exact).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The `q`-quantile (`0 < q ≤ 1`), approximated by the lower edge of
+    /// the bucket containing it; `None` if empty. `quantile(1.0)` returns
+    /// the exact max.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        assert!(q > 0.0 && q <= 1.0, "quantile must be in (0, 1]");
+        if self.total == 0 {
+            return None;
+        }
+        if q >= 1.0 {
+            return Some(self.max);
+        }
+        let rank = (q * self.total as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(bucket_low(i).min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Median shortcut.
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile(0.5)
+    }
+
+    /// 99th percentile shortcut.
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile(0.99)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_roundtrip_is_monotone_and_tight() {
+        let mut last = 0;
+        for v in 0..100_000u64 {
+            let b = bucket_of(v);
+            assert!(b >= last || bucket_of(v - 1) <= b, "monotone");
+            last = last.max(b);
+            let low = bucket_low(b);
+            assert!(low <= v, "v={v} low={low}");
+            // Bucket width ≤ v/8 + 1 for v ≥ 8 → ≤ 12.5% relative error.
+            if v >= 8 {
+                assert!((v - low) as f64 <= v as f64 / 8.0 + 1.0, "v={v} low={low}");
+            } else {
+                assert_eq!(low, v, "small values are exact");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_for_small_values() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 3, 7] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.quantile(0.5), Some(2));
+        assert_eq!(h.max(), 7);
+        assert_eq!(h.quantile(1.0), Some(7));
+    }
+
+    #[test]
+    fn quantiles_of_uniform_range() {
+        let mut h = Histogram::new();
+        for v in 0..1000u64 {
+            h.record(v);
+        }
+        let p50 = h.p50().unwrap() as f64;
+        let p99 = h.p99().unwrap() as f64;
+        assert!((p50 - 500.0).abs() <= 500.0 * 0.15, "{p50}");
+        assert!((p99 - 990.0).abs() <= 990.0 * 0.15, "{p99}");
+        assert_eq!(h.max(), 999);
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), None);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be")]
+    fn zero_quantile_rejected() {
+        Histogram::new().quantile(0.0);
+    }
+
+    #[test]
+    fn merge_matches_combined_recording() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut whole = Histogram::new();
+        for v in 0..500u64 {
+            let x = v * 37 % 10_000;
+            if v % 2 == 0 {
+                a.record(x);
+            } else {
+                b.record(x);
+            }
+            whole.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.max(), whole.max());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(a.quantile(q), whole.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn heavy_tail_is_visible() {
+        // 99 fast samples + 1 huge one: p50 small, max huge.
+        let mut h = Histogram::new();
+        for _ in 0..99 {
+            h.record(10);
+        }
+        h.record(1_000_000);
+        assert_eq!(h.p50(), Some(10));
+        assert_eq!(h.max(), 1_000_000);
+        assert!(h.quantile(0.99).unwrap() <= 10);
+    }
+}

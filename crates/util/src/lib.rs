@@ -1,0 +1,20 @@
+//! Shared low-level substrate for the `ttdc` workspace.
+//!
+//! This crate deliberately has no heavyweight dependencies: it provides the
+//! dense [`BitSet`] used to represent node sets and slot sets throughout the
+//! scheduling core, small-sample [`stats`] helpers used by the simulator and
+//! the experiment harness, exact/overflow-safe [`binomial`] arithmetic used
+//! by the throughput formulas, and the plain-text/CSV [`table`] renderer the
+//! experiment runners print their results with.
+
+pub mod binomial;
+pub mod bitset;
+pub mod histogram;
+pub mod stats;
+pub mod table;
+
+pub use binomial::{binomial_exact, binomial_f64, binomial_ratio, ln_binomial};
+pub use bitset::{for_each_subset, for_each_subset_of, BitSet};
+pub use histogram::Histogram;
+pub use stats::{ConfidenceInterval, OnlineStats};
+pub use table::Table;

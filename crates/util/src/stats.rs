@@ -1,0 +1,236 @@
+//! Streaming statistics for simulation output.
+//!
+//! The Monte-Carlo drivers aggregate per-replication metrics (throughput,
+//! latency, energy) with [`OnlineStats`] — Welford's algorithm, so the
+//! variance is numerically stable regardless of replication count — and
+//! report normal-approximation [`ConfidenceInterval`]s.
+
+/// Welford online mean/variance accumulator.
+#[derive(Clone, Debug, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another accumulator (parallel reduction; Chan et al.).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let (na, nb) = (self.n as f64, other.n as f64);
+        let delta = other.mean - self.mean;
+        let n = na + nb;
+        self.mean += delta * nb / n;
+        self.m2 += other.m2 + delta * delta * na * nb / n;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Observation count.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (`NaN` if empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (`NaN` if fewer than 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            f64::NAN
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn stderr(&self) -> f64 {
+        self.stddev() / (self.n as f64).sqrt()
+    }
+
+    /// Minimum observation (`NaN` if empty).
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    /// Maximum observation (`NaN` if empty).
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+
+    /// Normal-approximation 95% confidence interval for the mean.
+    pub fn ci95(&self) -> ConfidenceInterval {
+        let half = 1.96 * self.stderr();
+        ConfidenceInterval {
+            mean: self.mean(),
+            lo: self.mean() - half,
+            hi: self.mean() + half,
+        }
+    }
+}
+
+impl FromIterator<f64> for OnlineStats {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = OnlineStats::new();
+        for x in iter {
+            s.push(x);
+        }
+        s
+    }
+}
+
+/// A symmetric confidence interval around a sample mean.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Point estimate.
+    pub mean: f64,
+    /// Lower endpoint.
+    pub lo: f64,
+    /// Upper endpoint.
+    pub hi: f64,
+}
+
+impl ConfidenceInterval {
+    /// `true` if `v` lies inside the interval.
+    pub fn contains(&self, v: f64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// Interval half-width.
+    pub fn half_width(&self) -> f64 {
+        (self.hi - self.lo) / 2.0
+    }
+}
+
+impl std::fmt::Display for ConfidenceInterval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.4} ± {:.4}", self.mean, self.half_width())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_small_sample() {
+        let s: OnlineStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Population variance is 4; sample variance is 32/7.
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn empty_is_nan() {
+        let s = OnlineStats::new();
+        assert!(s.mean().is_nan());
+        assert!(s.variance().is_nan());
+        assert!(s.min().is_nan());
+    }
+
+    #[test]
+    fn single_observation() {
+        let mut s = OnlineStats::new();
+        s.push(3.5);
+        assert_eq!(s.mean(), 3.5);
+        assert!(s.variance().is_nan());
+        assert_eq!(s.min(), 3.5);
+        assert_eq!(s.max(), 3.5);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let whole: OnlineStats = data.iter().copied().collect();
+        let mut a: OnlineStats = data[..37].iter().copied().collect();
+        let b: OnlineStats = data[37..].iter().copied().collect();
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-10);
+        assert!((a.variance() - whole.variance()).abs() < 1e-10);
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty() {
+        let mut a: OnlineStats = [1.0, 2.0].into_iter().collect();
+        let before = a.clone();
+        a.merge(&OnlineStats::new());
+        assert_eq!(a.count(), before.count());
+        assert_eq!(a.mean(), before.mean());
+
+        let mut e = OnlineStats::new();
+        e.merge(&before);
+        assert_eq!(e.count(), 2);
+        assert_eq!(e.mean(), before.mean());
+    }
+
+    #[test]
+    fn ci_contains_true_mean_for_constant_data() {
+        let s: OnlineStats = std::iter::repeat_n(7.0, 50).collect();
+        let ci = s.ci95();
+        assert!(ci.contains(7.0));
+        assert!(ci.half_width() < 1e-12);
+        assert_eq!(format!("{ci}"), "7.0000 ± 0.0000");
+    }
+
+    #[test]
+    fn ci_width_shrinks_with_n() {
+        let small: OnlineStats = (0..10).map(|i| i as f64).collect();
+        let large: OnlineStats = (0..1000).map(|i| (i % 10) as f64).collect();
+        assert!(large.ci95().half_width() < small.ci95().half_width());
+    }
+}

@@ -1,0 +1,109 @@
+//! Property tests for the util substrate: BitSet against a BTreeSet model,
+//! subset enumeration against factorial counting, binomial tiers against
+//! each other.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use ttdc_util::{binomial_exact, binomial_f64, binomial_ratio, BitSet, OnlineStats};
+
+const UNIVERSE: usize = 130; // spans three u64 blocks
+
+fn model_pair() -> impl Strategy<Value = (BitSet, BTreeSet<usize>)> {
+    prop::collection::btree_set(0..UNIVERSE, 0..40).prop_map(|m| {
+        let b = BitSet::from_iter(UNIVERSE, m.iter().copied());
+        (b, m)
+    })
+}
+
+proptest! {
+    #[test]
+    fn bitset_matches_model_on_membership((b, m) in model_pair()) {
+        prop_assert_eq!(b.len(), m.len());
+        for e in 0..UNIVERSE {
+            prop_assert_eq!(b.contains(e), m.contains(&e));
+        }
+        prop_assert_eq!(b.iter().collect::<Vec<_>>(), m.iter().copied().collect::<Vec<_>>());
+        prop_assert_eq!(b.min(), m.first().copied());
+    }
+
+    #[test]
+    fn bitset_algebra_matches_model((a, ma) in model_pair(), (b, mb) in model_pair()) {
+        let union: BTreeSet<usize> = ma.union(&mb).copied().collect();
+        let inter: BTreeSet<usize> = ma.intersection(&mb).copied().collect();
+        let diff: BTreeSet<usize> = ma.difference(&mb).copied().collect();
+        prop_assert_eq!(a.union(&b).iter().collect::<BTreeSet<_>>(), union.clone());
+        prop_assert_eq!(a.intersection(&b).iter().collect::<BTreeSet<_>>(), inter.clone());
+        prop_assert_eq!(a.difference(&b).iter().collect::<BTreeSet<_>>(), diff.clone());
+        prop_assert_eq!(a.intersection_len(&b), inter.len());
+        prop_assert_eq!(a.difference_len(&b), diff.len());
+        prop_assert_eq!(a.is_disjoint(&b), inter.is_empty());
+        prop_assert_eq!(a.is_subset(&b), ma.is_subset(&mb));
+        // De Morgan: complement(a ∪ b) = complement(a) ∩ complement(b)
+        prop_assert_eq!(
+            a.union(&b).complement(),
+            a.complement().intersection(&b.complement())
+        );
+    }
+
+    #[test]
+    fn bitset_insert_remove_roundtrip((mut b, m) in model_pair(), e in 0..UNIVERSE) {
+        let had = m.contains(&e);
+        prop_assert_eq!(b.insert(e), !had);
+        prop_assert!(b.contains(e));
+        prop_assert_eq!(b.remove(e), true);
+        prop_assert!(!b.contains(e));
+        prop_assert_eq!(b.len(), m.len() - usize::from(had));
+    }
+
+    #[test]
+    fn subset_enumeration_count(n in 0usize..12, k in 0usize..12) {
+        let mut count: u128 = 0;
+        ttdc_util::for_each_subset(n, k, |s| {
+            assert_eq!(s.len(), k);
+            count += 1;
+            true
+        });
+        prop_assert_eq!(count, binomial_exact(n as u64, k as u64).unwrap());
+    }
+
+    #[test]
+    fn binomial_ratio_consistent_with_f64(a in 0u64..200, extra in 0u64..200, k in 0u64..30) {
+        let b = a + extra;
+        prop_assume!(k <= b);
+        let r = binomial_ratio(a, b, k);
+        let expect = binomial_f64(a, k) / binomial_f64(b, k);
+        if expect.is_finite() && expect > 0.0 {
+            prop_assert!((r - expect).abs() <= 1e-9 * expect.max(1.0),
+                "C({},{}) / C({},{}) = {} vs ratio {}", a, k, b, k, expect, r);
+        } else {
+            prop_assert_eq!(r, 0.0);
+        }
+    }
+
+    #[test]
+    fn online_stats_matches_naive(xs in prop::collection::vec(-1e6f64..1e6, 2..200)) {
+        let s: OnlineStats = xs.iter().copied().collect();
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        prop_assert!((s.mean() - mean).abs() < 1e-6 * mean.abs().max(1.0));
+        prop_assert!((s.variance() - var).abs() < 1e-5 * var.max(1.0));
+    }
+
+    #[test]
+    fn online_stats_merge_associative(
+        xs in prop::collection::vec(-100f64..100.0, 1..60),
+        split in 0usize..60,
+    ) {
+        let split = split.min(xs.len());
+        let whole: OnlineStats = xs.iter().copied().collect();
+        let mut left: OnlineStats = xs[..split].iter().copied().collect();
+        let right: OnlineStats = xs[split..].iter().copied().collect();
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        if whole.count() >= 2 {
+            prop_assert!((left.variance() - whole.variance()).abs() < 1e-7);
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Cross-crate pipeline: combinatorial substrate → cover-free family →
+//! non-sleeping schedule → Figure-2 construction → verified
+//! topology-transparent (α_T, α_R)-schedule, for every substrate kind.
+
+use ttdc::combinatorics::{CoverFreeFamily, Gf, SteinerTripleSystem, TsmaParams};
+use ttdc::core::construct::{construct, PartitionStrategy};
+use ttdc::core::requirements::{
+    is_topology_transparent, satisfies_requirement1, satisfies_requirement2,
+};
+use ttdc::core::tsma::{build, SourceKind};
+use ttdc::core::Schedule;
+
+#[test]
+fn polynomial_pipeline_end_to_end() {
+    for (n, d, at, ar) in [(15usize, 2usize, 2usize, 3usize), (20, 3, 2, 4), (12, 4, 1, 3)] {
+        // Parameter search → field → CFF → schedule.
+        let params = TsmaParams::search(n as u64, d as u64).unwrap();
+        let cff = CoverFreeFamily::from_tsma_params(&params, n as u64);
+        assert!(cff.is_d_cover_free(d), "substrate guarantee (n={n}, d={d})");
+        let ns = Schedule::from_cff(&cff);
+        assert!(ns.is_non_sleeping());
+        assert!(satisfies_requirement1(&ns, d), "Requirement 1 on ⟨T⟩");
+
+        // Figure-2 construction.
+        let c = construct(&ns, d, at, ar, PartitionStrategy::RoundRobin);
+        assert!(c.schedule.is_alpha_schedule(at, ar));
+        assert!(is_topology_transparent(&c.schedule, d), "Theorem 6");
+        assert!(satisfies_requirement2(&c.schedule, d), "Theorem 1 agrees");
+        // Energy actually saved: duty cycle bounded by the budget.
+        assert!(c.schedule.average_duty_cycle() <= (at + ar) as f64 / n as f64 + 1e-12);
+    }
+}
+
+#[test]
+fn steiner_pipeline_end_to_end() {
+    let sts = SteinerTripleSystem::new(13).unwrap();
+    sts.verify().unwrap();
+    let cff = CoverFreeFamily::from_steiner(&sts);
+    let ns = Schedule::from_cff(&cff);
+    assert_eq!(ns.num_nodes(), 26);
+    assert!(is_topology_transparent(&ns, 2));
+    let c = construct(&ns, 2, 2, 4, PartitionStrategy::Contiguous);
+    assert!(is_topology_transparent(&c.schedule, 2));
+    assert!(c.schedule.is_alpha_schedule(2, 4));
+}
+
+#[test]
+fn all_source_kinds_through_the_builder() {
+    for kind in [SourceKind::Polynomial, SourceKind::Steiner, SourceKind::Identity] {
+        let ns = build(10, 2, kind).unwrap();
+        assert!(is_topology_transparent(&ns.schedule, 2), "{kind:?}");
+        let c = construct(&ns.schedule, 2, 2, 3, PartitionStrategy::RoundRobin);
+        assert!(
+            is_topology_transparent(&c.schedule, 2),
+            "constructed from {kind:?}"
+        );
+    }
+}
+
+#[test]
+fn explicit_field_pipeline_with_extension_field() {
+    // GF(8) = GF(2³): exercises the extension-field arithmetic end to end.
+    let gf = Gf::new(8).unwrap();
+    let cff = CoverFreeFamily::from_polynomials(&gf, 1, 30);
+    assert!(cff.is_d_cover_free(3));
+    let ns = Schedule::from_cff(&cff);
+    assert_eq!(ns.frame_length(), 64);
+    assert!(is_topology_transparent(&ns, 3));
+    let c = construct(&ns, 3, 2, 5, PartitionStrategy::Randomized { seed: 3 });
+    assert!(is_topology_transparent(&c.schedule, 3));
+}
+
+#[test]
+fn construction_composes_with_itself_structurally() {
+    // The output of Construct is a valid (non-non-sleeping) schedule whose
+    // transposed views stay consistent.
+    let ns = build(12, 2, SourceKind::Polynomial).unwrap();
+    let c = construct(&ns.schedule, 2, 2, 3, PartitionStrategy::RoundRobin);
+    let s = &c.schedule;
+    for i in 0..s.frame_length() {
+        for x in s.transmitters(i).iter() {
+            assert!(s.tran(x).contains(i));
+        }
+        for x in s.receivers(i).iter() {
+            assert!(s.recv(x).contains(i));
+        }
+        assert!(s.transmitters(i).is_disjoint(s.receivers(i)));
+    }
+    assert_eq!(c.slot_origin.len(), s.frame_length());
+}

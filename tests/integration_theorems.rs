@@ -1,0 +1,89 @@
+//! The whole theorem chain on one medium instance, through the umbrella
+//! API — the "if you only run one test, run this" test.
+
+use ttdc::core::analysis::{
+    constructed_frame_length, optimality_ratio, theorem8_lower_bound, theorem9_bound,
+};
+use ttdc::core::bounds::{alpha_bound, general_bound};
+use ttdc::core::construct::{construct, PartitionStrategy};
+use ttdc::core::requirements::{satisfies_requirement2, satisfies_requirement3};
+use ttdc::core::throughput::{
+    average_throughput, average_throughput_bruteforce, min_throughput,
+};
+use ttdc::core::tsma::build_polynomial;
+
+#[test]
+fn theorem_chain_on_one_instance() {
+    let (n, d, at, ar) = (20usize, 2usize, 3usize, 4usize);
+
+    // Substrate: topology-transparent non-sleeping schedule.
+    let ns = build_polynomial(n, d).schedule;
+    assert!(satisfies_requirement3(&ns, d));
+
+    // Theorem 1: the two requirement formulations agree on it.
+    assert_eq!(
+        satisfies_requirement2(&ns, d),
+        satisfies_requirement3(&ns, d)
+    );
+
+    // Theorem 2: closed form == enumeration.
+    let thr_ns = average_throughput(&ns, d);
+    assert!((thr_ns - average_throughput_bruteforce(&ns, d)).abs() < 1e-12);
+
+    // Theorem 3: the general bound dominates the non-sleeping schedule.
+    let g = general_bound(n, d);
+    assert!(thr_ns <= g.thr_star + 1e-12);
+
+    // Figure 2 construction + Theorem 6.
+    let c = construct(&ns, d, at, ar, PartitionStrategy::RoundRobin);
+    assert!(c.schedule.is_alpha_schedule(at, ar));
+    assert!(satisfies_requirement3(&c.schedule, d));
+
+    // Theorem 4: the (α_T, α_R) bound dominates the construction.
+    let thr_c = average_throughput(&c.schedule, d);
+    let b = alpha_bound(n, d, at, ar);
+    assert!(thr_c <= b.thr_star + 1e-12);
+
+    // Theorem 7: exact frame length.
+    assert_eq!(
+        c.schedule.frame_length(),
+        constructed_frame_length(&ns.t_sizes(), n, c.alpha_t_star, ar)
+    );
+
+    // Theorem 8: optimality ratio within its lower bound; equality here
+    // because the full polynomial family has |T[i]| = q ≥ α_T*.
+    let ratio = optimality_ratio(&c.schedule, d, at, ar);
+    let lower = theorem8_lower_bound(&ns.t_sizes(), n, d, c.alpha_t_star, ar);
+    assert!(ratio >= lower - 1e-9);
+    let (min_t, _) = ns.t_size_range();
+    if min_t >= c.alpha_t_star {
+        assert!((ratio - 1.0).abs() < 1e-9, "equality case, got {ratio}");
+    }
+
+    // Theorem 9: minimum throughput within its bound, and still positive
+    // (the constructed schedule remains topology-transparent).
+    let thr_min_src = min_throughput(&ns, d);
+    let thr_min_c = min_throughput(&c.schedule, d);
+    assert!(thr_min_c >= theorem9_bound(thr_min_src, ns.frame_length(), c.schedule.frame_length()) - 1e-12);
+    assert!(thr_min_c > 0.0);
+
+    // The energy story in one line: duty cycle dropped from 100% to the
+    // (α_T + α_R)/n budget while all of the above held.
+    assert!((ns.average_duty_cycle() - 1.0).abs() < 1e-12);
+    assert!(c.schedule.average_duty_cycle() <= (at + ar) as f64 / n as f64 + 1e-12);
+}
+
+#[test]
+fn experiment_registry_smoke() {
+    // Each fast experiment runs end-to-end and produces non-empty tables.
+    for (id, runner) in ttdc::experiments::registry() {
+        if matches!(id, "e10_naive_duty_cycling" | "e12_end_to_end" | "e16_sender_policy") {
+            continue; // long-running sims, exercised by their binaries
+        }
+        let tables = runner();
+        assert!(!tables.is_empty(), "{id} produced no tables");
+        for t in &tables {
+            assert!(!t.is_empty(), "{id}: empty table {}", t.title());
+        }
+    }
+}
