@@ -1,0 +1,80 @@
+//! Fault-injection overhead: slot rate with faults disabled vs each fault
+//! axis enabled, on the same 50-node geometric network as `bench_sim`.
+//!
+//! The `none` case is the regression guard — the zero-fault path allocates
+//! nothing and must stay within noise of `bench_sim`'s `ttdc` case, because
+//! every fault branch is gated on the plan's knobs before any work happens.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use ttdc_core::construct::PartitionStrategy;
+use ttdc_protocols::TtdcMac;
+use ttdc_sim::{
+    CrashModel, FaultPlan, GeometricNetwork, GilbertElliott, SimConfig, Simulator, Topology,
+    TrafficPattern,
+};
+
+const N: usize = 50;
+const D: usize = 4;
+const SLOTS: u64 = 5_000;
+
+fn topo() -> Topology {
+    let mut rng = SmallRng::seed_from_u64(3);
+    GeometricNetwork::random(N, 0.25, D, &mut rng).topology()
+}
+
+fn plans() -> Vec<(&'static str, FaultPlan)> {
+    vec![
+        ("none", FaultPlan::none()),
+        (
+            "per-20",
+            FaultPlan::none().with_per(0.2).with_max_retries(8),
+        ),
+        (
+            "bursty",
+            FaultPlan::none().with_burst(GilbertElliott::bursty(0.01, 0.07)),
+        ),
+        (
+            "crash",
+            FaultPlan::none().with_crash(CrashModel::new(0.0005, 0.05)),
+        ),
+        ("drift", FaultPlan::none().with_drift(0.1)),
+        (
+            "all",
+            FaultPlan::none()
+                .with_per(0.2)
+                .with_burst(GilbertElliott::bursty(0.01, 0.07))
+                .with_crash(CrashModel::new(0.0005, 0.05))
+                .with_drift(0.1)
+                .with_max_retries(8),
+        ),
+    ]
+}
+
+fn bench_fault_axes(c: &mut Criterion) {
+    let mac = TtdcMac::new(N, D, 2, 4, PartitionStrategy::RoundRobin);
+    let mut g = c.benchmark_group("sim_faults/5k_slots_n50");
+    g.sample_size(10);
+    for (name, plan) in plans() {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &plan, |b, plan| {
+            b.iter(|| {
+                let mut sim = Simulator::new(
+                    topo(),
+                    TrafficPattern::PoissonUnicast { rate: 0.01 },
+                    SimConfig {
+                        faults: *plan,
+                        ..SimConfig::default()
+                    },
+                );
+                sim.run(black_box(&mac), SLOTS);
+                let r = sim.report();
+                (r.delivered, r.link_drops, r.retry_exhausted)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fault_axes);
+criterion_main!(benches);

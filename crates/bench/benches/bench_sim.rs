@@ -19,7 +19,10 @@ fn topo() -> Topology {
 
 fn bench_protocol_slot_rate(c: &mut Criterion) {
     let protos: Vec<(&str, Box<dyn MacProtocol>)> = vec![
-        ("ttdc", Box::new(TtdcMac::new(N, D, 2, 4, PartitionStrategy::RoundRobin))),
+        (
+            "ttdc",
+            Box::new(TtdcMac::new(N, D, 2, 4, PartitionStrategy::RoundRobin)),
+        ),
         ("tsma", Box::new(TsmaMac::new(N, D))),
         ("aloha", Box::new(SlottedAlohaMac::new(0.1))),
     ];

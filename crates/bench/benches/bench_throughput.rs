@@ -3,9 +3,7 @@
 //! the speedup that makes the paper's formula the practical one.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use ttdc_core::throughput::{
-    average_throughput, average_throughput_bruteforce, min_throughput,
-};
+use ttdc_core::throughput::{average_throughput, average_throughput_bruteforce, min_throughput};
 use ttdc_core::tsma::build_polynomial;
 
 fn bench_closed_vs_brute(c: &mut Criterion) {

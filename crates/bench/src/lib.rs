@@ -7,6 +7,7 @@
 //! * `bench_requirements` — exhaustive vs rayon vs sampled transparency checks;
 //! * `bench_throughput` — Theorem-2 closed form vs Definition-2 enumeration;
 //! * `bench_sim` — simulator slot rate per MAC protocol;
+//! * `bench_faults` — fault-injection overhead per axis vs the zero-fault path;
 //! * `bench_partition_strategies` — ablation of the Figure-2 division step.
 //!
 //! Run with `cargo bench -p ttdc-bench` (append `-- --quick` for a fast pass).

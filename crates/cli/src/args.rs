@@ -15,8 +15,18 @@ USAGE:
   ttdc verify   --degree D FILE
   ttdc analyze  --degree D [--alpha-t A --alpha-r B] FILE
   ttdc simulate --degree D --topology ring|line|star|grid=WxH|geometric=SEED
-                [--slots N] [--rate R] [--seed S] FILE
+                [--slots N] [--rate R] [--seed S]
+                [--per P] [--burst PGB,PBG] [--crash-rate C[,R]]
+                [--drift RATE] [--max-retries N] FILE
   ttdc help
+
+FAULT INJECTION (simulate):
+  --per P            uniform per-link packet error rate in [0, 1]
+  --burst PGB,PBG    Gilbert-Elliott bursty channel: P(good->bad), P(bad->good)
+  --crash-rate C[,R] per-slot crash probability C, recovery probability R
+                     (default R = 0.1); a crashed node loses its queue
+  --drift RATE       max per-slot clock skew, in slots/slot (e.g. 0.001)
+  --max-retries N    drop a packet after N failed retransmissions of a hop
 
 FILE is a schedule in the `ttdc-schedule v1` text format (see `ttdc build`).";
 
@@ -68,6 +78,16 @@ pub enum Command {
         rate: f64,
         /// RNG seed.
         seed: u64,
+        /// Uniform per-link packet error rate.
+        per: f64,
+        /// Gilbert–Elliott burst channel `(p_good_to_bad, p_bad_to_good)`.
+        burst: Option<(f64, f64)>,
+        /// Transient crash model `(crash_probability, recovery_probability)`.
+        crash: Option<(f64, f64)>,
+        /// Max per-slot clock skew in slots/slot.
+        drift: f64,
+        /// ARQ retry bound (`None` = retry forever).
+        max_retries: Option<u32>,
         /// Schedule file.
         file: String,
     },
@@ -115,6 +135,20 @@ fn parse_topology(s: &str) -> Result<TopologySpec, String> {
     }
 }
 
+/// Parses `"a,b"` (or `"a"` when `second_default` is given) into a pair of
+/// floats, for `--burst` and `--crash-rate`.
+fn parse_pair(s: &str, flag: &str, second_default: Option<f64>) -> Result<(f64, f64), String> {
+    let bad = |what: &str| format!("bad value {what:?} for --{flag}");
+    match (s.split_once(','), second_default) {
+        (Some((a, b)), _) => Ok((
+            a.parse().map_err(|_| bad(a))?,
+            b.parse().map_err(|_| bad(b))?,
+        )),
+        (None, Some(d)) => Ok((s.parse().map_err(|_| bad(s))?, d)),
+        (None, None) => Err(format!("--{flag} wants A,B; got {s:?}")),
+    }
+}
+
 struct Opts {
     flags: std::collections::BTreeMap<String, String>,
     positional: Vec<String>,
@@ -125,9 +159,7 @@ fn collect<I: Iterator<Item = String>>(mut it: I) -> Result<Opts, String> {
     let mut positional = Vec::new();
     while let Some(a) = it.next() {
         if let Some(name) = a.strip_prefix("--") {
-            let value = it
-                .next()
-                .ok_or_else(|| format!("--{name} needs a value"))?;
+            let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
             if flags.insert(name.to_string(), value).is_some() {
                 return Err(format!("--{name} given twice"));
             }
@@ -180,7 +212,9 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, String>
         "help" | "--help" | "-h" => Ok(Command::Help),
         "build" => {
             let o = collect(it)?;
-            o.known(&["nodes", "degree", "alpha-t", "alpha-r", "source", "strategy", "output"])?;
+            o.known(&[
+                "nodes", "degree", "alpha-t", "alpha-r", "source", "strategy", "output",
+            ])?;
             if !o.positional.is_empty() {
                 return Err(format!("unexpected arguments: {:?}", o.positional));
             }
@@ -232,17 +266,39 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, String>
         }
         "simulate" => {
             let o = collect(it)?;
-            o.known(&["degree", "topology", "slots", "rate", "seed"])?;
+            o.known(&[
+                "degree",
+                "topology",
+                "slots",
+                "rate",
+                "seed",
+                "per",
+                "burst",
+                "crash-rate",
+                "drift",
+                "max-retries",
+            ])?;
+            let burst = o
+                .flags
+                .get("burst")
+                .map(|v| parse_pair(v, "burst", None))
+                .transpose()?;
+            let crash = o
+                .flags
+                .get("crash-rate")
+                .map(|v| parse_pair(v, "crash-rate", Some(0.1)))
+                .transpose()?;
             Ok(Command::Simulate {
                 degree: o.req("degree")?,
-                topology: parse_topology(
-                    o.flags
-                        .get("topology")
-                        .ok_or("missing --topology")?,
-                )?,
+                topology: parse_topology(o.flags.get("topology").ok_or("missing --topology")?)?,
                 slots: o.opt("slots")?.unwrap_or(20_000),
                 rate: o.opt("rate")?.unwrap_or(0.002),
                 seed: o.opt("seed")?.unwrap_or(0),
+                per: o.opt("per")?.unwrap_or(0.0),
+                burst,
+                crash,
+                drift: o.opt("drift")?.unwrap_or(0.0),
+                max_retries: o.opt("max-retries")?,
                 file: o.file()?,
             })
         }
@@ -261,8 +317,21 @@ mod tests {
     #[test]
     fn build_full_flags() {
         let c = parse(sv(&[
-            "build", "--nodes", "30", "--degree", "3", "--alpha-t", "2", "--alpha-r", "4",
-            "--source", "steiner", "--strategy", "contiguous", "--output", "x.sched",
+            "build",
+            "--nodes",
+            "30",
+            "--degree",
+            "3",
+            "--alpha-t",
+            "2",
+            "--alpha-r",
+            "4",
+            "--source",
+            "steiner",
+            "--strategy",
+            "contiguous",
+            "--output",
+            "x.sched",
         ]))
         .unwrap();
         assert_eq!(
@@ -282,11 +351,24 @@ mod tests {
     #[test]
     fn build_defaults() {
         let c = parse(sv(&[
-            "build", "--nodes", "10", "--degree", "2", "--alpha-t", "1", "--alpha-r", "2",
+            "build",
+            "--nodes",
+            "10",
+            "--degree",
+            "2",
+            "--alpha-t",
+            "1",
+            "--alpha-r",
+            "2",
         ]))
         .unwrap();
         match c {
-            Command::Build { source, strategy, output, .. } => {
+            Command::Build {
+                source,
+                strategy,
+                output,
+                ..
+            } => {
                 assert_eq!(source, SourceKind::Polynomial);
                 assert_eq!(strategy, PartitionStrategy::RoundRobin);
                 assert_eq!(output, None);
@@ -299,11 +381,18 @@ mod tests {
     fn verify_and_analyze() {
         assert_eq!(
             parse(sv(&["verify", "--degree", "3", "f.sched"])).unwrap(),
-            Command::Verify { degree: 3, file: "f.sched".into() }
+            Command::Verify {
+                degree: 3,
+                file: "f.sched".into()
+            }
         );
         assert_eq!(
             parse(sv(&["analyze", "--degree", "2", "f"])).unwrap(),
-            Command::Analyze { degree: 2, alphas: None, file: "f".into() }
+            Command::Analyze {
+                degree: 2,
+                alphas: None,
+                file: "f".into()
+            }
         );
         assert!(parse(sv(&["analyze", "--degree", "2", "--alpha-t", "1", "f"])).is_err());
     }
@@ -311,8 +400,18 @@ mod tests {
     #[test]
     fn simulate_topologies() {
         let c = parse(sv(&[
-            "simulate", "--degree", "2", "--topology", "grid=4x3", "--slots", "100",
-            "--rate", "0.1", "--seed", "7", "f",
+            "simulate",
+            "--degree",
+            "2",
+            "--topology",
+            "grid=4x3",
+            "--slots",
+            "100",
+            "--rate",
+            "0.1",
+            "--seed",
+            "7",
+            "f",
         ]))
         .unwrap();
         assert_eq!(
@@ -323,12 +422,29 @@ mod tests {
                 slots: 100,
                 rate: 0.1,
                 seed: 7,
+                per: 0.0,
+                burst: None,
+                crash: None,
+                drift: 0.0,
+                max_retries: None,
                 file: "f".into(),
             }
         );
         assert!(matches!(
-            parse(sv(&["simulate", "--degree", "2", "--topology", "geometric=9", "f"])).unwrap(),
-            Command::Simulate { topology: TopologySpec::Geometric(9), slots: 20_000, .. }
+            parse(sv(&[
+                "simulate",
+                "--degree",
+                "2",
+                "--topology",
+                "geometric=9",
+                "f"
+            ]))
+            .unwrap(),
+            Command::Simulate {
+                topology: TopologySpec::Geometric(9),
+                slots: 20_000,
+                ..
+            }
         ));
         for t in ["ring", "line", "star"] {
             assert!(parse(sv(&["simulate", "--degree", "2", "--topology", t, "f"])).is_ok());
@@ -336,18 +452,147 @@ mod tests {
     }
 
     #[test]
+    fn simulate_fault_flags() {
+        let c = parse(sv(&[
+            "simulate",
+            "--degree",
+            "2",
+            "--topology",
+            "ring",
+            "--per",
+            "0.05",
+            "--burst",
+            "0.01,0.2",
+            "--crash-rate",
+            "0.001,0.05",
+            "--drift",
+            "0.002",
+            "--max-retries",
+            "4",
+            "f",
+        ]))
+        .unwrap();
+        match c {
+            Command::Simulate {
+                per,
+                burst,
+                crash,
+                drift,
+                max_retries,
+                ..
+            } => {
+                assert_eq!(per, 0.05);
+                assert_eq!(burst, Some((0.01, 0.2)));
+                assert_eq!(crash, Some((0.001, 0.05)));
+                assert_eq!(drift, 0.002);
+                assert_eq!(max_retries, Some(4));
+            }
+            _ => panic!(),
+        }
+        // --crash-rate accepts a lone crash probability (default recovery).
+        match parse(sv(&[
+            "simulate",
+            "--degree",
+            "2",
+            "--topology",
+            "ring",
+            "--crash-rate",
+            "0.01",
+            "f",
+        ]))
+        .unwrap()
+        {
+            Command::Simulate { crash, .. } => assert_eq!(crash, Some((0.01, 0.1))),
+            _ => panic!(),
+        }
+        // --burst requires both transition probabilities.
+        assert!(parse(sv(&[
+            "simulate",
+            "--degree",
+            "2",
+            "--topology",
+            "ring",
+            "--burst",
+            "0.01",
+            "f",
+        ]))
+        .is_err());
+        assert!(parse(sv(&[
+            "simulate",
+            "--degree",
+            "2",
+            "--topology",
+            "ring",
+            "--burst",
+            "x,0.2",
+            "f",
+        ]))
+        .is_err());
+        assert!(parse(sv(&[
+            "simulate",
+            "--degree",
+            "2",
+            "--topology",
+            "ring",
+            "--max-retries",
+            "-1",
+            "f",
+        ]))
+        .is_err());
+    }
+
+    #[test]
     fn error_paths() {
         assert!(parse(sv(&[])).is_err());
         assert!(parse(sv(&["frobnicate"])).is_err());
-        assert!(parse(sv(&["build", "--nodes", "10"])).is_err(), "missing flags");
-        assert!(parse(sv(&["build", "--nodes"])).is_err(), "flag without value");
-        assert!(parse(sv(&["build", "--nodes", "x", "--degree", "2", "--alpha-t", "1", "--alpha-r", "2"])).is_err());
-        assert!(parse(sv(&["verify", "--degree", "2"])).is_err(), "missing file");
+        assert!(
+            parse(sv(&["build", "--nodes", "10"])).is_err(),
+            "missing flags"
+        );
+        assert!(
+            parse(sv(&["build", "--nodes"])).is_err(),
+            "flag without value"
+        );
+        assert!(parse(sv(&[
+            "build",
+            "--nodes",
+            "x",
+            "--degree",
+            "2",
+            "--alpha-t",
+            "1",
+            "--alpha-r",
+            "2"
+        ]))
+        .is_err());
+        assert!(
+            parse(sv(&["verify", "--degree", "2"])).is_err(),
+            "missing file"
+        );
         assert!(parse(sv(&["verify", "--degree", "2", "a", "b"])).is_err());
         assert!(parse(sv(&["verify", "--degree", "2", "--bogus", "1", "f"])).is_err());
-        assert!(parse(sv(&["simulate", "--degree", "2", "--topology", "grid=4", "f"])).is_err());
-        assert!(parse(sv(&["simulate", "--degree", "2", "--topology", "blob", "f"])).is_err());
-        assert!(parse(sv(&["build", "--nodes", "1", "--nodes", "2"])).is_err(), "dup flag");
+        assert!(parse(sv(&[
+            "simulate",
+            "--degree",
+            "2",
+            "--topology",
+            "grid=4",
+            "f"
+        ]))
+        .is_err());
+        assert!(parse(sv(&[
+            "simulate",
+            "--degree",
+            "2",
+            "--topology",
+            "blob",
+            "f"
+        ]))
+        .is_err());
+        assert!(
+            parse(sv(&["build", "--nodes", "1", "--nodes", "2"])).is_err(),
+            "dup flag"
+        );
         assert_eq!(parse(sv(&["help"])).unwrap(), Command::Help);
     }
 }

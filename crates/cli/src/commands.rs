@@ -11,7 +11,10 @@ use ttdc_core::requirements::{requirement3_violation, spot_check_topology_transp
 use ttdc_core::throughput::{average_throughput, min_throughput};
 use ttdc_core::tsma::build;
 use ttdc_core::{construct, io as sched_io, Schedule};
-use ttdc_sim::{GeometricNetwork, ScheduleMac, SimConfig, Simulator, Topology, TrafficPattern};
+use ttdc_sim::{
+    CrashModel, FaultPlan, GeometricNetwork, GilbertElliott, ScheduleMac, SimConfig, Simulator,
+    Topology, TrafficPattern,
+};
 
 type CmdResult = Result<(), String>;
 
@@ -23,11 +26,7 @@ fn load_schedule(path: &str) -> Result<Schedule, String> {
 /// Above this many Requirement-3 configurations, fall back to sampling.
 const EXHAUSTIVE_BUDGET: f64 = 5e7;
 
-fn check_transparency(
-    s: &Schedule,
-    d: usize,
-    out: &mut dyn Write,
-) -> Result<bool, String> {
+fn check_transparency(s: &Schedule, d: usize, out: &mut dyn Write) -> Result<bool, String> {
     let n = s.num_nodes() as u64;
     let configs = n as f64 * ttdc_util::binomial_f64(n - 1, d as u64);
     if configs <= EXHAUSTIVE_BUDGET {
@@ -126,7 +125,11 @@ pub fn execute(cmd: &Command, out: &mut dyn Write) -> CmdResult {
                 Err("verification failed".into())
             }
         }
-        Command::Analyze { degree, alphas, file } => {
+        Command::Analyze {
+            degree,
+            alphas,
+            file,
+        } => {
             let s = load_schedule(file)?;
             let d = *degree;
             let n = s.num_nodes();
@@ -150,7 +153,12 @@ pub fn execute(cmd: &Command, out: &mut dyn Write) -> CmdResult {
             }
             if let Some((at, ar)) = alphas {
                 let b = alpha_bound(n, d, *at, *ar);
-                writeln!(out, "Thm-4 opt: {:.6} (α_T* = {})", b.thr_star, b.alpha_t_star).ok();
+                writeln!(
+                    out,
+                    "Thm-4 opt: {:.6} (α_T* = {})",
+                    b.thr_star, b.alpha_t_star
+                )
+                .ok();
                 writeln!(
                     out,
                     "opt ratio: {:.3} of the ({at}, {ar})-schedule optimum",
@@ -166,6 +174,11 @@ pub fn execute(cmd: &Command, out: &mut dyn Write) -> CmdResult {
             slots,
             rate,
             seed,
+            per,
+            burst,
+            crash,
+            drift,
+            max_retries,
             file,
         } => {
             let s = load_schedule(file)?;
@@ -176,7 +189,10 @@ pub fn execute(cmd: &Command, out: &mut dyn Write) -> CmdResult {
                 TopologySpec::Star => Topology::star(n),
                 TopologySpec::Grid(w, h) => {
                     if w * h != n {
-                        return Err(format!("grid {w}x{h} has {} cells but the schedule has n = {n}", w * h));
+                        return Err(format!(
+                            "grid {w}x{h} has {} cells but the schedule has n = {n}",
+                            w * h
+                        ));
                     }
                     Topology::grid(*w, *h)
                 }
@@ -193,23 +209,67 @@ pub fn execute(cmd: &Command, out: &mut dyn Write) -> CmdResult {
                 )
                 .ok();
             }
+            let mut faults = FaultPlan::default().with_per(*per).with_drift(*drift);
+            if let Some((p_gb, p_bg)) = burst {
+                faults = faults.with_burst(GilbertElliott::bursty(*p_gb, *p_bg));
+            }
+            if let Some((crash_p, recover_p)) = crash {
+                faults = faults.with_crash(CrashModel::new(*crash_p, *recover_p));
+            }
+            if let Some(limit) = max_retries {
+                faults = faults.with_max_retries(*limit);
+            }
             let mac = ScheduleMac::new("cli", s);
-            let mut sim = Simulator::new(
+            let mut sim = Simulator::try_new(
                 topo,
                 TrafficPattern::PoissonUnicast { rate: *rate },
                 SimConfig {
                     seed: *seed,
+                    faults,
                     ..Default::default()
                 },
-            );
+            )
+            .map_err(|e| e.to_string())?;
             sim.run(&mac, *slots);
             let r = sim.report();
             writeln!(out, "slots      : {}", r.slots).ok();
             writeln!(out, "generated  : {}", r.generated).ok();
-            writeln!(out, "delivered  : {} ({:.1}%)", r.delivered, 100.0 * r.delivery_ratio()).ok();
+            writeln!(
+                out,
+                "delivered  : {} ({:.1}%)",
+                r.delivered,
+                100.0 * r.delivery_ratio()
+            )
+            .ok();
             writeln!(out, "collisions : {}", r.collisions).ok();
-            writeln!(out, "latency    : mean {:.1} slots, max {:.0}", r.latency.mean(), r.latency.max()).ok();
-            writeln!(out, "energy     : {:.1} mJ/node (duty {:.1}%)", r.energy.mean_mj(), 100.0 * r.mean_duty_cycle()).ok();
+            writeln!(
+                out,
+                "latency    : mean {:.1} slots, max {:.0}",
+                r.latency.mean(),
+                r.latency.max()
+            )
+            .ok();
+            writeln!(
+                out,
+                "energy     : {:.1} mJ/node (duty {:.1}%)",
+                r.energy.mean_mj(),
+                100.0 * r.mean_duty_cycle()
+            )
+            .ok();
+            if !faults.is_noop() {
+                writeln!(
+                    out,
+                    "faults     : {} link drops ({:.1}%), {} crashes / {} recoveries, \
+                     {} queue-lost, {} retry-exhausted",
+                    r.link_drops,
+                    100.0 * r.link_drop_rate(),
+                    r.crashes,
+                    r.recoveries,
+                    r.crash_dropped,
+                    r.retry_exhausted
+                )
+                .ok();
+            }
             Ok(())
         }
     }
@@ -217,7 +277,6 @@ pub fn execute(cmd: &Command, out: &mut dyn Write) -> CmdResult {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::run;
 
     fn run_str(args: &[&str]) -> (i32, String) {
@@ -251,8 +310,17 @@ mod tests {
     fn build_verify_analyze_simulate_pipeline() {
         let file = tmp("pipeline.sched");
         let (code, out) = run_str(&[
-            "build", "--nodes", "16", "--degree", "2", "--alpha-t", "2", "--alpha-r", "3",
-            "--output", &file,
+            "build",
+            "--nodes",
+            "16",
+            "--degree",
+            "2",
+            "--alpha-t",
+            "2",
+            "--alpha-r",
+            "3",
+            "--output",
+            &file,
         ]);
         assert_eq!(code, 0, "{out}");
         assert!(out.contains("duty cycle"));
@@ -262,14 +330,29 @@ mod tests {
         assert!(out.contains("YES (exhaustive)"));
 
         let (code, out) = run_str(&[
-            "analyze", "--degree", "2", "--alpha-t", "2", "--alpha-r", "3", &file,
+            "analyze",
+            "--degree",
+            "2",
+            "--alpha-t",
+            "2",
+            "--alpha-r",
+            "3",
+            &file,
         ]);
         assert_eq!(code, 0, "{out}");
         assert!(out.contains("avg thr") && out.contains("opt ratio") && out.contains("latency"));
 
         let (code, out) = run_str(&[
-            "simulate", "--degree", "2", "--topology", "ring", "--slots", "5000",
-            "--rate", "0.005", &file,
+            "simulate",
+            "--degree",
+            "2",
+            "--topology",
+            "ring",
+            "--slots",
+            "5000",
+            "--rate",
+            "0.005",
+            &file,
         ]);
         assert_eq!(code, 0, "{out}");
         assert!(out.contains("delivered"));
@@ -279,8 +362,17 @@ mod tests {
     #[test]
     fn build_to_stdout_emits_schedule_format() {
         let (code, out) = run_str(&[
-            "build", "--nodes", "9", "--degree", "2", "--alpha-t", "1", "--alpha-r", "2",
-            "--source", "steiner",
+            "build",
+            "--nodes",
+            "9",
+            "--degree",
+            "2",
+            "--alpha-t",
+            "1",
+            "--alpha-r",
+            "2",
+            "--source",
+            "steiner",
         ]);
         assert_eq!(code, 0, "{out}");
         assert!(out.contains("ttdc-schedule v1"));
@@ -315,14 +407,109 @@ mod tests {
     fn grid_size_mismatch_is_rejected() {
         let file = tmp("grid.sched");
         run_str(&[
-            "build", "--nodes", "9", "--degree", "2", "--alpha-t", "1", "--alpha-r", "2",
-            "--output", &file,
+            "build",
+            "--nodes",
+            "9",
+            "--degree",
+            "2",
+            "--alpha-t",
+            "1",
+            "--alpha-r",
+            "2",
+            "--output",
+            &file,
         ]);
-        let (code, out) = run_str(&[
-            "simulate", "--degree", "2", "--topology", "grid=4x4", &file,
-        ]);
+        let (code, out) = run_str(&["simulate", "--degree", "2", "--topology", "grid=4x4", &file]);
         assert_eq!(code, 1);
         assert!(out.contains("grid 4x4"));
+        std::fs::remove_file(&file).ok();
+    }
+
+    #[test]
+    fn simulate_with_faults_reports_degradation() {
+        let file = tmp("faults.sched");
+        run_str(&[
+            "build",
+            "--nodes",
+            "16",
+            "--degree",
+            "2",
+            "--alpha-t",
+            "2",
+            "--alpha-r",
+            "3",
+            "--output",
+            &file,
+        ]);
+        let (code, out) = run_str(&[
+            "simulate",
+            "--degree",
+            "2",
+            "--topology",
+            "ring",
+            "--slots",
+            "4000",
+            "--rate",
+            "0.01",
+            "--per",
+            "0.2",
+            "--crash-rate",
+            "0.002,0.1",
+            "--drift",
+            "0.001",
+            "--max-retries",
+            "5",
+            &file,
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("faults"), "{out}");
+        assert!(out.contains("link drops"), "{out}");
+        assert!(out.contains("retry-exhausted"), "{out}");
+
+        // Fault-free runs don't print the faults line.
+        let (code, out) = run_str(&[
+            "simulate",
+            "--degree",
+            "2",
+            "--topology",
+            "ring",
+            "--slots",
+            "1000",
+            &file,
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(!out.contains("faults"), "{out}");
+        std::fs::remove_file(&file).ok();
+    }
+
+    #[test]
+    fn invalid_fault_knobs_are_reported_not_panicked() {
+        let file = tmp("badfaults.sched");
+        run_str(&[
+            "build",
+            "--nodes",
+            "9",
+            "--degree",
+            "2",
+            "--alpha-t",
+            "1",
+            "--alpha-r",
+            "2",
+            "--output",
+            &file,
+        ]);
+        let (code, out) = run_str(&[
+            "simulate",
+            "--degree",
+            "2",
+            "--topology",
+            "ring",
+            "--per",
+            "1.5",
+            &file,
+        ]);
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("per-link error rate"), "{out}");
         std::fs::remove_file(&file).ok();
     }
 
@@ -330,11 +517,27 @@ mod tests {
     fn geometric_simulation_runs() {
         let file = tmp("geo.sched");
         run_str(&[
-            "build", "--nodes", "12", "--degree", "3", "--alpha-t", "2", "--alpha-r", "3",
-            "--output", &file,
+            "build",
+            "--nodes",
+            "12",
+            "--degree",
+            "3",
+            "--alpha-t",
+            "2",
+            "--alpha-r",
+            "3",
+            "--output",
+            &file,
         ]);
         let (code, out) = run_str(&[
-            "simulate", "--degree", "3", "--topology", "geometric=5", "--slots", "3000", &file,
+            "simulate",
+            "--degree",
+            "3",
+            "--topology",
+            "geometric=5",
+            "--slots",
+            "3000",
+            &file,
         ]);
         assert_eq!(code, 0, "{out}");
         assert!(out.contains("energy"));

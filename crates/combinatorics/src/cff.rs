@@ -38,9 +38,7 @@ impl CoverFreeFamily {
     /// D-cover-free for every `D ≤ n−1` (disjoint singletons) — the TDMA
     /// fixed-assignment schedule, with frame length `n`.
     pub fn identity(n: usize) -> CoverFreeFamily {
-        let blocks = (0..n)
-            .map(|x| BitSet::from_iter(n, [x]))
-            .collect();
+        let blocks = (0..n).map(|x| BitSet::from_iter(n, [x])).collect();
         CoverFreeFamily { ground: n, blocks }
     }
 
@@ -210,7 +208,10 @@ mod tests {
         assert_eq!(f.ground_size(), 9);
         assert_eq!(f.min_block_size(), 3);
         assert!(f.is_d_cover_free(2));
-        assert!(!f.is_d_cover_free(3), "triples of size 3 cannot survive D=3");
+        assert!(
+            !f.is_d_cover_free(3),
+            "triples of size 3 cannot survive D=3"
+        );
     }
 
     #[test]

@@ -30,8 +30,7 @@ pub struct Gf {
 impl Gf {
     /// Builds GF(q). Returns an error if `q` is not a prime power.
     pub fn new(q: usize) -> Result<Gf, String> {
-        let pp = as_prime_power(q as u64)
-            .ok_or_else(|| format!("{q} is not a prime power"))?;
+        let pp = as_prime_power(q as u64).ok_or_else(|| format!("{q} is not a prime power"))?;
         let (p, m) = (pp.p as usize, pp.m as usize);
         let irreducible = if m == 1 {
             Vec::new()
@@ -433,7 +432,7 @@ mod tests {
         assert_eq!(gf.pow(0, 5), 0);
         assert_eq!(gf.pow(3, 0), 1);
         assert_eq!(gf.pow(3, 6), 1); // order divides q−1
-        // Large exponents reduce mod q−1.
+                                     // Large exponents reduce mod q−1.
         assert_eq!(gf.pow(3, 6 * 1_000_000_007 + 2), gf.mul(3, 3));
     }
 

@@ -104,7 +104,9 @@ impl LatinSquare {
 
 /// A complete set of `q−1` MOLS of prime-power order `q`.
 pub fn complete_mols(gf: &Gf) -> Vec<LatinSquare> {
-    (1..gf.order()).map(|m| LatinSquare::from_field(gf, m)).collect()
+    (1..gf.order())
+        .map(|m| LatinSquare::from_field(gf, m))
+        .collect()
 }
 
 /// A transversal design `TD(k, n)` built from `k−2` MOLS of order `n`:
@@ -134,7 +136,9 @@ impl TransversalDesign {
             ));
         }
         let n = if k == 2 {
-            mols.first().map(LatinSquare::order).ok_or("need order info: pass ≥1 square even for k=2")?
+            mols.first()
+                .map(LatinSquare::order)
+                .ok_or("need order info: pass ≥1 square even for k=2")?
         } else {
             mols[0].order()
         };
@@ -182,7 +186,11 @@ impl TransversalDesign {
     pub fn verify(&self) -> Result<(), String> {
         let (k, n) = (self.k, self.n);
         if self.blocks.len() != n * n {
-            return Err(format!("expected {} blocks, got {}", n * n, self.blocks.len()));
+            return Err(format!(
+                "expected {} blocks, got {}",
+                n * n,
+                self.blocks.len()
+            ));
         }
         let mut pair_count = vec![0u32; (k * n) * (k * n)];
         for (bi, b) in self.blocks.iter().enumerate() {
@@ -207,9 +215,7 @@ impl TransversalDesign {
                         let (p1, p2) = (g1 * n + e1, g2 * n + e2);
                         let c = pair_count[p1 * (k * n) + p2];
                         if c != 1 {
-                            return Err(format!(
-                                "cross pair ({p1},{p2}) covered {c} times"
-                            ));
+                            return Err(format!("cross pair ({p1},{p2}) covered {c} times"));
                         }
                     }
                 }

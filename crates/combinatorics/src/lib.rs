@@ -33,9 +33,9 @@ pub mod primes;
 pub mod steiner;
 
 pub use cff::CoverFreeFamily;
+pub use gf::Gf;
 pub use greedy::{greedy_cff, GreedyConfig};
 pub use latin::{complete_mols, LatinSquare, TransversalDesign};
-pub use gf::Gf;
 pub use oa::OrthogonalArray;
 pub use poly::Poly;
 pub use primes::{as_prime_power, is_prime, next_prime_power, PrimePower, TsmaParams};

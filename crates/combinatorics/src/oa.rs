@@ -104,8 +104,7 @@ impl OrthogonalArray {
                 for row in &self.rows {
                     counts[row[c1] * q + row[c2]] += 1;
                 }
-                if let Some((pair, &c)) = counts.iter().enumerate().find(|(_, &c)| c != lambda)
-                {
+                if let Some((pair, &c)) = counts.iter().enumerate().find(|(_, &c)| c != lambda) {
                     return Err(format!(
                         "columns ({c1},{c2}): symbol pair ({},{}) occurs {c} times, want {lambda}",
                         pair / q,

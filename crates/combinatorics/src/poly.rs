@@ -47,7 +47,10 @@ impl Poly {
             coeffs.push((idx % q) as usize);
             idx /= q;
         }
-        assert_eq!(idx, 0, "index {index} out of range for degree ≤ {k} over GF({q})");
+        assert_eq!(
+            idx, 0,
+            "index {index} out of range for degree ≤ {k} over GF({q})"
+        );
         Poly::from_coeffs(coeffs)
     }
 
@@ -198,10 +201,7 @@ mod tests {
         let gf = Gf::new(7).unwrap();
         let p = Poly::from_coeffs(vec![3, 0, 5, 1]); // 3 + 5x² + x³
         for x in 0..7 {
-            let naive = gf.add(
-                3,
-                gf.add(gf.mul(5, gf.pow(x, 2)), gf.pow(x, 3)),
-            );
+            let naive = gf.add(3, gf.add(gf.mul(5, gf.pow(x, 2)), gf.pow(x, 3)));
             assert_eq!(p.eval(&gf, x), naive, "x={x}");
         }
     }
@@ -240,8 +240,7 @@ mod tests {
     fn interpolation_recovers_polynomial() {
         let gf = Gf::new(8).unwrap();
         let p = Poly::from_coeffs(vec![5, 1, 3]);
-        let points: Vec<(usize, usize)> =
-            (0..4).map(|x| (x, p.eval(&gf, x))).collect();
+        let points: Vec<(usize, usize)> = (0..4).map(|x| (x, p.eval(&gf, x))).collect();
         let q = Poly::interpolate(&gf, &points);
         assert_eq!(p, q);
     }

@@ -253,7 +253,9 @@ mod tests {
             let mut best = u64::MAX;
             for k in 1..=16u32 {
                 for q in 2..=4096u64 {
-                    let Some(pp) = as_prime_power(q) else { continue };
+                    let Some(pp) = as_prime_power(q) else {
+                        continue;
+                    };
                     let cand = TsmaParams { q: pp, k };
                     if cand.capacity() >= n && cand.max_degree() >= d {
                         best = best.min(cand.frame_length());

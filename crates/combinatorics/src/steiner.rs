@@ -68,7 +68,13 @@ impl SteinerTripleSystem {
         let infinity = v - 1;
         let point = |i: usize, layer: usize| i + layer * n;
         // Rename symbols of (Z_2t, +): even sum 2k ↦ k, odd sum 2k+1 ↦ t+k.
-        let rename = |s: usize| if s.is_multiple_of(2) { s / 2 } else { t + s / 2 };
+        let rename = |s: usize| {
+            if s.is_multiple_of(2) {
+                s / 2
+            } else {
+                t + s / 2
+            }
+        };
         let op = |i: usize, j: usize| rename((i + j) % n);
         let mut triples = Vec::with_capacity(v * (v - 1) / 6);
         for i in 0..t {
@@ -175,7 +181,10 @@ mod tests {
     #[test]
     fn nonexistent_orders_rejected() {
         for v in [0usize, 1, 2, 3, 4, 5, 6, 8, 10, 11, 12, 14, 20] {
-            assert!(SteinerTripleSystem::new(v).is_err(), "STS({v}) should be rejected");
+            assert!(
+                SteinerTripleSystem::new(v).is_err(),
+                "STS({v}) should be rejected"
+            );
         }
     }
 
@@ -185,10 +194,7 @@ mod tests {
         let ts = sts.triples();
         for i in 0..ts.len() {
             for j in i + 1..ts.len() {
-                let shared = ts[i]
-                    .iter()
-                    .filter(|p| ts[j].contains(p))
-                    .count();
+                let shared = ts[i].iter().filter(|p| ts[j].contains(p)).count();
                 assert!(shared <= 1, "{:?} vs {:?}", ts[i], ts[j]);
             }
         }

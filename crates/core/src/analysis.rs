@@ -88,12 +88,7 @@ pub fn theorem8_lower_bound(
 
 /// The *measured* optimality ratio `Thr_ave(constructed) / Thr*_{α_R,α_T}`
 /// (Theorem 2 over Theorem 4). Theorem 8 lower-bounds this.
-pub fn optimality_ratio(
-    constructed: &Schedule,
-    d: usize,
-    alpha_t: usize,
-    alpha_r: usize,
-) -> f64 {
+pub fn optimality_ratio(constructed: &Schedule, d: usize, alpha_t: usize, alpha_r: usize) -> f64 {
     let n = constructed.num_nodes();
     let bound = alpha_bound(n, d, alpha_t, alpha_r);
     average_throughput(constructed, d) / bound.thr_star
@@ -102,11 +97,7 @@ pub fn optimality_ratio(
 /// The §7 identity: when every constructed slot has exactly `α_R` receivers,
 /// `Thr_ave/Thr* = (1/L̄)·Σ_i r(|T̄[i]|)`. Used to cross-check
 /// [`optimality_ratio`] in tests and experiment E7.
-pub fn optimality_ratio_via_r(
-    constructed: &Schedule,
-    d: usize,
-    alpha_t_star: usize,
-) -> f64 {
+pub fn optimality_ratio_via_r(constructed: &Schedule, d: usize, alpha_t_star: usize) -> f64 {
     let n = constructed.num_nodes();
     let l = constructed.frame_length();
     let sum: f64 = (0..l)
@@ -131,8 +122,7 @@ pub fn theorem9_loose_bound(
 ) -> f64 {
     let max = t_sizes.iter().copied().max().unwrap_or(0);
     let min = t_sizes.iter().copied().min().unwrap_or(0);
-    thr_min_source
-        / (max.div_ceil(alpha_t_star) * (n - min).div_ceil(alpha_r)) as f64
+    thr_min_source / (max.div_ceil(alpha_t_star) * (n - min).div_ceil(alpha_r)) as f64
 }
 
 #[cfg(test)]
@@ -152,11 +142,9 @@ mod tests {
         for (q, n, at, ar) in [(5usize, 25u64, 2usize, 3usize), (4, 13, 1, 2), (3, 9, 2, 4)] {
             let ns = polynomial_schedule(q, 1, n);
             let c = construct_exact(&ns, at, ar, PartitionStrategy::Contiguous);
-            let exact =
-                constructed_frame_length(&ns.t_sizes(), n as usize, at, ar);
+            let exact = constructed_frame_length(&ns.t_sizes(), n as usize, at, ar);
             assert_eq!(c.schedule.frame_length(), exact, "q={q} at={at} ar={ar}");
-            let bound =
-                frame_length_upper_bound(&ns.t_sizes(), n as usize, at, ar);
+            let bound = frame_length_upper_bound(&ns.t_sizes(), n as usize, at, ar);
             assert!(exact <= bound);
         }
     }
@@ -238,18 +226,8 @@ mod tests {
         assert!(thr_min_src > 0.0);
         let c = construct(&ns, d, 2, 4, PartitionStrategy::RoundRobin);
         let measured = min_throughput(&c.schedule, d);
-        let tight = theorem9_bound(
-            thr_min_src,
-            ns.frame_length(),
-            c.schedule.frame_length(),
-        );
-        let loose = theorem9_loose_bound(
-            thr_min_src,
-            &ns.t_sizes(),
-            16,
-            c.alpha_t_star,
-            4,
-        );
+        let tight = theorem9_bound(thr_min_src, ns.frame_length(), c.schedule.frame_length());
+        let loose = theorem9_loose_bound(thr_min_src, &ns.t_sizes(), 16, c.alpha_t_star, 4);
         assert!(measured >= tight - 1e-12, "{measured} < tight {tight}");
         assert!(tight >= loose - 1e-12, "tight {tight} < loose {loose}");
     }

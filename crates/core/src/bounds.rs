@@ -52,8 +52,7 @@ pub struct AlphaBound {
 /// `x` transmitters and `α_R` receivers per slot.
 pub fn transmitter_objective(n: usize, d: usize, x: usize) -> f64 {
     assert!(d >= 1 && d < n && x < n);
-    x as f64 / (n - 1) as f64
-        * binomial_ratio((n - x - 1) as u64, (n - 2) as u64, (d - 1) as u64)
+    x as f64 / (n - 1) as f64 * binomial_ratio((n - x - 1) as u64, (n - 2) as u64, (d - 1) as u64)
 }
 
 /// Theorem 4: bound and optimal transmitter count for
@@ -78,8 +77,7 @@ pub fn alpha_bound(n: usize, d: usize, alpha_t: usize, alpha_r: usize) -> AlphaB
         alpha_r as f64 * (n - 1) as f64 / (n as f64 * (n - 1) as f64)
     } else {
         let (nf, df) = (n as f64, d as f64);
-        alpha_r as f64 * (nf - 1.0) * (df - 1.0).powf(df - 1.0)
-            / (nf * (nf - df) * df.powf(df))
+        alpha_r as f64 * (nf - 1.0) * (df - 1.0).powf(df - 1.0) / (nf * (nf - df) * df.powf(df))
     };
     AlphaBound {
         alpha_unconstrained: alpha,
@@ -88,7 +86,6 @@ pub fn alpha_bound(n: usize, d: usize, alpha_t: usize, alpha_r: usize) -> AlphaB
         loose,
     }
 }
-
 
 /// The best `(α_T, α_R)` split under a duty-cycle budget.
 ///
@@ -202,7 +199,10 @@ mod tests {
                 })
                 .collect();
             let s = Schedule::non_sleeping(n, t);
-            assert!(average_throughput(&s, d) <= b.thr_star + 1e-12, "seed {seed}");
+            assert!(
+                average_throughput(&s, d) <= b.thr_star + 1e-12,
+                "seed {seed}"
+            );
         }
     }
 
@@ -214,7 +214,10 @@ mod tests {
         assert_eq!(b.alpha_t_star, 3);
 
         let b2 = alpha_bound(20, 2, 15, 5);
-        assert_eq!(b2.alpha_t_star, 9, "unconstrained optimum when α_T is generous");
+        assert_eq!(
+            b2.alpha_t_star, 9,
+            "unconstrained optimum when α_T is generous"
+        );
     }
 
     #[test]
@@ -257,10 +260,7 @@ mod tests {
                 .map(|i| {
                     let t_i = &t[i];
                     let size = 1 + (i * 5) % ar;
-                    BitSet::from_iter(
-                        n,
-                        (0..n).filter(|v| !t_i.contains(*v)).take(size),
-                    )
+                    BitSet::from_iter(n, (0..n).filter(|v| !t_i.contains(*v)).take(size))
                 })
                 .collect();
             let s = Schedule::new(n, t, r);
@@ -367,5 +367,4 @@ mod tests {
         assert!(optimize_budget(20, 2, 0.0).is_none());
         assert!(optimize_budget(20, 2, 0.1).is_some());
     }
-
 }

@@ -192,9 +192,9 @@ pub fn partition(
                 let start = (j * size).min(m - size);
                 order[start..start + size].to_vec()
             }
-            PartitionStrategy::RoundRobin | PartitionStrategy::Randomized { .. } => (0..size)
-                .map(|o| order[(j * size + o) % m])
-                .collect(),
+            PartitionStrategy::RoundRobin | PartitionStrategy::Randomized { .. } => {
+                (0..size).map(|o| order[(j * size + o) % m]).collect()
+            }
         })
         .collect()
 }
@@ -273,8 +273,18 @@ mod tests {
     fn partition_randomized_deterministic_in_seed() {
         let elems: Vec<usize> = (0..9).collect();
         let (mut s1, mut s2) = (5u64, 5u64);
-        let a = partition(&elems, 4, PartitionStrategy::Randomized { seed: 5 }, &mut s1);
-        let b = partition(&elems, 4, PartitionStrategy::Randomized { seed: 5 }, &mut s2);
+        let a = partition(
+            &elems,
+            4,
+            PartitionStrategy::Randomized { seed: 5 },
+            &mut s1,
+        );
+        let b = partition(
+            &elems,
+            4,
+            PartitionStrategy::Randomized { seed: 5 },
+            &mut s2,
+        );
         assert_eq!(a, b);
     }
 

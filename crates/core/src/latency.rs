@@ -59,12 +59,7 @@ pub fn mean_cyclic_wait(slots: &BitSet) -> Option<f64> {
 
 /// Worst-case access delay for the link `x → y` when `y`'s other
 /// neighbours are `others`: the maximum wait until a guaranteed slot.
-pub fn link_access_delay(
-    s: &Schedule,
-    x: usize,
-    y: usize,
-    others: &[usize],
-) -> Option<usize> {
+pub fn link_access_delay(s: &Schedule, x: usize, y: usize, others: &[usize]) -> Option<usize> {
     max_cyclic_gap(&guaranteed_slots(s, x, y, others))
 }
 
@@ -212,7 +207,10 @@ mod tests {
             assert_eq!(worst_case_access_delay(&ns, d), Some(6), "d={d}");
         }
         let mean = average_access_delay(&ns, 2).unwrap();
-        assert!((mean - 3.5).abs() < 1e-12, "uniform arrival in 6 slots: {mean}");
+        assert!(
+            (mean - 3.5).abs() < 1e-12,
+            "uniform arrival in 6 slots: {mean}"
+        );
     }
 
     #[test]

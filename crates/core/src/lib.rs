@@ -44,6 +44,7 @@
 pub mod analysis;
 pub mod bounds;
 pub mod construct;
+pub mod error;
 pub mod gfunc;
 pub mod io;
 pub mod latency;
@@ -54,6 +55,7 @@ pub mod tsma;
 
 pub use bounds::{alpha_bound, general_bound, AlphaBound, GeneralBound};
 pub use construct::{construct, construct_exact, Construction, PartitionStrategy};
+pub use error::ScheduleError;
 pub use requirements::{is_topology_transparent, Violation};
 pub use schedule::Schedule;
 pub use throughput::{average_throughput, min_throughput};

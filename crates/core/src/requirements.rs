@@ -349,7 +349,7 @@ mod tests {
             BitSet::from_iter(3, [2]),
         ];
         let r = vec![
-            BitSet::from_iter(3, [2]),          // 1 does not listen to 0
+            BitSet::from_iter(3, [2]), // 1 does not listen to 0
             BitSet::from_iter(3, [0, 2]),
             BitSet::from_iter(3, [0, 1]),
         ];

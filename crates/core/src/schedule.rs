@@ -11,6 +11,7 @@
 //! paper's set algebra — `σ(a,b) = tran(a) ∩ recv(b)`, `freeSlots(x, Y) =
 //! tran(x) − ∪_{y∈Y} tran(y)` — runs on the transposed view.
 
+use crate::error::ScheduleError;
 use ttdc_util::BitSet;
 
 /// An immutable slot schedule `⟨T, R⟩` over node universe `V_n = [0, n)`.
@@ -32,18 +33,43 @@ impl Schedule {
     ///
     /// # Panics
     /// If the arrays differ in length, a set has the wrong universe, or
-    /// some `T[i]` and `R[i]` intersect.
+    /// some `T[i]` and `R[i]` intersect. [`Schedule::try_new`] is the
+    /// fallible equivalent.
     pub fn new(n: usize, t: Vec<BitSet>, r: Vec<BitSet>) -> Schedule {
-        assert_eq!(t.len(), r.len(), "T and R must have the same length");
-        assert!(!t.is_empty(), "a schedule needs at least one slot");
+        match Schedule::try_new(n, t, r) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Builds a schedule from per-slot transmitter and receiver sets,
+    /// rejecting malformed input as a typed [`ScheduleError`] instead of
+    /// panicking.
+    pub fn try_new(n: usize, t: Vec<BitSet>, r: Vec<BitSet>) -> Result<Schedule, ScheduleError> {
+        if t.len() != r.len() {
+            return Err(ScheduleError::LengthMismatch {
+                t_len: t.len(),
+                r_len: r.len(),
+            });
+        }
+        if t.is_empty() {
+            return Err(ScheduleError::EmptyFrame);
+        }
         let l = t.len();
         for i in 0..l {
-            assert_eq!(t[i].universe(), n, "T[{i}] universe mismatch");
-            assert_eq!(r[i].universe(), n, "R[{i}] universe mismatch");
-            assert!(
-                t[i].is_disjoint(&r[i]),
-                "T[{i}] and R[{i}] intersect: a node cannot transmit and receive in the same slot"
-            );
+            for (array, set) in [("T", &t[i]), ("R", &r[i])] {
+                if set.universe() != n {
+                    return Err(ScheduleError::UniverseMismatch {
+                        array,
+                        slot: i,
+                        found: set.universe(),
+                        expected: n,
+                    });
+                }
+            }
+            if !t[i].is_disjoint(&r[i]) {
+                return Err(ScheduleError::TransmitReceiveOverlap { slot: i });
+            }
         }
         let mut tran = vec![BitSet::new(l); n];
         let mut recv = vec![BitSet::new(l); n];
@@ -55,7 +81,13 @@ impl Schedule {
                 recv[x].insert(i);
             }
         }
-        Schedule { n, t, r, tran, recv }
+        Ok(Schedule {
+            n,
+            t,
+            r,
+            tran,
+            recv,
+        })
     }
 
     /// Builds the non-sleeping schedule `⟨T⟩`: `R[i] = V − T[i]`.
@@ -142,8 +174,7 @@ impl Schedule {
     /// `true` if the schedule is an `(α_T, α_R)`-schedule:
     /// `|T[i]| ≤ α_T` and `|R[i]| ≤ α_R` in every slot.
     pub fn is_alpha_schedule(&self, alpha_t: usize, alpha_r: usize) -> bool {
-        self.t.iter().all(|t| t.len() <= alpha_t)
-            && self.r.iter().all(|r| r.len() <= alpha_r)
+        self.t.iter().all(|t| t.len() <= alpha_t) && self.r.iter().all(|r| r.len() <= alpha_r)
     }
 
     /// Per-slot transmitter counts `|T[i]|`.
@@ -211,10 +242,7 @@ mod tests {
         assert_eq!(s.t_size_range(), (1, 1));
         for x in 0..3 {
             assert_eq!(s.tran(x), &BitSet::from_iter(3, [x]));
-            assert_eq!(
-                s.recv(x),
-                &BitSet::from_iter(3, (0..3).filter(|&i| i != x))
-            );
+            assert_eq!(s.recv(x), &BitSet::from_iter(3, (0..3).filter(|&i| i != x)));
             assert_eq!(s.duty_cycle(x), 1.0);
         }
         assert_eq!(s.average_duty_cycle(), 1.0);
@@ -244,6 +272,42 @@ mod tests {
         assert_eq!(s.average_duty_cycle(), 0.5);
         assert!(s.sigma(0, 1).contains(0));
         assert!(s.sigma(2, 3).is_empty());
+    }
+
+    #[test]
+    fn try_new_reports_typed_errors() {
+        assert_eq!(
+            Schedule::try_new(2, vec![BitSet::new(2)], vec![]).unwrap_err(),
+            ScheduleError::LengthMismatch { t_len: 1, r_len: 0 }
+        );
+        assert_eq!(
+            Schedule::try_new(2, vec![], vec![]).unwrap_err(),
+            ScheduleError::EmptyFrame
+        );
+        assert_eq!(
+            Schedule::try_new(3, vec![BitSet::new(2)], vec![BitSet::new(3)]).unwrap_err(),
+            ScheduleError::UniverseMismatch {
+                array: "T",
+                slot: 0,
+                found: 2,
+                expected: 3
+            }
+        );
+        assert_eq!(
+            Schedule::try_new(
+                2,
+                vec![BitSet::from_iter(2, [0])],
+                vec![BitSet::from_iter(2, [0, 1])]
+            )
+            .unwrap_err(),
+            ScheduleError::TransmitReceiveOverlap { slot: 0 }
+        );
+        assert!(Schedule::try_new(
+            2,
+            vec![BitSet::from_iter(2, [0])],
+            vec![BitSet::from_iter(2, [1])]
+        )
+        .is_ok());
     }
 
     #[test]

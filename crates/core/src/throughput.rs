@@ -132,9 +132,7 @@ pub fn average_throughput(s: &Schedule, d: usize) -> f64 {
                 return 0.0;
             }
             // |T[i]|·|R[i]| · C(n−t−1, D−1)/C(n−2, D−1)
-            t as f64
-                * r as f64
-                * binomial_ratio((n - t - 1) as u64, (n - 2) as u64, (d - 1) as u64)
+            t as f64 * r as f64 * binomial_ratio((n - t - 1) as u64, (n - 2) as u64, (d - 1) as u64)
         })
         .sum();
     sum / (n as f64 * (n - 1) as f64 * l as f64)
@@ -142,11 +140,7 @@ pub fn average_throughput(s: &Schedule, d: usize) -> f64 {
 
 /// Average throughput from per-slot counts alone — the form used by the
 /// bound sweeps (no schedule object required).
-pub fn average_throughput_from_counts(
-    n: usize,
-    d: usize,
-    counts: &[(usize, usize)],
-) -> f64 {
+pub fn average_throughput_from_counts(n: usize, d: usize, counts: &[(usize, usize)]) -> f64 {
     assert!(d >= 1 && n > d);
     let l = counts.len();
     let sum: f64 = counts
@@ -155,9 +149,7 @@ pub fn average_throughput_from_counts(
             if t == 0 || r == 0 || n < t + 1 {
                 return 0.0;
             }
-            t as f64
-                * r as f64
-                * binomial_ratio((n - t - 1) as u64, (n - 2) as u64, (d - 1) as u64)
+            t as f64 * r as f64 * binomial_ratio((n - t - 1) as u64, (n - 2) as u64, (d - 1) as u64)
         })
         .sum();
     sum / (n as f64 * (n - 1) as f64 * l as f64)
@@ -232,10 +224,7 @@ mod tests {
             let s = identity_schedule(n);
             for d in 1..=3 {
                 let thr = min_throughput(&s, d);
-                assert!(
-                    (thr - 1.0 / n as f64).abs() < 1e-12,
-                    "n={n} d={d}: {thr}"
-                );
+                assert!((thr - 1.0 / n as f64).abs() < 1e-12, "n={n} d={d}: {thr}");
             }
         }
     }
@@ -290,10 +279,7 @@ mod tests {
         for d in 1..=2 {
             let closed = average_throughput(&s, d);
             let brute = average_throughput_bruteforce(&s, d);
-            assert!(
-                (closed - brute).abs() < 1e-12,
-                "d={d}: {closed} vs {brute}"
-            );
+            assert!((closed - brute).abs() < 1e-12, "d={d}: {closed} vs {brute}");
         }
     }
 
@@ -305,9 +291,7 @@ mod tests {
             .collect();
         for d in 1..=3 {
             assert!(
-                (average_throughput(&s, d)
-                    - average_throughput_from_counts(9, d, &counts))
-                .abs()
+                (average_throughput(&s, d) - average_throughput_from_counts(9, d, &counts)).abs()
                     < 1e-15
             );
         }
@@ -325,20 +309,12 @@ mod tests {
     fn average_throughput_invariant_under_node_relabeling() {
         // Theorem 2 says only the counts matter: swapping which nodes
         // occupy T[i] leaves the average unchanged.
-        let t1 = vec![
-            BitSet::from_iter(5, [0, 1]),
-            BitSet::from_iter(5, [2, 3]),
-        ];
-        let t2 = vec![
-            BitSet::from_iter(5, [3, 4]),
-            BitSet::from_iter(5, [0, 4]),
-        ];
+        let t1 = vec![BitSet::from_iter(5, [0, 1]), BitSet::from_iter(5, [2, 3])];
+        let t2 = vec![BitSet::from_iter(5, [3, 4]), BitSet::from_iter(5, [0, 4])];
         let s1 = Schedule::non_sleeping(5, t1);
         let s2 = Schedule::non_sleeping(5, t2);
         for d in 1..=3 {
-            assert!(
-                (average_throughput(&s1, d) - average_throughput(&s2, d)).abs() < 1e-15
-            );
+            assert!((average_throughput(&s1, d) - average_throughput(&s2, d)).abs() < 1e-15);
         }
     }
 

@@ -58,10 +58,9 @@ pub fn build_steiner(n: usize) -> Result<NonSleepingSchedule, String> {
     }
     let mut v = 7;
     loop {
-        if (v % 6 == 1 || v % 6 == 3)
-            && v * (v - 1) / 6 >= n {
-                break;
-            }
+        if (v % 6 == 1 || v % 6 == 3) && v * (v - 1) / 6 >= n {
+            break;
+        }
         v += 1;
     }
     let sts = SteinerTripleSystem::new(v)?;

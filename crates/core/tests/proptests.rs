@@ -29,10 +29,8 @@ fn arb_schedule() -> impl Strategy<Value = Schedule> {
             let mut r = Vec::new();
             for (tm, rm) in slots {
                 let tset = BitSet::from_iter(n, (0..n).filter(|&i| tm >> i & 1 == 1));
-                let rset = BitSet::from_iter(
-                    n,
-                    (0..n).filter(|&i| rm >> i & 1 == 1 && tm >> i & 1 == 0),
-                );
+                let rset =
+                    BitSet::from_iter(n, (0..n).filter(|&i| rm >> i & 1 == 1 && tm >> i & 1 == 0));
                 t.push(tset);
                 r.push(rset);
             }

@@ -1,4 +1,7 @@
 //! Runner for experiment e02_throughput_formula — see `ttdc_experiments::e02_throughput_formula`.
 fn main() {
-    ttdc_experiments::run_and_write("e02_throughput_formula", ttdc_experiments::e02_throughput_formula::run);
+    ttdc_experiments::run_and_write(
+        "e02_throughput_formula",
+        ttdc_experiments::e02_throughput_formula::run,
+    );
 }

@@ -1,4 +1,7 @@
 //! Runner for experiment e03_general_bound — see `ttdc_experiments::e03_general_bound`.
 fn main() {
-    ttdc_experiments::run_and_write("e03_general_bound", ttdc_experiments::e03_general_bound::run);
+    ttdc_experiments::run_and_write(
+        "e03_general_bound",
+        ttdc_experiments::e03_general_bound::run,
+    );
 }

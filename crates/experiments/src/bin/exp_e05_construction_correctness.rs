@@ -1,4 +1,7 @@
 //! Runner for experiment e05_construction_correctness — see `ttdc_experiments::e05_construction_correctness`.
 fn main() {
-    ttdc_experiments::run_and_write("e05_construction_correctness", ttdc_experiments::e05_construction_correctness::run);
+    ttdc_experiments::run_and_write(
+        "e05_construction_correctness",
+        ttdc_experiments::e05_construction_correctness::run,
+    );
 }

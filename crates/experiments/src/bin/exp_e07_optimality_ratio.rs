@@ -1,4 +1,7 @@
 //! Runner for experiment e07_optimality_ratio — see `ttdc_experiments::e07_optimality_ratio`.
 fn main() {
-    ttdc_experiments::run_and_write("e07_optimality_ratio", ttdc_experiments::e07_optimality_ratio::run);
+    ttdc_experiments::run_and_write(
+        "e07_optimality_ratio",
+        ttdc_experiments::e07_optimality_ratio::run,
+    );
 }

@@ -1,4 +1,7 @@
 //! Runner for experiment e08_min_throughput — see `ttdc_experiments::e08_min_throughput`.
 fn main() {
-    ttdc_experiments::run_and_write("e08_min_throughput", ttdc_experiments::e08_min_throughput::run);
+    ttdc_experiments::run_and_write(
+        "e08_min_throughput",
+        ttdc_experiments::e08_min_throughput::run,
+    );
 }

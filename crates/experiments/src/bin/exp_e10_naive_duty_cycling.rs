@@ -1,4 +1,7 @@
 //! Runner for experiment e10_naive_duty_cycling — see `ttdc_experiments::e10_naive_duty_cycling`.
 fn main() {
-    ttdc_experiments::run_and_write("e10_naive_duty_cycling", ttdc_experiments::e10_naive_duty_cycling::run);
+    ttdc_experiments::run_and_write(
+        "e10_naive_duty_cycling",
+        ttdc_experiments::e10_naive_duty_cycling::run,
+    );
 }

@@ -1,4 +1,7 @@
 //! Runner for experiment e11_energy_balance — see `ttdc_experiments::e11_energy_balance`.
 fn main() {
-    ttdc_experiments::run_and_write("e11_energy_balance", ttdc_experiments::e11_energy_balance::run);
+    ttdc_experiments::run_and_write(
+        "e11_energy_balance",
+        ttdc_experiments::e11_energy_balance::run,
+    );
 }

@@ -1,4 +1,7 @@
 //! Runner for experiment e15_cff_constructions — see `ttdc_experiments::e15_cff_constructions`.
 fn main() {
-    ttdc_experiments::run_and_write("e15_cff_constructions", ttdc_experiments::e15_cff_constructions::run);
+    ttdc_experiments::run_and_write(
+        "e15_cff_constructions",
+        ttdc_experiments::e15_cff_constructions::run,
+    );
 }

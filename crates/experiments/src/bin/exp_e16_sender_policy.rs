@@ -1,4 +1,7 @@
 //! Runner for experiment e16_sender_policy — see `ttdc_experiments::e16_sender_policy`.
 fn main() {
-    ttdc_experiments::run_and_write("e16_sender_policy", ttdc_experiments::e16_sender_policy::run);
+    ttdc_experiments::run_and_write(
+        "e16_sender_policy",
+        ttdc_experiments::e16_sender_policy::run,
+    );
 }

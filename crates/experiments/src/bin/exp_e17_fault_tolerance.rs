@@ -1,0 +1,7 @@
+//! Runner for experiment e17_fault_tolerance — see `ttdc_experiments::e17_fault_tolerance`.
+fn main() {
+    ttdc_experiments::run_and_write(
+        "e17_fault_tolerance",
+        ttdc_experiments::e17_fault_tolerance::run,
+    );
+}

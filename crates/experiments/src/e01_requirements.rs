@@ -58,7 +58,11 @@ pub fn run() -> Vec<Table> {
     cases.push(("poly(q=3,full)".into(), tight, 3));
 
     cases.push(("identity(n=7)".into(), build_identity(7).schedule, 3));
-    cases.push(("steiner(n=10)".into(), build_steiner(10).unwrap().schedule, 2));
+    cases.push((
+        "steiner(n=10)".into(),
+        build_steiner(10).unwrap().schedule,
+        2,
+    ));
 
     let ns = build_polynomial(12, 2);
     let c = construct(&ns.schedule, 2, 2, 3, PartitionStrategy::RoundRobin);
@@ -81,7 +85,11 @@ pub fn run() -> Vec<Table> {
             r1.to_string(),
             r2.to_string(),
             r3.to_string(),
-            if r2 == r3 { "yes".into() } else { "NO".to_string() },
+            if r2 == r3 {
+                "yes".into()
+            } else {
+                "NO".to_string()
+            },
         ]);
     }
     vec![table]

@@ -20,7 +20,13 @@ pub fn run() -> Vec<Table> {
         cases.push(("poly".to_string(), ns.schedule.clone(), d));
         let alpha_t = 2.min(n / 3).max(1);
         let alpha_r = 3.min(n - alpha_t);
-        let c = construct(&ns.schedule, d, alpha_t, alpha_r, PartitionStrategy::RoundRobin);
+        let c = construct(
+            &ns.schedule,
+            d,
+            alpha_t,
+            alpha_r,
+            PartitionStrategy::RoundRobin,
+        );
         cases.push((
             format!("constructed(a_T={alpha_t},a_R={alpha_r})"),
             c.schedule,

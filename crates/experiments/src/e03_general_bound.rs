@@ -39,7 +39,14 @@ pub fn run() -> Vec<Table> {
             "attained",
         ],
     );
-    for (n, d) in [(16usize, 2usize), (25, 2), (25, 4), (64, 3), (100, 5), (256, 8)] {
+    for (n, d) in [
+        (16usize, 2usize),
+        (25, 2),
+        (25, 4),
+        (64, 3),
+        (100, 5),
+        (256, 8),
+    ] {
         let b = general_bound(n, d);
         let max_sweep = (0..n).map(|x| g(n, d, x)).fold(0.0, f64::max);
         summary.row(&[
@@ -65,11 +72,19 @@ mod tests {
     fn sweep_never_exceeds_bound_and_argmax_is_attained() {
         let tables = run();
         let summary = &tables[1];
-        let attained = summary.columns().iter().position(|c| c == "attained").unwrap();
+        let attained = summary
+            .columns()
+            .iter()
+            .position(|c| c == "attained")
+            .unwrap();
         assert!(summary.rows().iter().all(|r| r[attained] == "true"));
         // The sweep marks exactly one argmax row per (n, D).
         let sweep = &tables[0];
-        let is_arg = sweep.columns().iter().position(|c| c == "is_argmax").unwrap();
+        let is_arg = sweep
+            .columns()
+            .iter()
+            .position(|c| c == "is_argmax")
+            .unwrap();
         let marked = sweep.rows().iter().filter(|r| r[is_arg] == "true").count();
         assert_eq!(marked, 4, "one argmax per (n,D) pair");
     }

@@ -25,7 +25,13 @@ pub fn run() -> Vec<Table> {
 
     let mut by_at = Table::new(
         "E4b — Theorem 4 bound vs alpha_T (n=30, D=3, alpha_R=6)",
-        &["alpha_T", "alpha_unconstrained", "alpha_T*", "Thr*", "saturated"],
+        &[
+            "alpha_T",
+            "alpha_unconstrained",
+            "alpha_T*",
+            "Thr*",
+            "saturated",
+        ],
     );
     let mut prev = 0.0;
     for at in 1..=(n - 6) {
@@ -42,7 +48,13 @@ pub fn run() -> Vec<Table> {
 
     let mut grid = Table::new(
         "E4c — optimal alpha_T* across (n, D)",
-        &["n", "D", "alpha=(n-D)/D", "alpha_T*_unconstrained", "Thr*(alpha_R=n-alpha)"],
+        &[
+            "n",
+            "D",
+            "alpha=(n-D)/D",
+            "alpha_T*_unconstrained",
+            "Thr*(alpha_R=n-alpha)",
+        ],
     );
     for (n, d) in [(16usize, 2usize), (25, 2), (25, 4), (64, 3), (100, 5)] {
         let b = alpha_bound(n, d, n / 2, n - n / 2);
@@ -51,9 +63,7 @@ pub fn run() -> Vec<Table> {
             d.to_string(),
             format!("{:.2}", (n - d) as f64 / d as f64),
             b.alpha_unconstrained.to_string(),
-            fmt_f(
-                alpha_bound(n, d, b.alpha_unconstrained, n - b.alpha_unconstrained).thr_star,
-            ),
+            fmt_f(alpha_bound(n, d, b.alpha_unconstrained, n - b.alpha_unconstrained).thr_star),
         ]);
     }
     vec![by_ar, by_at, grid]
@@ -69,7 +79,11 @@ mod tests {
         // E4a: Thr* strictly increases with α_R.
         let a = &tables[0];
         let thr_col = a.columns().iter().position(|c| c == "Thr*").unwrap();
-        let vals: Vec<f64> = a.rows().iter().map(|r| r[thr_col].parse().unwrap()).collect();
+        let vals: Vec<f64> = a
+            .rows()
+            .iter()
+            .map(|r| r[thr_col].parse().unwrap())
+            .collect();
         assert!(vals.windows(2).all(|w| w[1] > w[0] - 1e-15));
         // Linearity: ratio to α_R constant.
         let per_unit: Vec<f64> = vals

@@ -13,8 +13,18 @@ pub fn run() -> Vec<Table> {
     let mut table = Table::new(
         "E5 — Theorem 6: constructed schedules are topology-transparent (α_T, α_R)-schedules",
         &[
-            "source", "n", "D", "a_T", "a_R", "strategy", "L", "L_bar", "alpha_ok",
-            "transparent", "duty", "duty_bound",
+            "source",
+            "n",
+            "D",
+            "a_T",
+            "a_R",
+            "strategy",
+            "L",
+            "L_bar",
+            "alpha_ok",
+            "transparent",
+            "duty",
+            "duty_bound",
         ],
     );
     let strategies = [

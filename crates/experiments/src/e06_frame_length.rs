@@ -2,10 +2,10 @@
 //! `Σ ⌈|T[i]|/α_T*⌉·⌈(n−|T[i]|)/α_R⌉` exactly and stays below the closed
 //! bound; the bound is tight when all `|T[i]|` are equal.
 
+use ttdc_combinatorics::{CoverFreeFamily, Gf};
 use ttdc_core::analysis::{constructed_frame_length, frame_length_upper_bound};
 use ttdc_core::construct::{construct, PartitionStrategy};
 use ttdc_core::tsma::build_polynomial;
-use ttdc_combinatorics::{CoverFreeFamily, Gf};
 use ttdc_core::Schedule;
 use ttdc_util::Table;
 
@@ -14,8 +14,19 @@ pub fn run() -> Vec<Table> {
     let mut table = Table::new(
         "E6 — Theorem 7: constructed frame length, formula vs measured vs bound",
         &[
-            "source", "n", "D", "a_T", "a_R", "M_in", "M_ax", "L", "measured_L_bar",
-            "formula", "bound", "formula_matches", "bound_tight",
+            "source",
+            "n",
+            "D",
+            "a_T",
+            "a_R",
+            "M_in",
+            "M_ax",
+            "L",
+            "measured_L_bar",
+            "formula",
+            "bound",
+            "formula_matches",
+            "bound_tight",
         ],
     );
     let mut cases: Vec<(String, Schedule, usize)> = Vec::new();

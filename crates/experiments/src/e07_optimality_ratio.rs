@@ -4,9 +4,9 @@
 //! `α_T*`: ratio = 1 exactly when `M_in ≥ α_T*`, and below that the
 //! Theorem-8 lower bound holds while ratio degrades with `M_in`.
 
+use ttdc_combinatorics::{CoverFreeFamily, Gf};
 use ttdc_core::analysis::{optimality_ratio, r_ratio, theorem8_lower_bound};
 use ttdc_core::construct::{construct, PartitionStrategy};
-use ttdc_combinatorics::{CoverFreeFamily, Gf};
 use ttdc_core::Schedule;
 use ttdc_util::{table::fmt_f, Table};
 
@@ -15,8 +15,17 @@ pub fn run() -> Vec<Table> {
     let mut table = Table::new(
         "E7 — Theorem 8: Thr_ave / Thr* of the construction vs its lower bound",
         &[
-            "n", "D", "a_T", "a_R", "alpha_T*", "M_in", "r(M_in)", "measured_ratio",
-            "thm8_bound", "bound_holds", "equality_case",
+            "n",
+            "D",
+            "a_T",
+            "a_R",
+            "alpha_T*",
+            "M_in",
+            "r(M_in)",
+            "measured_ratio",
+            "thm8_bound",
+            "bound_holds",
+            "equality_case",
         ],
     );
     let gf = Gf::new(7).unwrap();

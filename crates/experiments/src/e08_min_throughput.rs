@@ -14,8 +14,18 @@ pub fn run() -> Vec<Table> {
     let mut table = Table::new(
         "E8 — Theorem 9: minimum throughput of the construction vs bounds",
         &[
-            "source", "n", "D", "a_T", "a_R", "Thr_min(src)", "L", "L_bar",
-            "Thr_min(constructed)", "thm9_bound", "loose_bound", "holds",
+            "source",
+            "n",
+            "D",
+            "a_T",
+            "a_R",
+            "Thr_min(src)",
+            "L",
+            "L_bar",
+            "Thr_min(constructed)",
+            "thm9_bound",
+            "loose_bound",
+            "holds",
         ],
     );
     let mut cases: Vec<(String, Schedule, usize)> = Vec::new();
@@ -34,8 +44,7 @@ pub fn run() -> Vec<Table> {
             let c = construct(ns, *d, at, ar, PartitionStrategy::RoundRobin);
             let measured = min_throughput(&c.schedule, *d);
             let tight = theorem9_bound(thr_src, ns.frame_length(), c.schedule.frame_length());
-            let loose =
-                theorem9_loose_bound(thr_src, &ns.t_sizes(), n, c.alpha_t_star, ar);
+            let loose = theorem9_loose_bound(thr_src, &ns.t_sizes(), n, c.alpha_t_star, ar);
             table.row(&[
                 src.clone(),
                 n.to_string(),

@@ -83,11 +83,17 @@ pub fn run() -> Vec<Table> {
     let mut summary = Table::new(
         "E9b — Figure 1: same fixed-topology throughput, a third of the energy",
         &[
-            "schedule", "duty_cycle", "sim_energy_mJ/node", "fixed_topo_thr/frame",
+            "schedule",
+            "duty_cycle",
+            "sim_energy_mJ/node",
+            "fixed_topo_thr/frame",
             "class_avg_thr (Thm 2, D=1)",
         ],
     );
-    for (name, s, rep) in [("<T> non-sleeping", &ns, &rep_ns), ("<T,R> duty-cycled", &dc, &rep_dc)] {
+    for (name, s, rep) in [
+        ("<T> non-sleeping", &ns, &rep_ns),
+        ("<T,R> duty-cycled", &dc, &rep_dc),
+    ] {
         let total: usize = topology_link_throughput(s, topo.adjacency())
             .iter()
             .map(|&(_, _, c)| c)

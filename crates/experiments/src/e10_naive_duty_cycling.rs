@@ -42,8 +42,13 @@ pub fn run() -> Vec<Table> {
     let mut table = Table::new(
         "E10 — §1: naive 1-in-k duty cycling vs TTDC at matched duty cycle",
         &[
-            "protocol", "rate", "duty_cycle", "delivery_ratio", "collisions/1k-slots",
-            "mean_latency", "energy_mJ/node",
+            "protocol",
+            "rate",
+            "duty_cycle",
+            "delivery_ratio",
+            "collisions/1k-slots",
+            "mean_latency",
+            "energy_mJ/node",
         ],
     );
     let ttdc = TtdcMac::new(N, D, 2, 4, PartitionStrategy::RoundRobin);
@@ -54,7 +59,10 @@ pub fn run() -> Vec<Table> {
     let naive = NaiveDutyCycleMac::new(k);
 
     for rate in [0.001f64, 0.005, 0.02] {
-        for (name, mac) in [("ttdc", &ttdc as &dyn MacProtocol), ("naive-1-in-k", &naive)] {
+        for (name, mac) in [
+            ("ttdc", &ttdc as &dyn MacProtocol),
+            ("naive-1-in-k", &naive),
+        ] {
             let reports = run_replications(REPS, 1, |seed| scenario(mac, rate, seed));
             let s = summarize(&reports);
             table.row(&[
@@ -62,10 +70,7 @@ pub fn run() -> Vec<Table> {
                 format!("{rate}"),
                 format!("{:.3}", s.duty_cycle.mean()),
                 format!("{:.3}", s.delivery_ratio.mean()),
-                format!(
-                    "{:.2}",
-                    s.collisions.mean() / (SLOTS as f64 / 1000.0)
-                ),
+                format!("{:.2}", s.collisions.mean() / (SLOTS as f64 / 1000.0)),
                 format!("{:.1}", s.latency_mean.mean()),
                 format!("{:.1}", s.energy_mean_mj.mean()),
             ]);

@@ -18,7 +18,11 @@ fn activity_stats(s: &ttdc_core::Schedule) -> (usize, usize, f64) {
     let n = counts.len() as f64;
     let sum: f64 = counts.iter().map(|&c| c as f64).sum();
     let sum2: f64 = counts.iter().map(|&c| (c * c) as f64).sum();
-    let jain = if sum2 == 0.0 { 1.0 } else { sum * sum / (n * sum2) };
+    let jain = if sum2 == 0.0 {
+        1.0
+    } else {
+        sum * sum / (n * sum2)
+    };
     (min, max, jain)
 }
 
@@ -27,11 +31,23 @@ pub fn run() -> Vec<Table> {
     let mut table = Table::new(
         "E11 — §7: energy balance across partition strategies",
         &[
-            "n", "D", "a_T", "a_R", "strategy", "L_bar", "min_active", "max_active",
-            "spread", "jain_fairness",
+            "n",
+            "D",
+            "a_T",
+            "a_R",
+            "strategy",
+            "L_bar",
+            "min_active",
+            "max_active",
+            "spread",
+            "jain_fairness",
         ],
     );
-    for (n, d, at, ar) in [(18usize, 2usize, 2usize, 3usize), (25, 2, 3, 4), (16, 3, 2, 4)] {
+    for (n, d, at, ar) in [
+        (18usize, 2usize, 2usize, 3usize),
+        (25, 2, 3, 4),
+        (16, 3, 2, 4),
+    ] {
         let ns = build_polynomial(n, d);
         for (name, strat) in [
             ("contig", PartitionStrategy::Contiguous),

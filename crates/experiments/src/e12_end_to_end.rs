@@ -50,7 +50,10 @@ fn scenario(mac: &dyn MacProtocol, dynamic: bool, seed: u64) -> ttdc_sim::SimRep
     let topo = make_topology(seed);
     let mut sim = Simulator::new(
         topo,
-        TrafficPattern::Convergecast { sink: 0, rate: RATE },
+        TrafficPattern::Convergecast {
+            sink: 0,
+            rate: RATE,
+        },
         SimConfig {
             seed,
             ..Default::default()
@@ -84,8 +87,14 @@ fn protocols(initial: &Topology) -> Vec<(String, Box<dyn MacProtocol>)> {
         ("naive-1-in-k".into(), Box::new(NaiveDutyCycleMac::new(k))),
         ("slotted-aloha".into(), Box::new(SlottedAlohaMac::new(0.05))),
         ("smac-like".into(), Box::new(SmacLikeMac::new(k, 1, 0.2))),
-        ("random-wakeup".into(), Box::new(RandomWakeupMac::new(duty, 17))),
-        ("coloring-tdma".into(), Box::new(ColoringTdmaMac::new(initial))),
+        (
+            "random-wakeup".into(),
+            Box::new(RandomWakeupMac::new(duty, 17)),
+        ),
+        (
+            "coloring-tdma".into(),
+            Box::new(ColoringTdmaMac::new(initial)),
+        ),
     ]
 }
 
@@ -94,14 +103,23 @@ pub fn run() -> Vec<Table> {
     let mut table = Table::new(
         "E12 — convergecast: delivery / latency / energy, static vs churn",
         &[
-            "protocol", "scenario", "delivery_ratio", "mean_latency_slots",
-            "energy_mJ/node", "mJ/delivered", "collisions/1k", "duty_cycle",
+            "protocol",
+            "scenario",
+            "delivery_ratio",
+            "mean_latency_slots",
+            "energy_mJ/node",
+            "mJ/delivered",
+            "collisions/1k",
+            "duty_cycle",
         ],
     );
     for dynamic in [false, true] {
         let scenario_name = if dynamic { "churn" } else { "static" };
         // One protocol set per replication seed (TDMA binds to seed's topo).
-        let names: Vec<String> = protocols(&make_topology(1)).into_iter().map(|p| p.0).collect();
+        let names: Vec<String> = protocols(&make_topology(1))
+            .into_iter()
+            .map(|p| p.0)
+            .collect();
         for name in &names {
             let reports = run_replications(REPS, 1, |seed| {
                 let initial = make_topology(seed);

@@ -16,8 +16,16 @@ pub fn run() -> Vec<Table> {
     let mut analytic = Table::new(
         "E13a — analytic access delay: one-frame bound, energy vs latency",
         &[
-            "schedule", "n", "D", "a_T", "a_R", "L", "worst_delay", "mean_delay",
-            "bounded_by_frame", "duty",
+            "schedule",
+            "n",
+            "D",
+            "a_T",
+            "a_R",
+            "L",
+            "worst_delay",
+            "mean_delay",
+            "bounded_by_frame",
+            "duty",
         ],
     );
     let (n, d) = (16usize, 2usize);
@@ -29,7 +37,9 @@ pub fn run() -> Vec<Table> {
         "-".into(),
         "-".into(),
         ns.schedule.frame_length().to_string(),
-        worst_case_access_delay(&ns.schedule, d).unwrap().to_string(),
+        worst_case_access_delay(&ns.schedule, d)
+            .unwrap()
+            .to_string(),
         format!("{:.2}", average_access_delay(&ns.schedule, d).unwrap()),
         "true".into(),
         format!("{:.3}", ns.schedule.average_duty_cycle()),
@@ -56,13 +66,24 @@ pub fn run() -> Vec<Table> {
     // at the same duty cycle has a heavy tail.
     let mut simulated = Table::new(
         "E13b — simulated single-hop latency on a ring (same duty cycle)",
-        &["protocol", "duty", "mean_latency", "p50", "p99", "max_latency", "delivery_ratio"],
+        &[
+            "protocol",
+            "duty",
+            "mean_latency",
+            "p50",
+            "p99",
+            "max_latency",
+            "delivery_ratio",
+        ],
     );
     let c = construct(&ns.schedule, d, 2, 3, PartitionStrategy::RoundRobin);
     let duty = c.schedule.average_duty_cycle();
     let ttdc_mac = ScheduleMac::new("ttdc", c.schedule.clone());
     let rnd = RandomWakeupMac::new(duty, 3);
-    for (name, mac) in [("ttdc", &ttdc_mac as &dyn MacProtocol), ("random-wakeup", &rnd)] {
+    for (name, mac) in [
+        ("ttdc", &ttdc_mac as &dyn MacProtocol),
+        ("random-wakeup", &rnd),
+    ] {
         let mut sim = Simulator::new(
             Topology::ring(n),
             TrafficPattern::PoissonUnicast { rate: 0.0005 },
@@ -134,6 +155,9 @@ mod tests {
             .parse()
             .unwrap();
         assert!(ttdc_max <= 2.0 * frame, "{ttdc_max} > 2·{frame}");
-        assert!(rnd_max > 4.0 * rnd_mean, "tail {rnd_max} vs mean {rnd_mean}");
+        assert!(
+            rnd_max > 4.0 * rnd_mean,
+            "tail {rnd_max} vs mean {rnd_mean}"
+        );
     }
 }

@@ -33,8 +33,14 @@ pub fn run() -> Vec<Table> {
     let mut table = Table::new(
         "E14 — network lifetime under a fixed battery (20 J/node)",
         &[
-            "protocol", "a_T", "a_R", "duty", "first_death_slot", "deaths@200k",
-            "delivery_ratio", "lifetime_gain",
+            "protocol",
+            "a_T",
+            "a_R",
+            "duty",
+            "first_death_slot",
+            "deaths@200k",
+            "delivery_ratio",
+            "lifetime_gain",
         ],
     );
     let tsma = TsmaMac::new(N, D);

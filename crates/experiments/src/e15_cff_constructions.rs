@@ -5,8 +5,7 @@
 //! in between, greedy fills the gaps, identity is the `Θ(n)` strawman.
 
 use ttdc_combinatorics::cff_bounds::{
-    ground_set_lower_bound, identity_frame_length, polynomial_frame_length,
-    steiner_frame_length,
+    ground_set_lower_bound, identity_frame_length, polynomial_frame_length, steiner_frame_length,
 };
 use ttdc_combinatorics::{complete_mols, greedy_cff, Gf, GreedyConfig, TransversalDesign};
 use ttdc_util::Table;
@@ -102,7 +101,10 @@ mod tests {
             let p: f64 = row[poly].parse().unwrap();
             let i: f64 = row[id].parse().unwrap();
             let b: f64 = row[lb].parse().unwrap();
-            assert!(s >= b && p >= b && i >= b, "nothing beats the bound: {row:?}");
+            assert!(
+                s >= b && p >= b && i >= b,
+                "nothing beats the bound: {row:?}"
+            );
             if n >= 100.0 {
                 assert!(s < i, "Θ(√n) < Θ(n): {row:?}");
                 assert!(p < i, "polylog < Θ(n): {row:?}");
@@ -120,7 +122,10 @@ mod tests {
         let sts = cols.iter().position(|c| c == "steiner").unwrap();
         let poly = cols.iter().position(|c| c == "polynomial").unwrap();
         let rows = t.rows();
-        let first: (f64, f64) = (rows[0][sts].parse().unwrap(), rows[0][poly].parse().unwrap());
+        let first: (f64, f64) = (
+            rows[0][sts].parse().unwrap(),
+            rows[0][poly].parse().unwrap(),
+        );
         let last: (f64, f64) = (
             rows.last().unwrap()[sts].parse().unwrap(),
             rows.last().unwrap()[poly].parse().unwrap(),

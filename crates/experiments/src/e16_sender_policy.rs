@@ -39,7 +39,11 @@ pub fn run() -> Vec<Table> {
     let mut table = Table::new(
         "E16 — ablation: schedule-aware vs eager senders (ttdc, ring)",
         &[
-            "sender_policy", "rate", "delivery_ratio", "mean_latency", "tx_slots_used",
+            "sender_policy",
+            "rate",
+            "delivery_ratio",
+            "mean_latency",
+            "tx_slots_used",
             "energy_mJ/node",
         ],
     );

@@ -24,6 +24,7 @@
 //! | e14 | network lifetime vs duty cycle | [`e14_lifetime`] |
 //! | e15 | CFF construction trade study | [`e15_cff_constructions`] |
 //! | e16 | sender-policy ablation | [`e16_sender_policy`] |
+//! | e17 | fault tolerance (loss/crash/drift) | [`e17_fault_tolerance`] |
 
 pub mod e01_requirements;
 pub mod e02_throughput_formula;
@@ -41,6 +42,7 @@ pub mod e13_latency;
 pub mod e14_lifetime;
 pub mod e15_cff_constructions;
 pub mod e16_sender_policy;
+pub mod e17_fault_tolerance;
 pub mod output;
 
 pub use output::{run_and_write, write_tables};
@@ -55,7 +57,10 @@ pub fn registry() -> Vec<(&'static str, Runner)> {
         ("e02_throughput_formula", e02_throughput_formula::run),
         ("e03_general_bound", e03_general_bound::run),
         ("e04_alpha_bound", e04_alpha_bound::run),
-        ("e05_construction_correctness", e05_construction_correctness::run),
+        (
+            "e05_construction_correctness",
+            e05_construction_correctness::run,
+        ),
         ("e06_frame_length", e06_frame_length::run),
         ("e07_optimality_ratio", e07_optimality_ratio::run),
         ("e08_min_throughput", e08_min_throughput::run),
@@ -67,5 +72,6 @@ pub fn registry() -> Vec<(&'static str, Runner)> {
         ("e14_lifetime", e14_lifetime::run),
         ("e15_cff_constructions", e15_cff_constructions::run),
         ("e16_sender_policy", e16_sender_policy::run),
+        ("e17_fault_tolerance", e17_fault_tolerance::run),
     ]
 }

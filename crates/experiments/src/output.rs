@@ -51,7 +51,11 @@ pub fn run_and_write(id: &str, runner: fn() -> Vec<Table>) {
     }
     let dir = results_dir();
     match write_tables(&dir, id, &tables) {
-        Ok(()) => println!("[{id}] wrote {} table(s) to {}", tables.len(), dir.display()),
+        Ok(()) => println!(
+            "[{id}] wrote {} table(s) to {}",
+            tables.len(),
+            dir.display()
+        ),
         Err(e) => eprintln!("[{id}] could not write results: {e}"),
     }
 }

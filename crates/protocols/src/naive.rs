@@ -60,8 +60,7 @@ mod tests {
     fn wakes_exactly_once_per_period() {
         let mac = NaiveDutyCycleMac::new(8);
         for node in 0..20 {
-            let wake_slots: Vec<u64> =
-                (0..8).filter(|&s| mac.may_receive(node, s)).collect();
+            let wake_slots: Vec<u64> = (0..8).filter(|&s| mac.may_receive(node, s)).collect();
             assert_eq!(wake_slots.len(), 1, "node {node}");
             assert_eq!(wake_slots[0], mac.wake_offset(node));
             // Periodic.

@@ -43,12 +43,7 @@ impl ColoringTdmaMac {
         }
         let num_colors = colors.iter().copied().max().unwrap_or(0) + 1;
         let listen = (0..n)
-            .map(|v| {
-                BitSet::from_iter(
-                    num_colors,
-                    topo.neighbors(v).iter().map(|w| colors[w]),
-                )
-            })
+            .map(|v| BitSet::from_iter(num_colors, topo.neighbors(v).iter().map(|w| colors[w])))
             .collect();
         ColoringTdmaMac {
             colors,
@@ -114,8 +109,7 @@ mod tests {
         for v in 0..6 {
             for slot in 0..mac.frame_length() as u64 {
                 let c = slot as usize % mac.num_colors();
-                let neighbor_transmitting =
-                    topo.neighbors(v).iter().any(|w| mac.color(w) == c);
+                let neighbor_transmitting = topo.neighbors(v).iter().any(|w| mac.color(w) == c);
                 assert_eq!(
                     mac.may_receive(v, slot),
                     c != mac.color(v) && neighbor_transmitting,

@@ -19,6 +19,8 @@
 //! to exercise topology transparency under churn and mobility.
 
 use crate::energy::{EnergyModel, RadioState};
+use crate::error::SimError;
+use crate::faults::{CrashTransition, FaultPlan, FaultState};
 use crate::mac::MacProtocol;
 use crate::metrics::SimReport;
 use crate::topology::Topology;
@@ -47,6 +49,10 @@ pub struct SimConfig {
     pub battery_capacity_mj: Option<f64>,
     /// Ring-buffer capacity for event tracing (0 = tracing off).
     pub trace_capacity: usize,
+    /// Fault injection: lossy/bursty links, transient crashes, clock drift,
+    /// and the ARQ retry bound (see [`crate::faults`]). The default plan
+    /// injects nothing and leaves runs bit-for-bit unchanged.
+    pub faults: FaultPlan,
 }
 
 impl Default for SimConfig {
@@ -58,6 +64,7 @@ impl Default for SimConfig {
             miss_probability: 0.0,
             battery_capacity_mj: None,
             trace_capacity: 0,
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -76,6 +83,7 @@ pub struct CaptureModel {
 }
 
 /// The simulator state: topology, per-node queues, metrics, and the RNG.
+#[derive(Debug)]
 pub struct Simulator {
     topo: Topology,
     pattern: TrafficPattern,
@@ -90,6 +98,8 @@ pub struct Simulator {
     dead: Vec<bool>,
     /// Node positions + capture model, when physical capture is enabled.
     capture: Option<(Vec<(f64, f64)>, CaptureModel)>,
+    /// Fault-injection runtime state (crash flags, link channels, drift).
+    faults: FaultState,
     // Per-slot scratch (reused across steps to avoid allocation).
     transmitting: Vec<bool>,
     tx_queue_idx: Vec<usize>,
@@ -97,15 +107,36 @@ pub struct Simulator {
 
 impl Simulator {
     /// Creates a simulator over `topo` with the given workload and config.
+    ///
+    /// Panics on invalid configuration; [`Simulator::try_new`] is the
+    /// fallible equivalent.
     pub fn new(topo: Topology, pattern: TrafficPattern, config: SimConfig) -> Simulator {
+        match Simulator::try_new(topo, pattern, config) {
+            Ok(sim) => sim,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Creates a simulator over `topo`, rejecting invalid configuration
+    /// (out-of-range sink, bad miss probability, bad fault plan) as a
+    /// typed [`SimError`] instead of panicking.
+    pub fn try_new(
+        topo: Topology,
+        pattern: TrafficPattern,
+        config: SimConfig,
+    ) -> Result<Simulator, SimError> {
         let n = topo.num_nodes();
         if let Some(sink) = pattern.sink() {
-            assert!(sink < n, "sink out of range");
+            if sink >= n {
+                return Err(SimError::SinkOutOfRange { sink, nodes: n });
+            }
         }
-        assert!(
-            (0.0..=1.0).contains(&config.miss_probability),
-            "miss probability must be in [0, 1]"
-        );
+        if !(0.0..=1.0).contains(&config.miss_probability) {
+            return Err(SimError::InvalidMissProbability {
+                value: config.miss_probability,
+            });
+        }
+        config.faults.validate()?;
         let mut sim = Simulator {
             topo,
             pattern,
@@ -121,11 +152,12 @@ impl Simulator {
             slot: 0,
             dead: vec![false; n],
             capture: None,
+            faults: FaultState::new(config.faults, n, config.seed),
             transmitting: vec![false; n],
             tx_queue_idx: vec![usize::MAX; n],
         };
         sim.rebuild_routing();
-        sim
+        Ok(sim)
     }
 
     /// The current topology.
@@ -135,7 +167,11 @@ impl Simulator {
 
     /// Replaces the topology (mobility/churn) and recomputes routes.
     pub fn set_topology(&mut self, topo: Topology) {
-        assert_eq!(topo.num_nodes(), self.topo.num_nodes(), "node count is fixed");
+        assert_eq!(
+            topo.num_nodes(),
+            self.topo.num_nodes(),
+            "node count is fixed"
+        );
         self.topo = topo;
         self.rebuild_routing();
     }
@@ -147,10 +183,33 @@ impl Simulator {
 
     /// Enables physical capture: `positions[v]` is node `v`'s coordinate
     /// (e.g. from [`crate::GeometricNetwork::positions`]).
+    ///
+    /// Panics on invalid input; [`Simulator::try_enable_capture`] is the
+    /// fallible equivalent.
     pub fn enable_capture(&mut self, positions: Vec<(f64, f64)>, model: CaptureModel) {
-        assert_eq!(positions.len(), self.topo.num_nodes(), "one position per node");
-        assert!(model.ratio >= 1.0, "capture ratio must be ≥ 1");
+        if let Err(e) = self.try_enable_capture(positions, model) {
+            panic!("{e}");
+        }
+    }
+
+    /// Enables physical capture, rejecting invalid input as a typed
+    /// [`SimError`] instead of panicking.
+    pub fn try_enable_capture(
+        &mut self,
+        positions: Vec<(f64, f64)>,
+        model: CaptureModel,
+    ) -> Result<(), SimError> {
+        if positions.len() != self.topo.num_nodes() {
+            return Err(SimError::PositionCountMismatch {
+                positions: positions.len(),
+                nodes: self.topo.num_nodes(),
+            });
+        }
+        if model.ratio < 1.0 {
+            return Err(SimError::CaptureRatioTooSmall { ratio: model.ratio });
+        }
         self.capture = Some((positions, model));
+        Ok(())
     }
 
     /// Among ≥ 2 transmitting neighbours of `y`, the one that captures the
@@ -214,21 +273,28 @@ impl Simulator {
             TrafficPattern::SaturatedBroadcast => {}
             TrafficPattern::PoissonUnicast { rate } => {
                 for v in 0..n {
-                    if !self.dead[v] && self.rng.gen_bool(rate) {
+                    if !self.dead[v] && !self.faults.is_crashed(v) && self.rng.gen_bool(rate) {
                         self.generate_unicast(v);
                     }
                 }
             }
             TrafficPattern::CbrUnicast { period } => {
                 for v in 0..n {
-                    if !self.dead[v] && (self.slot + v as u64).is_multiple_of(period) {
+                    if !self.dead[v]
+                        && !self.faults.is_crashed(v)
+                        && (self.slot + v as u64).is_multiple_of(period)
+                    {
                         self.generate_unicast(v);
                     }
                 }
             }
             TrafficPattern::Convergecast { sink, rate } => {
                 for v in 0..n {
-                    if self.dead[v] || v == sink || !self.rng.gen_bool(rate) {
+                    if self.dead[v]
+                        || self.faults.is_crashed(v)
+                        || v == sink
+                        || !self.rng.gen_bool(rate)
+                    {
                         continue;
                     }
                     {
@@ -240,10 +306,14 @@ impl Simulator {
                                 origin: v,
                                 final_dst: sink,
                                 created: self.slot,
+                                retries: 0,
                             });
                             self.report.trace.record(
                                 self.slot,
-                                TraceEvent::Generated { node: v, final_dst: sink },
+                                TraceEvent::Generated {
+                                    node: v,
+                                    final_dst: sink,
+                                },
                             );
                         }
                     }
@@ -265,25 +335,72 @@ impl Simulator {
             origin: v,
             final_dst: dst,
             created: self.slot,
+            retries: 0,
         });
         self.report.trace.record(
             self.slot,
-            TraceEvent::Generated { node: v, final_dst: dst },
+            TraceEvent::Generated {
+                node: v,
+                final_dst: dst,
+            },
         );
     }
 
     /// Advances one slot under `mac`.
     pub fn step(&mut self, mac: &dyn MacProtocol) {
-        self.generate_traffic();
         let n = self.topo.num_nodes();
+
+        // Phase 0: fault processes — crash/recovery transitions and clock
+        // drift accrual. Every branch here is gated on the corresponding
+        // plan knob (and draws only from the dedicated fault RNG), so a
+        // no-op plan leaves the run bit-for-bit unchanged.
+        if self.faults.plan().crash.is_some() {
+            for v in 0..n {
+                if self.dead[v] {
+                    continue;
+                }
+                match self.faults.step_crash(v) {
+                    Some(CrashTransition::Crashed { drop_queue }) => {
+                        self.report.crashes += 1;
+                        self.report
+                            .trace
+                            .record(self.slot, TraceEvent::NodeCrashed { node: v });
+                        if drop_queue {
+                            let lost = self.queues[v].len() as u64;
+                            self.queues[v].clear();
+                            self.report.crash_dropped += lost;
+                            self.report.undeliverable += lost;
+                        }
+                    }
+                    Some(CrashTransition::Recovered) => {
+                        self.report.recoveries += 1;
+                        self.report
+                            .trace
+                            .record(self.slot, TraceEvent::NodeRecovered { node: v });
+                    }
+                    None => {}
+                }
+            }
+        }
+        self.faults.step_drift();
+
+        self.generate_traffic();
         let saturated = self.pattern.is_saturated();
         let miss = self.config.miss_probability;
+        let lossy_links = self.faults.plan().has_link_loss();
+        let arq_limit = self.faults.plan().max_retries;
 
-        // Phase 1: transmit decisions.
+        // Phase 1: transmit decisions. Each node consults the schedule at
+        // its *perceived* slot (clock drift skews its local clock), though
+        // the transmission physically happens in the true slot.
         for v in 0..n {
             self.transmitting[v] = false;
             self.tx_queue_idx[v] = usize::MAX;
-            if self.dead[v] || !mac.may_transmit(v, self.slot) {
+            if self.dead[v] || self.faults.is_crashed(v) {
+                continue;
+            }
+            let pslot = self.faults.perceived_slot(v, self.slot);
+            if !mac.may_transmit(v, pslot) {
                 continue;
             }
             if miss > 0.0 && self.rng.gen_bool(miss) {
@@ -293,7 +410,10 @@ impl Simulator {
                 self.transmitting[v] = true;
                 self.report.trace.record(
                     self.slot,
-                    TraceEvent::Transmitted { node: v, next_hop: usize::MAX },
+                    TraceEvent::Transmitted {
+                        node: v,
+                        next_hop: usize::MAX,
+                    },
                 );
                 continue;
             }
@@ -309,11 +429,11 @@ impl Simulator {
                 }
             }
             let chosen = if self.config.schedule_aware_senders {
+                // The sender predicts the receiver's listen slot with its
+                // *own* clock — a drifted sender guesses wrong.
                 self.queues[v].iter().position(|p| {
                     let nh = self.next_hop(v, p);
-                    nh != usize::MAX
-                        && self.topo.has_edge(v, nh)
-                        && mac.may_receive(nh, self.slot)
+                    nh != usize::MAX && self.topo.has_edge(v, nh) && mac.may_receive(nh, pslot)
                 })
             } else if self.queues[v].is_empty() {
                 None
@@ -321,14 +441,17 @@ impl Simulator {
                 Some(0)
             };
             if let Some(qi) = chosen {
-                let p = mac.transmit_probability(v, self.slot);
+                let p = mac.transmit_probability(v, pslot);
                 if p >= 1.0 || self.rng.gen_bool(p.max(0.0)) {
                     self.transmitting[v] = true;
                     self.tx_queue_idx[v] = qi;
                     let nh = self.next_hop(v, &self.queues[v][qi]);
                     self.report.trace.record(
                         self.slot,
-                        TraceEvent::Transmitted { node: v, next_hop: nh },
+                        TraceEvent::Transmitted {
+                            node: v,
+                            next_hop: nh,
+                        },
                     );
                 }
             }
@@ -338,53 +461,60 @@ impl Simulator {
         let mut successes: Vec<(usize, usize)> = Vec::new(); // (sender, receiver)
         for y in 0..n {
             if self.dead[y]
+                || self.faults.is_crashed(y)
                 || self.transmitting[y]
-                || !mac.may_receive(y, self.slot)
+                || !mac.may_receive(y, self.faults.perceived_slot(y, self.slot))
                 || (miss > 0.0 && self.rng.gen_bool(miss))
             {
                 continue;
             }
-            let mut tx_neighbors = self.topo.neighbors(y).iter().filter(|&v| self.transmitting[v]);
+            let mut tx_neighbors = self
+                .topo
+                .neighbors(y)
+                .iter()
+                .filter(|&v| self.transmitting[v]);
             let first = tx_neighbors.next();
             let second = tx_neighbors.next();
-            match (first, second) {
-                (Some(x), None) => {
-                    if saturated {
-                        *self.report.link_success.entry((x, y)).or_insert(0) += 1;
-                    } else {
-                        let qi = self.tx_queue_idx[x];
-                        let pkt = self.queues[x][qi];
-                        if self.next_hop(x, &pkt) == y {
-                            successes.push((x, y));
-                        }
-                    }
-                }
+            let decoded = match (first, second) {
+                (Some(x), None) => Some(x),
                 (Some(_), Some(_)) => {
                     // Physical capture may still decode the closest sender.
-                    if let Some(x) = self.capture_winner(y) {
-                        if saturated {
-                            *self.report.link_success.entry((x, y)).or_insert(0) += 1;
-                        } else {
-                            let qi = self.tx_queue_idx[x];
-                            let pkt = self.queues[x][qi];
-                            if self.next_hop(x, &pkt) == y {
-                                successes.push((x, y));
-                            }
-                        }
-                    } else {
+                    let winner = self.capture_winner(y);
+                    if winner.is_none() {
                         self.report.collisions += 1;
                         self.report
                             .trace
                             .record(self.slot, TraceEvent::Collision { at: y });
                     }
+                    winner
                 }
-                _ => {}
+                _ => None,
+            };
+            let Some(x) = decoded else { continue };
+            // Injected link loss can still erase the decoded transmission.
+            if lossy_links && !self.faults.link_delivers(x, y, self.slot) {
+                self.report.link_drops += 1;
+                self.report
+                    .trace
+                    .record(self.slot, TraceEvent::LinkDropped { from: x, to: y });
+                continue;
+            }
+            if saturated {
+                *self.report.link_success.entry((x, y)).or_insert(0) += 1;
+            } else {
+                let qi = self.tx_queue_idx[x];
+                let pkt = self.queues[x][qi];
+                if self.next_hop(x, &pkt) == y {
+                    successes.push((x, y));
+                }
             }
         }
 
         // Phase 3: apply successful handoffs.
         for (x, y) in successes {
             let pkt = self.queues[x].remove(self.tx_queue_idx[x]).unwrap();
+            // Mark the hop acknowledged so the ARQ pass below skips it.
+            self.tx_queue_idx[x] = usize::MAX;
             self.report.hop_deliveries += 1;
             self.report
                 .trace
@@ -394,18 +524,43 @@ impl Simulator {
                 self.report.latency.push((self.slot - pkt.created) as f64);
                 self.report.latency_hist.record(self.slot - pkt.created);
             } else {
-                self.queues[y].push_back(pkt);
+                // ARQ is per hop: the retry budget resets on success.
+                self.queues[y].push_back(Packet { retries: 0, ..pkt });
             }
         }
 
-        // Phase 4: energy and battery depletion.
+        // Bounded link-layer ARQ: a sender whose transmission went
+        // unacknowledged (collision, fade, deaf receiver) burns one retry;
+        // past the budget the packet is abandoned.
+        if let Some(limit) = arq_limit {
+            for v in 0..n {
+                let qi = self.tx_queue_idx[v];
+                if qi == usize::MAX {
+                    continue; // no queued transmission, or the hop succeeded
+                }
+                let pkt = &mut self.queues[v][qi];
+                pkt.retries += 1;
+                if pkt.retries > limit {
+                    self.queues[v].remove(qi);
+                    self.report.retry_exhausted += 1;
+                    self.report
+                        .trace
+                        .record(self.slot, TraceEvent::RetryExhausted { node: v });
+                }
+            }
+        }
+
+        // Phase 4: energy and battery depletion. A crashed node's radio is
+        // off: it pays only the sleep floor while down.
         for v in 0..n {
             if self.dead[v] {
                 continue;
             }
             let state = if self.transmitting[v] {
                 RadioState::Transmit
-            } else if mac.may_receive(v, self.slot) {
+            } else if !self.faults.is_crashed(v)
+                && mac.may_receive(v, self.faults.perceived_slot(v, self.slot))
+            {
                 RadioState::Listen
             } else {
                 RadioState::Sleep
@@ -454,6 +609,17 @@ impl Simulator {
     /// Number of battery-dead nodes so far.
     pub fn dead_count(&self) -> usize {
         self.dead.iter().filter(|&&d| d).count()
+    }
+
+    /// `true` if `node` is transiently crashed (fault injection; disjoint
+    /// from battery death).
+    pub fn is_crashed(&self, node: usize) -> bool {
+        self.faults.is_crashed(node)
+    }
+
+    /// Number of currently-crashed nodes.
+    pub fn crashed_count(&self) -> usize {
+        self.faults.crashed_count()
     }
 }
 
@@ -532,11 +698,7 @@ mod tests {
         // Round-robin on 2 nodes: each node transmits half the slots
         // (saturated), listens the other half → no sleep.
         let cfg = SimConfig::default();
-        let mut sim = Simulator::new(
-            Topology::line(2),
-            TrafficPattern::SaturatedBroadcast,
-            cfg,
-        );
+        let mut sim = Simulator::new(Topology::line(2), TrafficPattern::SaturatedBroadcast, cfg);
         sim.run(&rr_mac(2), 10);
         let r = sim.report();
         for v in 0..2 {
@@ -545,9 +707,8 @@ mod tests {
             assert_eq!(r.energy.sleep_slots[v], 0);
             assert_eq!(r.energy.duty_cycle(v), 1.0);
         }
-        let expect =
-            5.0 * cfg.energy.slot_energy_mj(RadioState::Transmit)
-                + 5.0 * cfg.energy.slot_energy_mj(RadioState::Listen);
+        let expect = 5.0 * cfg.energy.slot_energy_mj(RadioState::Transmit)
+            + 5.0 * cfg.energy.slot_energy_mj(RadioState::Listen);
         assert!((r.energy.consumed_mj[0] - expect).abs() < 1e-9);
     }
 
@@ -577,7 +738,10 @@ mod tests {
         let n = 3;
         let mut sim = Simulator::new(
             Topology::line(n),
-            TrafficPattern::Convergecast { sink: 0, rate: 0.05 },
+            TrafficPattern::Convergecast {
+                sink: 0,
+                rate: 0.05,
+            },
             SimConfig {
                 seed: 42,
                 ..Default::default()
@@ -635,7 +799,10 @@ mod tests {
         let sloppy = run(0.3);
         assert_eq!(perfect, 2000);
         assert!(sloppy < perfect, "{sloppy} !< {perfect}");
-        assert!(sloppy > 500, "sync jitter should not kill the link: {sloppy}");
+        assert!(
+            sloppy > 500,
+            "sync jitter should not kill the link: {sloppy}"
+        );
     }
 
     #[test]
@@ -754,11 +921,7 @@ mod tests {
             battery_capacity_mj: Some(9.0),
             ..Default::default()
         };
-        let mut sim = Simulator::new(
-            Topology::line(2),
-            TrafficPattern::SaturatedBroadcast,
-            cfg,
-        );
+        let mut sim = Simulator::new(Topology::line(2), TrafficPattern::SaturatedBroadcast, cfg);
         let mac = rr_mac(2);
         sim.run(&mac, 100);
         let r = sim.report();
@@ -837,5 +1000,358 @@ mod tests {
             TrafficPattern::Convergecast { sink: 5, rate: 0.1 },
             SimConfig::default(),
         );
+    }
+
+    // ---- fault injection ----
+
+    use crate::error::SimError;
+    use crate::faults::{CrashModel, FaultPlan, GilbertElliott};
+
+    #[test]
+    fn fault_counters_stay_zero_without_faults() {
+        let mut sim = Simulator::new(
+            Topology::ring(5),
+            TrafficPattern::PoissonUnicast { rate: 0.2 },
+            SimConfig {
+                seed: 7,
+                ..Default::default()
+            },
+        );
+        sim.run(&rr_mac(5), 300);
+        let r = sim.report();
+        assert_eq!(
+            (
+                r.link_drops,
+                r.crashes,
+                r.recoveries,
+                r.retry_exhausted,
+                r.crash_dropped
+            ),
+            (0, 0, 0, 0, 0)
+        );
+        assert_eq!(r.fault_drops(), 0);
+        assert_eq!(r.link_drop_rate(), 0.0);
+    }
+
+    #[test]
+    fn unbounded_arq_budget_matches_legacy_behaviour() {
+        // A huge retry budget enables the ARQ pass but never drops, so the
+        // observable report matches the no-fault run with the same seed —
+        // the pre-ARQ engine was exactly "retry forever".
+        let run = |faults: FaultPlan| {
+            let mut sim = Simulator::new(
+                Topology::line(4),
+                TrafficPattern::Convergecast { sink: 0, rate: 0.1 },
+                SimConfig {
+                    seed: 21,
+                    faults,
+                    ..Default::default()
+                },
+            );
+            sim.run(&rr_mac(4), 1500);
+            let r = sim.report();
+            (
+                r.generated,
+                r.delivered,
+                r.hop_deliveries,
+                r.collisions,
+                r.undeliverable,
+                r.backlog,
+                format!("{:?}", r.latency.mean()),
+            )
+        };
+        assert_eq!(
+            run(FaultPlan::none()),
+            run(FaultPlan::none().with_max_retries(u32::MAX))
+        );
+    }
+
+    #[test]
+    fn uniform_link_loss_erases_saturated_receptions() {
+        let mut sim = Simulator::new(
+            Topology::line(2),
+            TrafficPattern::SaturatedBroadcast,
+            SimConfig {
+                seed: 2,
+                faults: FaultPlan::lossy(0.3),
+                ..Default::default()
+            },
+        );
+        sim.run(&rr_mac(2), 2000);
+        let r = sim.report();
+        let successes: u64 = r.link_success.values().sum();
+        // Every slot is decoded by exactly one listener; loss erases ~30%.
+        assert_eq!(successes + r.link_drops, 2000);
+        assert!(r.link_drops > 450, "{}", r.link_drops);
+        assert!(
+            (r.link_drop_rate() - 0.3).abs() < 0.05,
+            "{}",
+            r.link_drop_rate()
+        );
+    }
+
+    #[test]
+    fn bursty_channel_hits_its_stationary_loss() {
+        // A Gilbert–Elliott channel with 50% stationary bad time and a
+        // lossless good state drops roughly per_bad × π_bad of receptions.
+        let ge = GilbertElliott {
+            p_good_to_bad: 0.02,
+            p_bad_to_good: 0.02,
+            per_good: 0.0,
+            per_bad: 1.0,
+        };
+        let mut sim = Simulator::new(
+            Topology::line(2),
+            TrafficPattern::SaturatedBroadcast,
+            SimConfig {
+                seed: 8,
+                faults: FaultPlan::default().with_burst(ge),
+                ..Default::default()
+            },
+        );
+        sim.run(&rr_mac(2), 4000);
+        let r = sim.report();
+        let drop_rate = r.link_drop_rate();
+        assert!(
+            (drop_rate - 0.5).abs() < 0.15,
+            "stationary loss ~50%, got {drop_rate}"
+        );
+    }
+
+    #[test]
+    fn arq_exhaustion_is_observable_in_report_and_trace() {
+        // Total link loss + a 3-retry budget: every packet is abandoned
+        // after 4 failed transmissions; nothing is ever delivered.
+        let mut sim = Simulator::new(
+            Topology::line(2),
+            TrafficPattern::CbrUnicast { period: 10 },
+            SimConfig {
+                seed: 5,
+                trace_capacity: 4096,
+                faults: FaultPlan::lossy(1.0).with_max_retries(3),
+                ..Default::default()
+            },
+        );
+        sim.run(&rr_mac(2), 400);
+        let r = sim.report();
+        assert_eq!(r.delivered, 0);
+        assert!(r.retry_exhausted > 0);
+        assert!(r.link_drops >= 4 * r.retry_exhausted);
+        assert_eq!(
+            r.generated,
+            r.delivered + r.undeliverable + r.retry_exhausted + r.backlog,
+            "conservation: {r:?}"
+        );
+        let has = |f: &dyn Fn(&TraceEvent) -> bool| r.trace.events().any(|(_, e)| f(e));
+        assert!(has(&|e| matches!(e, TraceEvent::RetryExhausted { .. })));
+        assert!(has(&|e| matches!(e, TraceEvent::LinkDropped { .. })));
+    }
+
+    #[test]
+    fn crashes_recover_and_lose_queues() {
+        let mut sim = Simulator::new(
+            Topology::line(4),
+            TrafficPattern::Convergecast { sink: 0, rate: 0.2 },
+            SimConfig {
+                seed: 13,
+                trace_capacity: 1 << 16,
+                faults: FaultPlan::default().with_crash(CrashModel::new(0.02, 0.25)),
+                ..Default::default()
+            },
+        );
+        sim.run(&rr_mac(4), 3000);
+        let r = sim.report();
+        assert!(r.crashes > 10, "{}", r.crashes);
+        assert!(r.recoveries > 10, "{}", r.recoveries);
+        assert!(
+            r.crash_dropped > 0,
+            "a busy relay should crash with a queue"
+        );
+        assert!(r.crash_dropped <= r.undeliverable);
+        assert_eq!(r.generated, r.delivered + r.undeliverable + r.backlog);
+        assert!(r.delivered > 0, "the network still works between crashes");
+        let has = |f: &dyn Fn(&TraceEvent) -> bool| r.trace.events().any(|(_, e)| f(e));
+        assert!(has(&|e| matches!(e, TraceEvent::NodeCrashed { .. })));
+        assert!(has(&|e| matches!(e, TraceEvent::NodeRecovered { .. })));
+    }
+
+    #[test]
+    fn persistent_queues_survive_crashes() {
+        let crash = CrashModel {
+            crash_probability: 0.02,
+            recovery_probability: 0.25,
+            persist_queue: true,
+        };
+        let mut sim = Simulator::new(
+            Topology::line(4),
+            TrafficPattern::Convergecast { sink: 0, rate: 0.2 },
+            SimConfig {
+                seed: 13,
+                faults: FaultPlan::default().with_crash(crash),
+                ..Default::default()
+            },
+        );
+        sim.run(&rr_mac(4), 3000);
+        let r = sim.report();
+        assert!(r.crashes > 10);
+        assert_eq!(r.crash_dropped, 0, "persisted queues drop nothing");
+        assert_eq!(r.generated, r.delivered + r.undeliverable + r.backlog);
+    }
+
+    #[test]
+    fn permanently_crashed_network_goes_silent() {
+        let mut sim = Simulator::new(
+            Topology::line(2),
+            TrafficPattern::SaturatedBroadcast,
+            SimConfig {
+                seed: 1,
+                faults: FaultPlan::default().with_crash(CrashModel::new(1.0, 0.0)),
+                ..Default::default()
+            },
+        );
+        sim.run(&rr_mac(2), 50);
+        let r = sim.report();
+        assert!(r.link_success.is_empty(), "crashed nodes never transmit");
+        assert_eq!(sim.crashed_count(), 2);
+        assert!(sim.is_crashed(0) && sim.is_crashed(1));
+        assert_eq!(sim.dead_count(), 0, "crash is not battery death");
+        // Radios are off: only the sleep floor is consumed.
+        let sleep_only = 50.0 * sim.energy_model().slot_energy_mj(RadioState::Sleep);
+        assert!((r.energy.consumed_mj[0] - sleep_only).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clock_drift_breaks_schedule_agreement() {
+        let run = |drift: f64| {
+            let mut sim = Simulator::new(
+                Topology::line(2),
+                TrafficPattern::SaturatedBroadcast,
+                SimConfig {
+                    seed: 5,
+                    faults: FaultPlan::default().with_drift(drift),
+                    ..Default::default()
+                },
+            );
+            sim.run(&rr_mac(2), 2000);
+            sim.report().link_success.values().sum::<u64>()
+        };
+        let perfect = run(0.0);
+        let drifted = run(0.2);
+        assert_eq!(perfect, 2000);
+        assert!(drifted < 1900, "relative skew must cost slots: {drifted}");
+        assert!(
+            drifted > 100,
+            "drifted clocks still agree sometimes: {drifted}"
+        );
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic_in_seed() {
+        let plan = FaultPlan::lossy(0.1)
+            .with_burst(GilbertElliott::bursty(0.01, 0.2))
+            .with_crash(CrashModel::new(0.005, 0.1))
+            .with_drift(0.01)
+            .with_max_retries(5);
+        let run = |seed| {
+            let mut sim = Simulator::new(
+                Topology::ring(6),
+                TrafficPattern::Convergecast {
+                    sink: 0,
+                    rate: 0.15,
+                },
+                SimConfig {
+                    seed,
+                    faults: plan,
+                    ..Default::default()
+                },
+            );
+            sim.run(&rr_mac(6), 800);
+            let r = sim.report();
+            (
+                r.generated,
+                r.delivered,
+                r.link_drops,
+                r.crashes,
+                r.recoveries,
+                r.retry_exhausted,
+                r.crash_dropped,
+                r.backlog,
+            )
+        };
+        assert_eq!(run(31), run(31));
+        assert_ne!(run(31), run(32));
+    }
+
+    #[test]
+    fn try_new_reports_typed_errors() {
+        let err = Simulator::try_new(
+            Topology::line(2),
+            TrafficPattern::Convergecast { sink: 5, rate: 0.1 },
+            SimConfig::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, SimError::SinkOutOfRange { sink: 5, nodes: 2 });
+
+        let err = Simulator::try_new(
+            Topology::line(2),
+            TrafficPattern::SaturatedBroadcast,
+            SimConfig {
+                miss_probability: 1.5,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, SimError::InvalidMissProbability { value: 1.5 });
+
+        let err = Simulator::try_new(
+            Topology::line(2),
+            TrafficPattern::SaturatedBroadcast,
+            SimConfig {
+                faults: FaultPlan::lossy(2.0),
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::InvalidProbability { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "per-link error rate must be in [0, 1]")]
+    fn invalid_fault_plan_panics_in_new() {
+        Simulator::new(
+            Topology::line(2),
+            TrafficPattern::SaturatedBroadcast,
+            SimConfig {
+                faults: FaultPlan::lossy(-0.5),
+                ..Default::default()
+            },
+        );
+    }
+
+    #[test]
+    fn try_enable_capture_reports_typed_errors() {
+        let mut sim = Simulator::new(
+            Topology::line(3),
+            TrafficPattern::SaturatedBroadcast,
+            SimConfig::default(),
+        );
+        let err = sim
+            .try_enable_capture(vec![(0.0, 0.0)], CaptureModel { ratio: 2.0 })
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SimError::PositionCountMismatch {
+                positions: 1,
+                nodes: 3
+            }
+        );
+        let positions = vec![(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)];
+        let err = sim
+            .try_enable_capture(positions.clone(), CaptureModel { ratio: 0.5 })
+            .unwrap_err();
+        assert_eq!(err, SimError::CaptureRatioTooSmall { ratio: 0.5 });
+        assert!(sim
+            .try_enable_capture(positions, CaptureModel { ratio: 2.0 })
+            .is_ok());
     }
 }

@@ -18,10 +18,45 @@
 //! * [`engine`] — the per-slot simulation loop with schedule-aware senders
 //!   and a sync-miss knob;
 //! * [`energy`] — transmit/listen/sleep accounting;
+//! * [`faults`] — fault injection (lossy/bursty links, transient node
+//!   crashes, clock drift) and the bounded link-layer ARQ;
 //! * [`metrics`], [`montecarlo`] — reports and parallel replication.
+//!
+//! # Fault model
+//!
+//! The paper proves its delivery guarantee over an idealized channel
+//! (collisions are the only loss, slots are perfectly aligned). To measure
+//! how gracefully a topology-transparent schedule degrades when that
+//! idealization breaks, [`SimConfig::faults`] accepts a composable
+//! [`FaultPlan`]:
+//!
+//! * **Link loss** — a uniform packet error rate ([`FaultPlan::per`]) and/or
+//!   a [`faults::GilbertElliott`] two-state bursty channel, drawn per
+//!   directed link per slot; erased receptions are counted in
+//!   [`SimReport::link_drops`].
+//! * **Transient crashes** — a [`faults::CrashModel`] takes nodes down and
+//!   reboots them (distinct from battery death); a crashed node is
+//!   radio-silent, pays only sleep energy, and by default loses its queue
+//!   ([`SimReport::crash_dropped`]).
+//! * **Clock drift** — each node accrues a fixed per-slot skew drawn from
+//!   `[-clock_drift, +clock_drift]`, shifting the slot index at which it
+//!   consults the schedule; this generalizes the uniform
+//!   [`SimConfig::miss_probability`] to *systematic* desynchronization.
+//! * **Bounded ARQ** — [`FaultPlan::max_retries`] caps how often a hop is
+//!   retried before the packet is abandoned
+//!   ([`SimReport::retry_exhausted`]); `None` retries forever, which is the
+//!   legacy behaviour.
+//!
+//! Fault decisions draw from a dedicated RNG stream, so a plan with every
+//! knob at zero ([`FaultPlan::is_noop`]) reproduces the fault-free engine
+//! bit for bit at equal seeds. The per-packet conservation invariant
+//! `generated = delivered + undeliverable + retry_exhausted + backlog`
+//! holds under every plan (crash-dropped queues count as undeliverable).
 
 pub mod energy;
 pub mod engine;
+pub mod error;
+pub mod faults;
 pub mod mac;
 pub mod metrics;
 pub mod montecarlo;
@@ -31,6 +66,8 @@ pub mod traffic;
 
 pub use energy::{EnergyLedger, EnergyModel, RadioState};
 pub use engine::{CaptureModel, SimConfig, Simulator};
+pub use error::SimError;
+pub use faults::{CrashModel, FaultPlan, GilbertElliott};
 pub use mac::{MacProtocol, ScheduleMac};
 pub use metrics::SimReport;
 pub use montecarlo::{run_replications, summarize, McSummary};

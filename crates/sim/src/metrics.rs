@@ -34,6 +34,16 @@ pub struct SimReport {
     pub first_death_slot: Option<u64>,
     /// Battery deaths so far.
     pub deaths: u64,
+    /// Receptions erased by injected link loss (uniform PER or bursts).
+    pub link_drops: u64,
+    /// Transient node crashes (fault injection; disjoint from `deaths`).
+    pub crashes: u64,
+    /// Recoveries from transient crashes.
+    pub recoveries: u64,
+    /// Packets dropped after exhausting the link-layer ARQ retry budget.
+    pub retry_exhausted: u64,
+    /// Queued packets lost to a crash (also counted in `undeliverable`).
+    pub crash_dropped: u64,
     /// Event trace (empty unless enabled in the config).
     pub trace: Trace,
 }
@@ -55,6 +65,11 @@ impl SimReport {
             link_success: BTreeMap::new(),
             first_death_slot: None,
             deaths: 0,
+            link_drops: 0,
+            crashes: 0,
+            recoveries: 0,
+            retry_exhausted: 0,
+            crash_dropped: 0,
             trace: Trace::default(),
         }
     }
@@ -92,6 +107,24 @@ impl SimReport {
         (0..n).map(|v| self.energy.duty_cycle(v)).sum::<f64>() / n.max(1) as f64
     }
 
+    /// Packets lost to injected faults (ARQ exhaustion + crash queue loss),
+    /// as opposed to routing failures.
+    pub fn fault_drops(&self) -> u64 {
+        self.retry_exhausted + self.crash_dropped
+    }
+
+    /// Fraction of link-level reception opportunities erased by injected
+    /// loss: `link_drops / (link_drops + successful receptions)`.
+    pub fn link_drop_rate(&self) -> f64 {
+        let successes = self.hop_deliveries + self.link_success.values().sum::<u64>();
+        let total = self.link_drops + successes;
+        if total == 0 {
+            0.0
+        } else {
+            self.link_drops as f64 / total as f64
+        }
+    }
+
     /// Saturated mode: minimum per-link successes (over links present in
     /// the map) and the mean.
     pub fn link_success_summary(&self) -> (u64, f64) {
@@ -99,8 +132,7 @@ impl SimReport {
             return (0, 0.0);
         }
         let min = *self.link_success.values().min().unwrap();
-        let mean = self.link_success.values().sum::<u64>() as f64
-            / self.link_success.len() as f64;
+        let mean = self.link_success.values().sum::<u64>() as f64 / self.link_success.len() as f64;
         (min, mean)
     }
 }

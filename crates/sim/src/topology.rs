@@ -197,19 +197,11 @@ impl Topology {
 
     /// Degree-capped Erdős–Rényi: each pair is linked with probability `p`
     /// unless that would push either endpoint past `max_degree`.
-    pub fn random_gnp_capped(
-        n: usize,
-        p: f64,
-        max_degree: usize,
-        rng: &mut SmallRng,
-    ) -> Topology {
+    pub fn random_gnp_capped(n: usize, p: f64, max_degree: usize, rng: &mut SmallRng) -> Topology {
         let mut t = Topology::empty(n);
         for a in 0..n {
             for b in a + 1..n {
-                if t.degree(a) < max_degree
-                    && t.degree(b) < max_degree
-                    && rng.gen_bool(p)
-                {
+                if t.degree(a) < max_degree && t.degree(b) < max_degree && rng.gen_bool(p) {
                     t.add_edge(a, b);
                 }
             }
@@ -234,8 +226,9 @@ impl GeometricNetwork {
     /// Scatters `n` nodes uniformly in the unit square.
     pub fn random(n: usize, radius: f64, max_degree: usize, rng: &mut SmallRng) -> Self {
         assert!(n >= 1 && radius > 0.0 && max_degree >= 1);
-        let positions: Vec<(f64, f64)> =
-            (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+        let positions: Vec<(f64, f64)> = (0..n)
+            .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect();
         let waypoints = positions.clone();
         GeometricNetwork {
             positions,

@@ -39,6 +39,28 @@ pub enum TraceEvent {
         /// The exhausted node.
         node: usize,
     },
+    /// A lossy link erased an otherwise-successful reception `from → to`.
+    LinkDropped {
+        /// Sender whose packet faded.
+        from: usize,
+        /// Listener that failed to decode it.
+        to: usize,
+    },
+    /// `node` transiently crashed (fault injection, not battery death).
+    NodeCrashed {
+        /// The node that went down.
+        node: usize,
+    },
+    /// `node` rebooted after a transient crash.
+    NodeRecovered {
+        /// The node that came back up.
+        node: usize,
+    },
+    /// `node` dropped a packet after exhausting its ARQ retry budget.
+    RetryExhausted {
+        /// The node holding the abandoned packet.
+        node: usize,
+    },
 }
 
 /// A bounded ring of `(slot, event)` pairs; oldest entries are evicted.
@@ -115,15 +137,33 @@ mod tests {
     #[test]
     fn events_preserved_in_order() {
         let mut t = Trace::new(10);
-        t.record(0, TraceEvent::Generated { node: 1, final_dst: 2 });
-        t.record(0, TraceEvent::Transmitted { node: 1, next_hop: 2 });
+        t.record(
+            0,
+            TraceEvent::Generated {
+                node: 1,
+                final_dst: 2,
+            },
+        );
+        t.record(
+            0,
+            TraceEvent::Transmitted {
+                node: 1,
+                next_hop: 2,
+            },
+        );
         t.record(1, TraceEvent::HopDelivered { from: 1, to: 2 });
         let kinds: Vec<TraceEvent> = t.events().map(|&(_, e)| e).collect();
         assert_eq!(
             kinds,
             vec![
-                TraceEvent::Generated { node: 1, final_dst: 2 },
-                TraceEvent::Transmitted { node: 1, next_hop: 2 },
+                TraceEvent::Generated {
+                    node: 1,
+                    final_dst: 2
+                },
+                TraceEvent::Transmitted {
+                    node: 1,
+                    next_hop: 2
+                },
                 TraceEvent::HopDelivered { from: 1, to: 2 },
             ]
         );

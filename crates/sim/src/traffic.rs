@@ -17,6 +17,11 @@ pub struct Packet {
     pub final_dst: usize,
     /// Slot of generation (for latency accounting).
     pub created: u64,
+    /// Failed transmission attempts of the *current hop* (link-layer ARQ).
+    /// Reset on every successful handoff; when it exceeds
+    /// [`crate::FaultPlan::max_retries`] the packet is dropped and counted
+    /// in [`crate::SimReport::retry_exhausted`].
+    pub retries: u32,
 }
 
 /// Workload driving the simulator.

@@ -6,9 +6,37 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use ttdc_core::Schedule;
 use ttdc_sim::{
-    ScheduleMac, SimConfig, Simulator, Topology, TrafficPattern,
+    CrashModel, FaultPlan, GilbertElliott, ScheduleMac, SimConfig, Simulator, Topology,
+    TrafficPattern,
 };
 use ttdc_util::BitSet;
+
+/// A randomized [`FaultPlan`] spanning all fault axes, including the noop
+/// corner (all knobs zero) and plans with several axes active at once.
+fn arb_fault_plan() -> impl Strategy<Value = FaultPlan> {
+    (
+        prop_oneof![Just(0.0f64), 0.0f64..0.9],
+        prop::option::of((0.001f64..0.5, 0.001f64..0.5)),
+        prop::option::of((0.0f64..0.05, 0.0f64..0.5, any::<bool>())),
+        prop_oneof![Just(0.0f64), 0.0f64..0.4],
+        prop::option::of(0u32..6),
+    )
+        .prop_map(|(per, burst, crash, drift, max_retries)| {
+            let mut plan = FaultPlan::none().with_per(per).with_drift(drift);
+            if let Some(m) = max_retries {
+                plan = plan.with_max_retries(m);
+            }
+            if let Some((gb, bg)) = burst {
+                plan = plan.with_burst(GilbertElliott::bursty(gb, bg));
+            }
+            if let Some((c, r, persist)) = crash {
+                let mut model = CrashModel::new(c, r);
+                model.persist_queue = persist;
+                plan = plan.with_crash(model);
+            }
+            plan
+        })
+}
 
 /// A random degree-capped topology together with a random periodic
 /// schedule MAC over the same node count.
@@ -159,6 +187,89 @@ proptest! {
             sim.run(&mac, 200);
             let r = sim.report();
             (r.generated, r.delivered, r.collisions, r.undeliverable, r.backlog)
+        };
+        prop_assert_eq!(run(topo.clone()), run(topo));
+    }
+
+    /// Fault-mode conservation: even under randomized loss, bursts,
+    /// crashes, drift, and bounded ARQ, every generated packet is exactly
+    /// one of delivered / undeliverable / retry-exhausted / still queued.
+    #[test]
+    fn faulted_conservation(
+        (topo, mac) in arb_scenario(),
+        plan in arb_fault_plan(),
+        seed in 0u64..500,
+        slots in 50u64..400,
+    ) {
+        let mut sim = Simulator::new(
+            topo,
+            TrafficPattern::Convergecast { sink: 0, rate: 0.05 },
+            SimConfig { seed, faults: plan, ..Default::default() },
+        );
+        sim.run(&mac, slots);
+        let r = sim.report();
+        prop_assert_eq!(
+            r.generated,
+            r.delivered + r.undeliverable + r.retry_exhausted + r.backlog,
+            "gen {} = del {} + undel {} + exhausted {} + backlog {}",
+            r.generated, r.delivered, r.undeliverable, r.retry_exhausted, r.backlog
+        );
+        // Crash-dropped packets are a subset of the undeliverable ones.
+        prop_assert!(r.crash_dropped <= r.undeliverable);
+        // Recoveries never outnumber crashes.
+        prop_assert!(r.recoveries <= r.crashes);
+        // Without a retry budget nothing can be retry-exhausted.
+        if plan.max_retries.is_none() {
+            prop_assert_eq!(r.retry_exhausted, 0);
+        }
+        prop_assert_eq!(r.slots, slots);
+    }
+
+    /// A noop fault plan is bit-for-bit the default engine: same seed ⇒
+    /// identical report, faulted counters all zero.
+    #[test]
+    fn noop_fault_plan_matches_default(
+        (topo, mac) in arb_scenario(),
+        seed in 0u64..300,
+        slots in 50u64..300,
+    ) {
+        let run = |faults: FaultPlan| {
+            let mut sim = Simulator::new(
+                topo.clone(),
+                TrafficPattern::PoissonUnicast { rate: 0.1 },
+                SimConfig { seed, faults, ..Default::default() },
+            );
+            sim.run(&mac, slots);
+            let r = sim.report();
+            (r.generated, r.delivered, r.collisions, r.undeliverable, r.backlog,
+             r.link_drops, r.crashes, r.retry_exhausted)
+        };
+        let noop = run(FaultPlan::none());
+        let default = run(FaultPlan::default());
+        prop_assert_eq!(noop, default);
+        prop_assert_eq!((noop.5, noop.6, noop.7), (0, 0, 0), "no fault events");
+    }
+
+    /// Faulted runs are deterministic in the seed too.
+    #[test]
+    fn faulted_determinism(
+        plan in arb_fault_plan(),
+        seed in 0u64..300,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let topo = Topology::random_gnp_capped(6, 0.4, 3, &mut rng);
+        let t: Vec<BitSet> = (0..6).map(|i| BitSet::from_iter(6, [i])).collect();
+        let mac = ScheduleMac::new("rr", Schedule::non_sleeping(6, t));
+        let run = |topo: Topology| {
+            let mut sim = Simulator::new(
+                topo,
+                TrafficPattern::Convergecast { sink: 0, rate: 0.08 },
+                SimConfig { seed, faults: plan, ..Default::default() },
+            );
+            sim.run(&mac, 200);
+            let r = sim.report();
+            (r.generated, r.delivered, r.link_drops, r.crashes, r.recoveries,
+             r.retry_exhausted, r.crash_dropped, r.backlog)
         };
         prop_assert_eq!(run(topo.clone()), run(topo));
     }

@@ -71,9 +71,7 @@ pub fn binomial_ratio(a: u64, b: u64, k: u64) -> f64 {
     if k > a {
         return 0.0;
     }
-    (0..k)
-        .map(|j| (a - j) as f64 / (b - j) as f64)
-        .product()
+    (0..k).map(|j| (a - j) as f64 / (b - j) as f64).product()
 }
 
 #[cfg(test)]
@@ -149,10 +147,7 @@ mod tests {
                     let num = binomial_exact(a, k).unwrap() as f64;
                     let den = binomial_exact(b, k).unwrap() as f64;
                     let r = binomial_ratio(a, b, k);
-                    assert!(
-                        (r - num / den).abs() < 1e-12,
-                        "C({a},{k})/C({b},{k})"
-                    );
+                    assert!((r - num / den).abs() < 1e-12, "C({a},{k})/C({b},{k})");
                 }
             }
         }

@@ -70,7 +70,11 @@ impl BitSet {
     /// Inserts `e`; returns `true` if it was not already present.
     #[inline]
     pub fn insert(&mut self, e: usize) -> bool {
-        assert!(e < self.universe, "element {e} outside universe {}", self.universe);
+        assert!(
+            e < self.universe,
+            "element {e} outside universe {}",
+            self.universe
+        );
         let (blk, bit) = (e / BITS, e % BITS);
         let had = self.blocks[blk] & (1 << bit) != 0;
         self.blocks[blk] |= 1 << bit;
@@ -80,7 +84,11 @@ impl BitSet {
     /// Removes `e`; returns `true` if it was present.
     #[inline]
     pub fn remove(&mut self, e: usize) -> bool {
-        assert!(e < self.universe, "element {e} outside universe {}", self.universe);
+        assert!(
+            e < self.universe,
+            "element {e} outside universe {}",
+            self.universe
+        );
         let (blk, bit) = (e / BITS, e % BITS);
         let had = self.blocks[blk] & (1 << bit) != 0;
         self.blocks[blk] &= !(1 << bit);
@@ -163,13 +171,19 @@ impl BitSet {
     /// `true` if the two sets share no element.
     pub fn is_disjoint(&self, other: &BitSet) -> bool {
         debug_assert_eq!(self.universe, other.universe);
-        self.blocks.iter().zip(&other.blocks).all(|(a, b)| a & b == 0)
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .all(|(a, b)| a & b == 0)
     }
 
     /// `true` if every element of `self` is in `other`.
     pub fn is_subset(&self, other: &BitSet) -> bool {
         debug_assert_eq!(self.universe, other.universe);
-        self.blocks.iter().zip(&other.blocks).all(|(a, b)| a & !b == 0)
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// `|self ∩ other|` without materialising the intersection.
@@ -359,10 +373,7 @@ mod tests {
         assert_eq!(a.difference(&b), BitSet::from_iter(10, [1, 2]));
         assert_eq!(a.intersection_len(&b), 2);
         assert_eq!(a.difference_len(&b), 2);
-        assert_eq!(
-            a.complement(),
-            BitSet::from_iter(10, [0, 4, 5, 6, 8, 9])
-        );
+        assert_eq!(a.complement(), BitSet::from_iter(10, [0, 4, 5, 6, 8, 9]));
     }
 
     #[test]

@@ -77,7 +77,10 @@ fn main() {
     };
 
     let r_ttdc = run(&ttdc, "ttdc (topology-transparent)");
-    let r_tdma = run(&tdma, "coloring-tdma (topology-dependent, computed for epoch 0)");
+    let r_tdma = run(
+        &tdma,
+        "coloring-tdma (topology-dependent, computed for epoch 0)",
+    );
 
     println!(
         "ttdc delivery {:.3} vs stale tdma {:.3} — the schedule that never \

@@ -30,7 +30,13 @@ fn main() {
             if alpha_t + alpha_r > n {
                 continue;
             }
-            let c = construct(&ns.schedule, d, alpha_t, alpha_r, PartitionStrategy::RoundRobin);
+            let c = construct(
+                &ns.schedule,
+                d,
+                alpha_t,
+                alpha_r,
+                PartitionStrategy::RoundRobin,
+            );
             let s = &c.schedule;
             let thr = ttdc::core::average_throughput(s, d);
             let ratio = optimality_ratio(s, d, alpha_t, alpha_r);

@@ -37,7 +37,13 @@ fn main() {
 
     // Step 2 — the paper's Figure-2 construction: trade frame length for
     // sleep while keeping every topology in N_n^D deliverable.
-    let c = construct(&ns.schedule, d, alpha_t, alpha_r, PartitionStrategy::RoundRobin);
+    let c = construct(
+        &ns.schedule,
+        d,
+        alpha_t,
+        alpha_r,
+        PartitionStrategy::RoundRobin,
+    );
     let s = &c.schedule;
     println!(
         "\nconstructed (α_T, α_R)-schedule: frame = {} slots (α_T* = {})",

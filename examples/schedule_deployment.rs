@@ -23,7 +23,10 @@ fn main() {
     let worst = worst_case_access_delay(s, d).expect("transparent ⇒ bounded");
     println!("audit:");
     println!("  frame length        : {} slots", s.frame_length());
-    println!("  duty cycle          : {:.1}%", 100.0 * s.average_duty_cycle());
+    println!(
+        "  duty cycle          : {:.1}%",
+        100.0 * s.average_duty_cycle()
+    );
     println!("  topology-transparent: yes (every network in N_{n}^{d})");
     println!("  avg throughput      : {:.6}", average_throughput(s, d));
     println!("  min throughput      : {:.6}", min_throughput(s, d));
@@ -47,8 +50,8 @@ fn main() {
     }
 
     // A gateway re-importing the artefact sees the identical schedule.
-    let reloaded = io::from_text(&std::fs::read_to_string(&path).unwrap())
-        .expect("artefact must parse");
+    let reloaded =
+        io::from_text(&std::fs::read_to_string(&path).unwrap()).expect("artefact must parse");
     assert_eq!(&reloaded, s);
     println!("\nround trip: parsed schedule identical to the computed one ✓");
 

@@ -34,7 +34,10 @@ fn ring() -> Topology {
 fn every_protocol_delivers_on_a_ring() {
     let tdma = ColoringTdmaMac::new(&ring());
     let protocols: Vec<(&str, Box<dyn MacProtocol>)> = vec![
-        ("ttdc", Box::new(TtdcMac::new(N, D, 2, 3, PartitionStrategy::RoundRobin))),
+        (
+            "ttdc",
+            Box::new(TtdcMac::new(N, D, 2, 3, PartitionStrategy::RoundRobin)),
+        ),
         ("tsma", Box::new(TsmaMac::new(N, D))),
         ("naive", Box::new(NaiveDutyCycleMac::new(4))),
         ("aloha", Box::new(SlottedAlohaMac::new(0.1))),

@@ -12,7 +12,11 @@ use ttdc::core::Schedule;
 
 #[test]
 fn polynomial_pipeline_end_to_end() {
-    for (n, d, at, ar) in [(15usize, 2usize, 2usize, 3usize), (20, 3, 2, 4), (12, 4, 1, 3)] {
+    for (n, d, at, ar) in [
+        (15usize, 2usize, 2usize, 3usize),
+        (20, 3, 2, 4),
+        (12, 4, 1, 3),
+    ] {
         // Parameter search → field → CFF → schedule.
         let params = TsmaParams::search(n as u64, d as u64).unwrap();
         let cff = CoverFreeFamily::from_tsma_params(&params, n as u64);
@@ -46,7 +50,11 @@ fn steiner_pipeline_end_to_end() {
 
 #[test]
 fn all_source_kinds_through_the_builder() {
-    for kind in [SourceKind::Polynomial, SourceKind::Steiner, SourceKind::Identity] {
+    for kind in [
+        SourceKind::Polynomial,
+        SourceKind::Steiner,
+        SourceKind::Identity,
+    ] {
         let ns = build(10, 2, kind).unwrap();
         assert!(is_topology_transparent(&ns.schedule, 2), "{kind:?}");
         let c = construct(&ns.schedule, 2, 2, 3, PartitionStrategy::RoundRobin);

@@ -92,10 +92,7 @@ fn degree_violation_can_starve_links() {
     let ns = build_polynomial(9, 2).schedule;
     let topo = Topology::star(9);
     let links = topology_link_throughput(&ns, topo.adjacency());
-    let starving = links
-        .iter()
-        .filter(|&&(_, y, c)| y == 0 && c == 0)
-        .count();
+    let starving = links.iter().filter(|&&(_, y, c)| y == 0 && c == 0).count();
     assert!(
         starving > 0,
         "a degree-8 hub under a D=2 schedule should starve somewhere"

@@ -7,9 +7,7 @@ use ttdc::core::analysis::{
 use ttdc::core::bounds::{alpha_bound, general_bound};
 use ttdc::core::construct::{construct, PartitionStrategy};
 use ttdc::core::requirements::{satisfies_requirement2, satisfies_requirement3};
-use ttdc::core::throughput::{
-    average_throughput, average_throughput_bruteforce, min_throughput,
-};
+use ttdc::core::throughput::{average_throughput, average_throughput_bruteforce, min_throughput};
 use ttdc::core::tsma::build_polynomial;
 
 #[test]
@@ -64,7 +62,10 @@ fn theorem_chain_on_one_instance() {
     // (the constructed schedule remains topology-transparent).
     let thr_min_src = min_throughput(&ns, d);
     let thr_min_c = min_throughput(&c.schedule, d);
-    assert!(thr_min_c >= theorem9_bound(thr_min_src, ns.frame_length(), c.schedule.frame_length()) - 1e-12);
+    assert!(
+        thr_min_c
+            >= theorem9_bound(thr_min_src, ns.frame_length(), c.schedule.frame_length()) - 1e-12
+    );
     assert!(thr_min_c > 0.0);
 
     // The energy story in one line: duty cycle dropped from 100% to the
@@ -77,7 +78,10 @@ fn theorem_chain_on_one_instance() {
 fn experiment_registry_smoke() {
     // Each fast experiment runs end-to-end and produces non-empty tables.
     for (id, runner) in ttdc::experiments::registry() {
-        if matches!(id, "e10_naive_duty_cycling" | "e12_end_to_end" | "e16_sender_policy") {
+        if matches!(
+            id,
+            "e10_naive_duty_cycling" | "e12_end_to_end" | "e16_sender_policy"
+        ) {
             continue; // long-running sims, exercised by their binaries
         }
         let tables = runner();

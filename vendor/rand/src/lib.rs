@@ -1,0 +1,241 @@
+//! A minimal, self-contained stand-in for the parts of the crates.io
+//! `rand` 0.8 API this workspace uses: [`rngs::SmallRng`], [`SeedableRng`],
+//! and the [`Rng`] extension trait (`gen`, `gen_bool`, `gen_range`).
+//!
+//! The container this repository builds in has no network access and no
+//! vendored registry, so the real crate cannot be fetched; this shim keeps
+//! the public API source-compatible. The generator is xoshiro256++ (the
+//! same algorithm `SmallRng` uses on 64-bit platforms in rand 0.8) seeded
+//! via SplitMix64, so it is a high-quality deterministic PRNG — streams are
+//! *not* bit-identical to crates.io `rand`, but everything in this
+//! workspace only relies on seeded determinism, not on exact streams.
+
+pub mod rngs;
+
+pub use rngs::SmallRng;
+
+/// Seeding support: the only constructor the workspace uses.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed (SplitMix64 expansion).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Core generator: a source of uniform 64-bit words.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Types producible by [`Rng::gen`] (the `Standard` distribution).
+pub trait Standard: Sized {
+    /// Samples a uniform value from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for usize {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits → [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange {
+    /// The element type produced.
+    type Output;
+    /// Samples uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for core::ops::Range<$t> {
+            type Output = $t;
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128) as u64;
+                // Lemire-style rejection for an unbiased draw.
+                let zone = u64::MAX - (u64::MAX - span + 1) % span;
+                loop {
+                    let v = rng.next_u64();
+                    if v <= zone {
+                        return self.start + (v % span) as $t;
+                    }
+                }
+            }
+        }
+        impl SampleRange for core::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                if start == <$t>::MIN && end == <$t>::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (start..end + 1).sample_from(rng)
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed_range {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleRange for core::ops::Range<$t> {
+            type Output = $t;
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as $u;
+                let off = (0..span).sample_from(rng);
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_signed_range!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+impl SampleRange for core::ops::Range<f64> {
+    type Output = f64;
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let u = f64::sample(rng);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+impl SampleRange for core::ops::Range<f32> {
+    type Output = f32;
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let u = f32::sample(rng);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+/// The user-facing extension trait, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// A uniform sample of type `T` (see [`Standard`]).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    /// If `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "p={p} is outside range [0.0, 1.0]"
+        );
+        f64::sample(self) < p
+    }
+
+    /// A uniform sample from `range`.
+    ///
+    /// # Panics
+    /// If the range is empty.
+    fn gen_range<S: SampleRange>(&mut self, range: S) -> S::Output
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        let mut c = SmallRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn gen_bool_respects_probability() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!((0..1000).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..1000).all(|_| rng.gen_bool(1.0)));
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "{hits}");
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let f = rng.gen_range(-1.5f64..2.5);
+            assert!((-1.5..2.5).contains(&f));
+            let i = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&i));
+        }
+        // Small spans hit every value.
+        let seen: std::collections::BTreeSet<u64> =
+            (0..200).map(|_| rng.gen_range(0u64..3)).collect();
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn uniform_f64_is_in_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+}

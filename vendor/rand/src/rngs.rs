@@ -1,0 +1,72 @@
+//! Concrete generators.
+
+use crate::{RngCore, SeedableRng};
+
+/// A small, fast, non-cryptographic PRNG: xoshiro256++.
+///
+/// Mirrors `rand::rngs::SmallRng` (which is xoshiro256++ on 64-bit
+/// targets in rand 0.8). Deterministic given the seed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SeedableRng for SmallRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SmallRng { s }
+    }
+}
+
+impl RngCore for SmallRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nonzero_state_even_for_zero_seed() {
+        let rng = SmallRng::seed_from_u64(0);
+        assert!(rng.s.iter().any(|&w| w != 0));
+    }
+
+    #[test]
+    fn output_looks_mixed() {
+        let mut rng = SmallRng::seed_from_u64(123);
+        let mut ones = 0u32;
+        for _ in 0..64 {
+            ones += rng.next_u64().count_ones();
+        }
+        // 4096 bits total; a balanced generator is near 2048.
+        assert!((1800..2300).contains(&ones), "{ones}");
+    }
+}

@@ -1,0 +1,107 @@
+//! A sequential stand-in for the parts of crates.io `rayon` this workspace
+//! uses.
+//!
+//! The build container has no network access, so the real crate cannot be
+//! fetched. The workspace only ever calls `.into_par_iter()` followed by
+//! `map`, standard terminal adapters (`collect`, `sum`, `all`, …) and
+//! rayon's `try_reduce`; [`ParIter`] supplies exactly that surface over a
+//! plain sequential [`Iterator`]: identical results, same API shape, no
+//! data parallelism. Swap in the real rayon (same import paths) when a
+//! registry is reachable.
+
+/// `use rayon::prelude::*;` — mirrors the real crate's prelude.
+pub mod prelude {
+    pub use crate::IntoParallelIterator;
+}
+
+/// A "parallel" iterator: a newtype over the sequential iterator that
+/// mirrors the rayon combinators the workspace uses. Standard [`Iterator`]
+/// adapters also work directly (rayon exposes same-named equivalents).
+pub struct ParIter<I>(I);
+
+impl<I: Iterator> Iterator for ParIter<I> {
+    type Item = I::Item;
+
+    fn next(&mut self) -> Option<I::Item> {
+        self.0.next()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.0.size_hint()
+    }
+}
+
+impl<I: Iterator> ParIter<I> {
+    /// Maps each item, keeping the rayon-flavoured wrapper so chained
+    /// rayon-only combinators (e.g. [`ParIter::try_reduce`]) resolve.
+    pub fn map<T, F: FnMut(I::Item) -> T>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+        ParIter(self.0.map(f))
+    }
+
+    /// Filters items, keeping the wrapper.
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParIter<std::iter::Filter<I, F>> {
+        ParIter(self.0.filter(f))
+    }
+
+    /// Rayon's fallible reduction over `Option` items: starts from
+    /// `identity`, combines with `op`, and short-circuits to `None` on the
+    /// first `None` item or combiner result.
+    pub fn try_reduce<T, ID, OP>(mut self, identity: ID, op: OP) -> Option<T>
+    where
+        I: Iterator<Item = Option<T>>,
+        ID: Fn() -> T,
+        OP: Fn(T, T) -> Option<T>,
+    {
+        let mut acc = identity();
+        for item in &mut self.0 {
+            acc = op(acc, item?)?;
+        }
+        Some(acc)
+    }
+}
+
+/// Conversion into a "parallel" iterator; here, the sequential [`ParIter`].
+pub trait IntoParallelIterator: IntoIterator + Sized {
+    /// Returns an iterator over `self`. The real rayon distributes this
+    /// across a thread pool; the fallback runs it in order on the caller's
+    /// thread, which preserves determinism and every aggregate result.
+    fn into_par_iter(self) -> ParIter<Self::IntoIter> {
+        ParIter(self.into_iter())
+    }
+}
+
+impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn behaves_like_the_sequential_iterator() {
+        let doubled: Vec<usize> = (0..10).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..10).map(|x| x * 2).collect::<Vec<_>>());
+        let total: u64 = vec![1u64, 2, 3].into_par_iter().sum();
+        assert_eq!(total, 6);
+        assert!((0..5).into_par_iter().all(|x| x < 5));
+    }
+
+    #[test]
+    fn try_reduce_short_circuits_on_none() {
+        let max = (0..4u64)
+            .into_par_iter()
+            .map(Some)
+            .try_reduce(|| 0, |a, b| Some(a.max(b)));
+        assert_eq!(max, Some(3));
+        let dead = (0..4u64)
+            .into_par_iter()
+            .map(|x| if x == 2 { None } else { Some(x) })
+            .try_reduce(|| 0, |a, b| Some(a.max(b)));
+        assert_eq!(dead, None);
+    }
+
+    #[test]
+    fn option_items_collect_into_option_vec() {
+        let v: Option<Vec<u32>> = (0..3).into_par_iter().map(Some).collect();
+        assert_eq!(v, Some(vec![0, 1, 2]));
+    }
+}
