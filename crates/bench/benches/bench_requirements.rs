@@ -30,5 +30,28 @@ fn bench_sampled(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_exhaustive, bench_sampled);
+/// The parallel Requirement-3 scan at 1 vs 4 pool threads (the outer
+/// transmitter quantifier fans out; speedup tracks physical cores).
+fn bench_exhaustive_parallel(c: &mut Criterion) {
+    let ns = build_polynomial(36, 2);
+    let mut g = c.benchmark_group("requirements/exhaustive_n36_d2");
+    g.sample_size(10);
+    for threads in [1usize, 4] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        g.bench_with_input(BenchmarkId::new("threads", threads), &pool, |b, pool| {
+            b.iter(|| pool.install(|| is_topology_transparent_par(black_box(&ns.schedule), 2)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_exhaustive,
+    bench_sampled,
+    bench_exhaustive_parallel
+);
 criterion_main!(benches);

@@ -30,5 +30,29 @@ fn bench_min_throughput(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_closed_vs_brute, bench_min_throughput);
+/// The exhaustive Definition-2 enumeration at 1 vs 4 pool threads — the
+/// headline win of the parallel runtime (the outer transmitter loop fans
+/// out; speedup tracks physical cores).
+fn bench_bruteforce_parallel(c: &mut Criterion) {
+    let ns = build_polynomial(20, 3);
+    let mut g = c.benchmark_group("throughput/bruteforce_n20_d3");
+    g.sample_size(10);
+    for threads in [1usize, 4] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        g.bench_with_input(BenchmarkId::new("threads", threads), &pool, |b, pool| {
+            b.iter(|| pool.install(|| average_throughput_bruteforce(black_box(&ns.schedule), 3)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_closed_vs_brute,
+    bench_min_throughput,
+    bench_bruteforce_parallel
+);
 criterion_main!(benches);

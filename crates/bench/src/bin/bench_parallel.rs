@@ -1,0 +1,136 @@
+//! Parallel-runtime speedup trajectory: times the three workloads the
+//! vendored rayon pool targets (Monte-Carlo replication, the Definition-2
+//! brute-force throughput enumeration, the exhaustive Requirement-3 scan)
+//! at 1, 2, and 4 pool threads, checks the answers are bit-identical at
+//! every thread count, and writes `BENCH_parallel.json` at the repo root.
+//!
+//! Run with `cargo run --release -p ttdc-bench --bin bench_parallel`.
+//! Speedup tracks *physical cores*: on a single-core host every
+//! configuration degenerates to the sequential inline path (by design —
+//! that is what keeps 1-thread runs byte-identical to the pre-parallel
+//! code), so expect ~1.0× there and read multi-core numbers from CI or a
+//! wider machine.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde_json::{json, to_string_pretty, Value};
+use std::time::Instant;
+use ttdc_core::requirements::is_topology_transparent_par;
+use ttdc_core::throughput::average_throughput_bruteforce;
+use ttdc_core::tsma::build_polynomial;
+use ttdc_protocols::TsmaMac;
+use ttdc_sim::{
+    run_replications, GeometricNetwork, SimConfig, Simulator, Topology, TrafficPattern,
+};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+const ITERS: usize = 5;
+
+fn topo() -> Topology {
+    let mut rng = SmallRng::seed_from_u64(3);
+    GeometricNetwork::random(50, 0.25, 4, &mut rng).topology()
+}
+
+/// Times `work` under a `threads`-wide pool: one warm-up call, then the
+/// median wall time of [`ITERS`] timed calls, plus a digest of the result
+/// for the cross-thread-count identity check.
+fn measure<D: PartialEq + std::fmt::Debug>(
+    threads: usize,
+    work: &(dyn Fn() -> D + Sync),
+) -> (f64, D) {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("pool construction cannot fail");
+    let digest = pool.install(work);
+    let mut times: Vec<f64> = (0..ITERS)
+        .map(|_| {
+            let t0 = Instant::now();
+            pool.install(work);
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    (times[ITERS / 2], digest)
+}
+
+fn run_workload<D: PartialEq + std::fmt::Debug>(
+    name: &str,
+    work: &(dyn Fn() -> D + Sync),
+) -> Value {
+    eprintln!("workload {name}:");
+    let mut runs: Vec<Value> = Vec::new();
+    let mut baseline_ms = 0.0;
+    let mut baseline_digest = None;
+    for threads in THREAD_COUNTS {
+        let (ms, digest) = measure(threads, work);
+        match &baseline_digest {
+            None => {
+                baseline_ms = ms;
+                baseline_digest = Some(digest);
+            }
+            Some(b) => assert_eq!(
+                b, &digest,
+                "{name}: result at {threads} threads differs from 1 thread"
+            ),
+        }
+        let speedup = baseline_ms / ms;
+        eprintln!("  threads={threads}: {ms:.2} ms  ({speedup:.2}x vs 1 thread)");
+        runs.push(json!({
+            "threads": threads,
+            "median_ms": ms,
+            "speedup_vs_1_thread": speedup,
+        }));
+    }
+    json!({
+        "name": name,
+        "iterations": ITERS,
+        "results_identical_across_thread_counts": true,
+        "runs": runs,
+    })
+}
+
+fn main() {
+    let ns20 = build_polynomial(20, 3);
+    let ns36 = build_polynomial(36, 2);
+
+    let workloads = vec![
+        run_workload("sim/run_replications_x16_n50_2k_slots", &|| {
+            let reports = run_replications(16, 7, |seed| {
+                let mac = TsmaMac::new(50, 4);
+                let mut sim = Simulator::new(
+                    topo(),
+                    TrafficPattern::PoissonUnicast { rate: 0.002 },
+                    SimConfig {
+                        seed,
+                        ..Default::default()
+                    },
+                );
+                sim.run(&mac, 2_000);
+                sim.report()
+            });
+            reports
+                .iter()
+                .map(|r| (r.delivered, r.collisions, r.latency.mean().to_bits()))
+                .collect::<Vec<_>>()
+        }),
+        run_workload("throughput/bruteforce_n20_d3", &|| {
+            average_throughput_bruteforce(&ns20.schedule, 3).to_bits()
+        }),
+        run_workload("requirements/exhaustive_n36_d2", &|| {
+            is_topology_transparent_par(&ns36.schedule, 2)
+        }),
+    ];
+
+    let host_threads = std::thread::available_parallelism().map_or(0, |p| p.get());
+    let doc = json!({
+        "description": "wall-clock trajectory of the vendored rayon runtime at 1/2/4 pool threads",
+        "host_available_parallelism": host_threads as u64,
+        "note": "speedup tracks physical cores; a 1-core host runs every configuration on the sequential inline path and reports ~1.0x",
+        "workloads": workloads,
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");
+    let body = to_string_pretty(&doc).expect("serialization cannot fail");
+    std::fs::write(path, body + "\n").expect("write BENCH_parallel.json");
+    eprintln!("wrote {path}");
+}

@@ -13,7 +13,7 @@
 
 use crate::schedule::Schedule;
 use rayon::prelude::*;
-use ttdc_util::{binomial_ratio, for_each_subset_of, BitSet};
+use ttdc_util::{for_each_subset_of, BinomialTable, BitSet};
 
 /// `𝒯(x, y, S) = recv(y) ∩ freeSlots(x, {y} ∪ S)`: slots where `x → y` is
 /// guaranteed to succeed when `y`'s other neighbours are `S`.
@@ -124,6 +124,9 @@ pub fn average_throughput(s: &Schedule, d: usize) -> f64 {
     let n = s.num_nodes();
     assert!(n > d);
     let l = s.frame_length();
+    // Every slot needs C(n−t−1, D−1)/C(n−2, D−1) for its own t; memoize the
+    // whole family once instead of re-deriving the factor product per slot.
+    let ratios = BinomialTable::new((n - 2) as u64, (d - 1) as u64);
     let sum: f64 = (0..l)
         .map(|i| {
             let t = s.transmitters(i).len();
@@ -132,7 +135,7 @@ pub fn average_throughput(s: &Schedule, d: usize) -> f64 {
                 return 0.0;
             }
             // |T[i]|·|R[i]| · C(n−t−1, D−1)/C(n−2, D−1)
-            t as f64 * r as f64 * binomial_ratio((n - t - 1) as u64, (n - 2) as u64, (d - 1) as u64)
+            t as f64 * r as f64 * ratios.ratio((n - t - 1) as u64)
         })
         .sum();
     sum / (n as f64 * (n - 1) as f64 * l as f64)
@@ -143,13 +146,14 @@ pub fn average_throughput(s: &Schedule, d: usize) -> f64 {
 pub fn average_throughput_from_counts(n: usize, d: usize, counts: &[(usize, usize)]) -> f64 {
     assert!(d >= 1 && n > d);
     let l = counts.len();
+    let ratios = BinomialTable::new((n - 2) as u64, (d - 1) as u64);
     let sum: f64 = counts
         .iter()
         .map(|&(t, r)| {
             if t == 0 || r == 0 || n < t + 1 {
                 return 0.0;
             }
-            t as f64 * r as f64 * binomial_ratio((n - t - 1) as u64, (n - 2) as u64, (d - 1) as u64)
+            t as f64 * r as f64 * ratios.ratio((n - t - 1) as u64)
         })
         .sum();
     sum / (n as f64 * (n - 1) as f64 * l as f64)

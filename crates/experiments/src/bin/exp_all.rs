@@ -1,13 +1,39 @@
 //! Runs every experiment in the registry, writing `results/<id>.{txt,csv,json}`.
+//!
+//! The experiments are independent, so their *compute* phase fans out over
+//! the rayon pool (one task per experiment, on top of each experiment's own
+//! inner parallelism); printing and persistence then happen sequentially in
+//! registry order, so stdout and `results/` are byte-identical regardless
+//! of `RAYON_NUM_THREADS`.
+
+use rayon::prelude::*;
+
 fn main() {
     let only: Vec<String> = std::env::args().skip(1).collect();
-    for (id, runner) in ttdc_experiments::registry() {
-        if !only.is_empty() && !only.iter().any(|o| id.contains(o.as_str())) {
-            continue;
-        }
-        eprintln!("=== running {id} ===");
-        let start = std::time::Instant::now();
-        ttdc_experiments::run_and_write(id, runner);
-        eprintln!("=== {id} done in {:.1}s ===", start.elapsed().as_secs_f64());
+    let selected: Vec<(&'static str, ttdc_experiments::Runner)> = ttdc_experiments::registry()
+        .into_iter()
+        .filter(|(id, _)| only.is_empty() || only.iter().any(|o| id.contains(o.as_str())))
+        .collect();
+    eprintln!(
+        "=== running {} experiment(s) on {} thread(s) ===",
+        selected.len(),
+        rayon::current_num_threads()
+    );
+    let start = std::time::Instant::now();
+    let computed: Vec<(&'static str, Vec<ttdc_util::Table>)> = selected
+        .into_par_iter()
+        .map(|(id, runner)| {
+            let t0 = std::time::Instant::now();
+            let tables = runner();
+            eprintln!(
+                "=== {id} computed in {:.1}s ===",
+                t0.elapsed().as_secs_f64()
+            );
+            (id, tables)
+        })
+        .collect();
+    for (id, tables) in &computed {
+        ttdc_experiments::print_and_write(id, tables);
     }
+    eprintln!("=== all done in {:.1}s ===", start.elapsed().as_secs_f64());
 }

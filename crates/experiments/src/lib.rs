@@ -45,7 +45,7 @@ pub mod e16_sender_policy;
 pub mod e17_fault_tolerance;
 pub mod output;
 
-pub use output::{run_and_write, write_tables};
+pub use output::{print_and_write, run_and_write, write_tables};
 
 /// An experiment runner: produces the tables its `exp_*` binary prints.
 pub type Runner = fn() -> Vec<ttdc_util::Table>;

@@ -43,14 +43,15 @@ pub fn write_tables(dir: &Path, id: &str, tables: &[Table]) -> std::io::Result<(
     Ok(())
 }
 
-/// Standard experiment-binary main body: run, print, persist.
-pub fn run_and_write(id: &str, runner: fn() -> Vec<Table>) {
-    let tables = runner();
-    for t in &tables {
+/// Prints `tables` and persists them under [`results_dir`] — the output
+/// half of [`run_and_write`], shared with `exp_all`, which computes many
+/// experiments' tables in parallel and then emits them in registry order.
+pub fn print_and_write(id: &str, tables: &[Table]) {
+    for t in tables {
         println!("{t}");
     }
     let dir = results_dir();
-    match write_tables(&dir, id, &tables) {
+    match write_tables(&dir, id, tables) {
         Ok(()) => println!(
             "[{id}] wrote {} table(s) to {}",
             tables.len(),
@@ -58,6 +59,11 @@ pub fn run_and_write(id: &str, runner: fn() -> Vec<Table>) {
         ),
         Err(e) => eprintln!("[{id}] could not write results: {e}"),
     }
+}
+
+/// Standard experiment-binary main body: run, print, persist.
+pub fn run_and_write(id: &str, runner: fn() -> Vec<Table>) {
+    print_and_write(id, &runner());
 }
 
 #[cfg(test)]

@@ -103,6 +103,7 @@ pub struct Simulator {
     // Per-slot scratch (reused across steps to avoid allocation).
     transmitting: Vec<bool>,
     tx_queue_idx: Vec<usize>,
+    successes: Vec<(usize, usize)>,
 }
 
 impl Simulator {
@@ -142,7 +143,11 @@ impl Simulator {
             pattern,
             config,
             rng: SmallRng::seed_from_u64(config.seed),
-            queues: vec![VecDeque::new(); n],
+            // Pre-reserved so a stable offered load never triggers a
+            // mid-run doubling (capacity growth would make the step loop
+            // allocate; bench_sim asserts it doesn't). Loads that backlog
+            // deeper than this still grow on demand.
+            queues: (0..n).map(|_| VecDeque::with_capacity(64)).collect(),
             routing: vec![usize::MAX; n],
             report: {
                 let mut r = SimReport::new(n);
@@ -155,6 +160,7 @@ impl Simulator {
             faults: FaultState::new(config.faults, n, config.seed),
             transmitting: vec![false; n],
             tx_queue_idx: vec![usize::MAX; n],
+            successes: Vec::with_capacity(n),
         };
         sim.rebuild_routing();
         Ok(sim)
@@ -457,8 +463,11 @@ impl Simulator {
             }
         }
 
-        // Phase 2: reception and collision resolution.
-        let mut successes: Vec<(usize, usize)> = Vec::new(); // (sender, receiver)
+        // Phase 2: reception and collision resolution. The (sender,
+        // receiver) scratch is taken out of `self` (retaining capacity) so
+        // the steady state allocates nothing, like `transmitting` above.
+        let mut successes = std::mem::take(&mut self.successes);
+        successes.clear();
         for y in 0..n {
             if self.dead[y]
                 || self.faults.is_crashed(y)
@@ -511,7 +520,7 @@ impl Simulator {
         }
 
         // Phase 3: apply successful handoffs.
-        for (x, y) in successes {
+        for &(x, y) in &successes {
             let pkt = self.queues[x].remove(self.tx_queue_idx[x]).unwrap();
             // Mark the hop acknowledged so the ARQ pass below skips it.
             self.tx_queue_idx[x] = usize::MAX;
@@ -528,6 +537,7 @@ impl Simulator {
                 self.queues[y].push_back(Packet { retries: 0, ..pkt });
             }
         }
+        self.successes = successes;
 
         // Bounded link-layer ARQ: a sender whose transmission went
         // unacknowledged (collision, fade, deaf receiver) burns one retry;

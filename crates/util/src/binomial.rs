@@ -74,6 +74,53 @@ pub fn binomial_ratio(a: u64, b: u64, k: u64) -> f64 {
     (0..k).map(|j| (a - j) as f64 / (b - j) as f64).product()
 }
 
+/// A memoized table of `C(a, k) / C(b, k)` for fixed `(b, k)` and every
+/// `a ∈ 0..=b` — the exact family of ratios the Theorem 2–4 closed forms
+/// evaluate once **per slot**: for a fixed class `N_n^D`, `b = n − 2` and
+/// `k = D − 1` never change while `a = n − |T[i]| − 1` varies with the slot.
+/// Building the table costs `O(b·k)` once; each slot then pays one indexed
+/// load instead of a `k`-factor product.
+///
+/// Entries are computed by [`binomial_ratio`] itself, so lookups are
+/// bit-for-bit identical to the uncached evaluation — callers can switch to
+/// the table without perturbing any published result.
+#[derive(Clone, Debug)]
+pub struct BinomialTable {
+    b: u64,
+    k: u64,
+    ratios: Vec<f64>,
+}
+
+impl BinomialTable {
+    /// Builds the table of `C(a, k) / C(b, k)` for all `a ∈ 0..=b`.
+    /// Panics if `k > b` (the denominator would vanish).
+    pub fn new(b: u64, k: u64) -> BinomialTable {
+        assert!(k <= b, "denominator C({b},{k}) vanishes");
+        BinomialTable {
+            b,
+            k,
+            ratios: (0..=b).map(|a| binomial_ratio(a, b, k)).collect(),
+        }
+    }
+
+    /// `C(a, k) / C(b, k)`. Panics if `a > b` (outside the table; the
+    /// paper's formulas only ever need `a ≤ b`).
+    #[inline]
+    pub fn ratio(&self, a: u64) -> f64 {
+        self.ratios[a as usize]
+    }
+
+    /// The fixed denominator parameter `b`.
+    pub fn b(&self) -> u64 {
+        self.b
+    }
+
+    /// The fixed subset size `k`.
+    pub fn k(&self) -> u64 {
+        self.k
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,5 +216,39 @@ mod tests {
         // D−1 = 9 factors, n = 10^6: no overflow, result in (0,1).
         let r = binomial_ratio(999_000, 1_000_000, 9);
         assert!(r > 0.0 && r < 1.0);
+    }
+
+    #[test]
+    fn table_matches_uncached_ratio_bitwise() {
+        for b in [1u64, 5, 17, 40] {
+            for k in 0..=b.min(6) {
+                let t = BinomialTable::new(b, k);
+                assert_eq!((t.b(), t.k()), (b, k));
+                for a in 0..=b {
+                    assert_eq!(
+                        t.ratio(a).to_bits(),
+                        binomial_ratio(a, b, k).to_bits(),
+                        "C({a},{k})/C({b},{k})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn table_edge_rows() {
+        // k = 0: every ratio is the empty product, 1.
+        let t = BinomialTable::new(10, 0);
+        assert!((0..=10).all(|a| t.ratio(a) == 1.0));
+        // a < k: numerator vanishes.
+        let t = BinomialTable::new(10, 4);
+        assert!((0..4).all(|a| t.ratio(a) == 0.0));
+        assert_eq!(t.ratio(10), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "vanishes")]
+    fn table_panics_on_vanishing_denominator() {
+        BinomialTable::new(3, 5);
     }
 }

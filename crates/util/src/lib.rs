@@ -13,7 +13,7 @@ pub mod histogram;
 pub mod stats;
 pub mod table;
 
-pub use binomial::{binomial_exact, binomial_f64, binomial_ratio, ln_binomial};
+pub use binomial::{binomial_exact, binomial_f64, binomial_ratio, ln_binomial, BinomialTable};
 pub use bitset::{for_each_subset, for_each_subset_of, BitSet};
 pub use histogram::Histogram;
 pub use stats::{ConfidenceInterval, OnlineStats};

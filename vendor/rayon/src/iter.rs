@@ -1,0 +1,460 @@
+//! Parallel iterators over indexed producers.
+//!
+//! Everything the workspace parallelises is an indexed sweep (a range of
+//! node indices, seeds, or experiment ids), so the pipeline model is an
+//! indexed [`Producer`]: a `Sync` source that can materialise the item at
+//! any index on any thread, with `map`/`filter` composing producers and the
+//! terminal operations ([`ParIter::collect`], [`ParIter::sum`], …) splitting
+//! the index space into contiguous chunks executed across the pool.
+//!
+//! Determinism: chunks are contiguous index ranges and every terminal
+//! operation combines per-chunk results **in index order**, so `collect`
+//! preserves sequential order exactly and the integer reductions the
+//! workspace uses (`sum` over `u128`, `min`, `all`, `max`-style
+//! `try_reduce`) are bit-for-bit identical to a sequential run at any
+//! thread count. On a pool of one thread (e.g. `RAYON_NUM_THREADS=1`) the
+//! whole operation runs inline as a single chunk — exactly the legacy
+//! sequential evaluation.
+
+use crate::pool::current_pool;
+use std::cell::UnsafeCell;
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// How many chunks to cut per worker thread: a little slack so uneven
+/// chunks load-balance without shredding the work into tiny pieces.
+const CHUNKS_PER_THREAD: usize = 4;
+
+/// An indexed source of items, shareable across worker threads.
+///
+/// The executor hands each index in `0..len()` to exactly one chunk and
+/// each chunk visits its indices exactly once, so `produce` may assume it
+/// is called at most once per index (by-value producers rely on this).
+#[allow(clippy::len_without_is_empty)]
+pub trait Producer: Sync {
+    /// The produced item type.
+    type Item: Send;
+    /// Number of indices in the sweep.
+    fn len(&self) -> usize;
+    /// Materialises the item at `index`; `None` if filtered out.
+    fn produce(&self, index: usize) -> Option<Self::Item>;
+}
+
+/// A single-writer result slot: written once by the chunk that owns the
+/// index, read by the caller after the batch latch, which synchronises.
+struct TakeCell<T>(UnsafeCell<Option<T>>);
+
+// SAFETY: access is partitioned by index — each slot is written by exactly
+// one task and read only after the pool latch establishes happens-before.
+unsafe impl<T: Send> Sync for TakeCell<T> {}
+
+impl<T> TakeCell<T> {
+    fn empty() -> Self {
+        TakeCell(UnsafeCell::new(None))
+    }
+
+    fn full(value: T) -> Self {
+        TakeCell(UnsafeCell::new(Some(value)))
+    }
+
+    /// # Safety
+    /// Caller must guarantee no concurrent access to this slot.
+    unsafe fn put(&self, value: T) {
+        *self.0.get() = Some(value);
+    }
+
+    /// # Safety
+    /// Caller must guarantee no concurrent access to this slot.
+    unsafe fn take(&self) -> Option<T> {
+        (*self.0.get()).take()
+    }
+
+    fn into_inner(self) -> Option<T> {
+        self.0.into_inner()
+    }
+}
+
+/// Splits `0..producer.len()` into chunks, evaluates `fold(lo, hi)` per
+/// chunk across the current pool, and returns the chunk results **in index
+/// order**. A one-thread pool (or a single chunk) folds inline on the
+/// caller, reproducing sequential evaluation exactly.
+fn run_fold<P, R, F>(producer: &P, min_len: usize, fold: F) -> Vec<R>
+where
+    P: Producer,
+    R: Send,
+    F: Fn(usize, usize) -> R + Sync,
+{
+    let len = producer.len();
+    if len == 0 {
+        return Vec::new();
+    }
+    let pool = current_pool();
+    let threads = pool.num_threads;
+    let chunk = if threads <= 1 {
+        len
+    } else {
+        len.div_ceil(threads * CHUNKS_PER_THREAD)
+            .max(min_len.max(1))
+    };
+    let chunks = len.div_ceil(chunk);
+    if chunks <= 1 || threads <= 1 {
+        return vec![fold(0, len)];
+    }
+    let slots: Vec<TakeCell<R>> = (0..chunks).map(|_| TakeCell::empty()).collect();
+    let job = |ci: usize| {
+        let lo = ci * chunk;
+        let hi = (lo + chunk).min(len);
+        let r = fold(lo, hi);
+        // SAFETY: chunk index `ci` is executed by exactly one task.
+        unsafe { slots[ci].put(r) };
+    };
+    pool.run_chunks(chunks, &job);
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("every chunk completed"))
+        .collect()
+}
+
+/// A parallel iterator: an indexed producer plus a chunking grain.
+///
+/// Mirrors the rayon combinators the workspace uses (`map`, `filter`,
+/// `collect`, `sum`, `min`, `all`, `try_reduce`, `with_min_len`).
+pub struct ParIter<P> {
+    producer: P,
+    min_len: usize,
+}
+
+impl<P: Producer> ParIter<P> {
+    /// Wraps a producer with the default grain size.
+    pub fn new(producer: P) -> Self {
+        ParIter {
+            producer,
+            min_len: 1,
+        }
+    }
+
+    /// Sets the minimum number of indices per chunk (rayon's
+    /// `IndexedParallelIterator::with_min_len`): raise it when items are
+    /// cheap so chunking overhead cannot dominate, or pass `usize::MAX` to
+    /// force single-chunk (sequential) evaluation.
+    pub fn with_min_len(mut self, min_len: usize) -> Self {
+        self.min_len = min_len.max(1);
+        self
+    }
+
+    /// Maps each item through `f`.
+    pub fn map<T, F>(self, f: F) -> ParIter<Map<P, F>>
+    where
+        T: Send,
+        F: Fn(P::Item) -> T + Sync,
+    {
+        ParIter {
+            producer: Map {
+                base: self.producer,
+                f,
+            },
+            min_len: self.min_len,
+        }
+    }
+
+    /// Keeps only items satisfying `f`.
+    pub fn filter<F>(self, f: F) -> ParIter<Filter<P, F>>
+    where
+        F: Fn(&P::Item) -> bool + Sync,
+    {
+        ParIter {
+            producer: Filter {
+                base: self.producer,
+                f,
+            },
+            min_len: self.min_len,
+        }
+    }
+
+    /// Collects into `C`, preserving index order.
+    pub fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<P::Item>,
+    {
+        let p = &self.producer;
+        let chunks = run_fold(p, self.min_len, |lo, hi| {
+            let mut out = Vec::with_capacity(hi - lo);
+            for i in lo..hi {
+                if let Some(x) = p.produce(i) {
+                    out.push(x);
+                }
+            }
+            out
+        });
+        C::from_chunk_vecs(chunks)
+    }
+
+    /// Sums the items (chunk partial sums are combined in index order, so
+    /// integer sums match the sequential result exactly).
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<P::Item> + std::iter::Sum<S> + Send,
+    {
+        let p = &self.producer;
+        run_fold(p, self.min_len, |lo, hi| {
+            (lo..hi).filter_map(|i| p.produce(i)).sum::<S>()
+        })
+        .into_iter()
+        .sum()
+    }
+
+    /// The minimum item, if any.
+    pub fn min(self) -> Option<P::Item>
+    where
+        P::Item: Ord,
+    {
+        let p = &self.producer;
+        run_fold(p, self.min_len, |lo, hi| {
+            (lo..hi).filter_map(|i| p.produce(i)).min()
+        })
+        .into_iter()
+        .flatten()
+        .min()
+    }
+
+    /// `true` if every item satisfies `f`; other chunks stop early once a
+    /// counterexample is found anywhere.
+    pub fn all<F>(self, f: F) -> bool
+    where
+        F: Fn(P::Item) -> bool + Sync,
+    {
+        let p = &self.producer;
+        let cancel = AtomicBool::new(false);
+        run_fold(p, self.min_len, |lo, hi| {
+            for i in lo..hi {
+                if cancel.load(Ordering::Relaxed) {
+                    // Another chunk already failed; our verdict is moot
+                    // (`true` is the neutral element of the `&&`-combine).
+                    return true;
+                }
+                if let Some(x) = p.produce(i) {
+                    if !f(x) {
+                        cancel.store(true, Ordering::Relaxed);
+                        return false;
+                    }
+                }
+            }
+            true
+        })
+        .into_iter()
+        .all(|ok| ok)
+    }
+}
+
+impl<P, T> ParIter<P>
+where
+    P: Producer<Item = Option<T>>,
+    T: Send,
+{
+    /// Rayon's fallible reduction over `Option` items: folds with `op`
+    /// starting from `identity`, short-circuiting to `None` on the first
+    /// `None` item or combiner result. `op` must be associative and
+    /// `identity` a true identity for it (rayon's contract); chunk results
+    /// are combined in index order.
+    pub fn try_reduce<ID, OP>(self, identity: ID, op: OP) -> Option<T>
+    where
+        ID: Fn() -> T + Sync,
+        OP: Fn(T, T) -> Option<T> + Sync,
+    {
+        let p = &self.producer;
+        let cancel = AtomicBool::new(false);
+        let parts = run_fold(p, self.min_len, |lo, hi| -> Option<T> {
+            let mut acc = identity();
+            for i in lo..hi {
+                if cancel.load(Ordering::Relaxed) {
+                    // Some chunk already failed, so the overall result is
+                    // `None` regardless of what we would compute.
+                    return None;
+                }
+                if let Some(item) = p.produce(i) {
+                    let Some(v) = item else {
+                        cancel.store(true, Ordering::Relaxed);
+                        return None;
+                    };
+                    match op(acc, v) {
+                        Some(a) => acc = a,
+                        None => {
+                            cancel.store(true, Ordering::Relaxed);
+                            return None;
+                        }
+                    }
+                }
+            }
+            Some(acc)
+        });
+        let mut acc: Option<T> = None;
+        for part in parts {
+            let v = part?;
+            acc = Some(match acc {
+                None => v,
+                Some(a) => op(a, v)?,
+            });
+        }
+        acc.or_else(|| Some(identity()))
+    }
+}
+
+/// The `map` adapter.
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, T, F> Producer for Map<P, F>
+where
+    P: Producer,
+    T: Send,
+    F: Fn(P::Item) -> T + Sync,
+{
+    type Item = T;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn produce(&self, index: usize) -> Option<T> {
+        self.base.produce(index).map(&self.f)
+    }
+}
+
+/// The `filter` adapter.
+pub struct Filter<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, F> Producer for Filter<P, F>
+where
+    P: Producer,
+    F: Fn(&P::Item) -> bool + Sync,
+{
+    type Item = P::Item;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn produce(&self, index: usize) -> Option<P::Item> {
+        self.base.produce(index).filter(|x| (self.f)(x))
+    }
+}
+
+/// Conversion into a parallel iterator (rayon's entry-point trait; bring it
+/// in scope via `rayon::prelude::*`).
+pub trait IntoParallelIterator {
+    /// Item type of the resulting iterator.
+    type Item: Send;
+    /// Producer backing the iterator.
+    type Producer: Producer<Item = Self::Item>;
+    /// Converts `self` into a parallel iterator over the pool.
+    fn into_par_iter(self) -> ParIter<Self::Producer>;
+}
+
+/// Producer for integer ranges: item `i` is `start + i`.
+pub struct RangeProducer<T> {
+    start: T,
+    len: usize,
+}
+
+macro_rules! impl_range_producer {
+    ($($t:ty),* $(,)?) => {$(
+        impl Producer for RangeProducer<$t> {
+            type Item = $t;
+
+            fn len(&self) -> usize {
+                self.len
+            }
+
+            fn produce(&self, index: usize) -> Option<$t> {
+                Some(self.start + index as $t)
+            }
+        }
+
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            type Producer = RangeProducer<$t>;
+
+            fn into_par_iter(self) -> ParIter<RangeProducer<$t>> {
+                let len = if self.end > self.start {
+                    (self.end - self.start) as usize
+                } else {
+                    0
+                };
+                ParIter::new(RangeProducer {
+                    start: self.start,
+                    len,
+                })
+            }
+        }
+    )*};
+}
+
+impl_range_producer!(usize, u64, u32, i32);
+
+/// By-value producer over a `Vec`: each slot is taken exactly once, under
+/// the executor's one-task-per-index guarantee.
+pub struct VecProducer<T> {
+    slots: Vec<TakeCell<T>>,
+}
+
+impl<T: Send> Producer for VecProducer<T> {
+    type Item = T;
+
+    fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn produce(&self, index: usize) -> Option<T> {
+        // SAFETY: the executor hands each index to exactly one chunk and a
+        // chunk visits each of its indices once, so this slot has a single
+        // accessor.
+        unsafe { self.slots[index].take() }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Producer = VecProducer<T>;
+
+    fn into_par_iter(self) -> ParIter<VecProducer<T>> {
+        ParIter::new(VecProducer {
+            slots: self.into_iter().map(TakeCell::full).collect(),
+        })
+    }
+}
+
+/// Assembling a collection from ordered per-chunk item vectors (the shim's
+/// counterpart of rayon's `FromParallelIterator`).
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Builds the collection from chunk results, already in index order.
+    fn from_chunk_vecs(chunks: Vec<Vec<T>>) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_chunk_vecs(chunks: Vec<Vec<T>>) -> Vec<T> {
+        let total = chunks.iter().map(Vec::len).sum();
+        let mut out = Vec::with_capacity(total);
+        for c in chunks {
+            out.extend(c);
+        }
+        out
+    }
+}
+
+impl<T: Send> FromParallelIterator<Option<T>> for Option<Vec<T>> {
+    fn from_chunk_vecs(chunks: Vec<Vec<Option<T>>>) -> Option<Vec<T>> {
+        let total = chunks.iter().map(Vec::len).sum();
+        let mut out = Vec::with_capacity(total);
+        for c in chunks {
+            for item in c {
+                out.push(item?);
+            }
+        }
+        Some(out)
+    }
+}

@@ -1,88 +1,161 @@
-//! A sequential stand-in for the parts of crates.io `rayon` this workspace
-//! uses.
+//! An offline, dependency-free data-parallel runtime exposing the parts of
+//! crates.io `rayon` this workspace uses.
 //!
 //! The build container has no network access, so the real crate cannot be
-//! fetched. The workspace only ever calls `.into_par_iter()` followed by
-//! `map`, standard terminal adapters (`collect`, `sum`, `all`, …) and
-//! rayon's `try_reduce`; [`ParIter`] supplies exactly that surface over a
-//! plain sequential [`Iterator`]: identical results, same API shape, no
-//! data parallelism. Swap in the real rayon (same import paths) when a
-//! registry is reachable.
+//! fetched. Until PR 2 this shim was a *sequential* newtype; it is now a
+//! real multi-threaded runtime:
+//!
+//! * a lazily-initialised global [thread pool](crate::ThreadPoolBuilder)
+//!   sized by `RAYON_NUM_THREADS` (or the machine's available parallelism),
+//!   built on `std::thread` + a shared injector queue — no external deps;
+//! * chunked splitting of indexed sweeps (`into_par_iter` on ranges and
+//!   vectors) with a tunable grain ([`ParIter::with_min_len`]), the calling
+//!   thread participating in the work;
+//! * **ordered** terminal operations: `collect` preserves sequential order
+//!   and reductions combine chunk results in index order, so integer
+//!   aggregates are bit-for-bit identical to a sequential run, and
+//!   `RAYON_NUM_THREADS=1` reproduces the pre-parallel outputs exactly;
+//! * local pools with rayon's `ThreadPoolBuilder::build` + `install` API,
+//!   used by the test suite to compare forced-sequential against
+//!   multi-threaded execution in one process.
+//!
+//! Swap in the real rayon (same import paths) when a registry is reachable.
+
+mod iter;
+mod pool;
+
+pub use iter::{
+    Filter, FromParallelIterator, IntoParallelIterator, Map, ParIter, Producer, RangeProducer,
+    VecProducer,
+};
 
 /// `use rayon::prelude::*;` — mirrors the real crate's prelude.
 pub mod prelude {
     pub use crate::IntoParallelIterator;
 }
 
-/// A "parallel" iterator: a newtype over the sequential iterator that
-/// mirrors the rayon combinators the workspace uses. Standard [`Iterator`]
-/// adapters also work directly (rayon exposes same-named equivalents).
-pub struct ParIter<I>(I);
+/// Number of threads of the current pool (the innermost
+/// [`ThreadPool::install`] scope, else the global pool). At least 1.
+pub fn current_num_threads() -> usize {
+    pool::current_pool().num_threads.max(1)
+}
 
-impl<I: Iterator> Iterator for ParIter<I> {
-    type Item = I::Item;
+/// Error from [`ThreadPoolBuilder::build_global`] when the global pool has
+/// already been initialised.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError {
+    msg: &'static str,
+}
 
-    fn next(&mut self) -> Option<I::Item> {
-        self.0.next()
-    }
-
-    fn size_hint(&self) -> (usize, Option<usize>) {
-        self.0.size_hint()
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.msg)
     }
 }
 
-impl<I: Iterator> ParIter<I> {
-    /// Maps each item, keeping the rayon-flavoured wrapper so chained
-    /// rayon-only combinators (e.g. [`ParIter::try_reduce`]) resolve.
-    pub fn map<T, F: FnMut(I::Item) -> T>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
-        ParIter(self.0.map(f))
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for thread pools (mirrors `rayon::ThreadPoolBuilder`).
+#[derive(Clone, Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with default settings (`RAYON_NUM_THREADS` or the
+    /// machine's available parallelism).
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
     }
 
-    /// Filters items, keeping the wrapper.
-    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParIter<std::iter::Filter<I, F>> {
-        ParIter(self.0.filter(f))
+    /// Sets the worker-thread count; `0` restores the default sizing.
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
     }
 
-    /// Rayon's fallible reduction over `Option` items: starts from
-    /// `identity`, combines with `op`, and short-circuits to `None` on the
-    /// first `None` item or combiner result.
-    pub fn try_reduce<T, ID, OP>(mut self, identity: ID, op: OP) -> Option<T>
-    where
-        I: Iterator<Item = Option<T>>,
-        ID: Fn() -> T,
-        OP: Fn(T, T) -> Option<T>,
-    {
-        let mut acc = identity();
-        for item in &mut self.0 {
-            acc = op(acc, item?)?;
+    fn resolve(&self) -> usize {
+        if self.num_threads >= 1 {
+            self.num_threads
+        } else {
+            pool::default_num_threads()
         }
-        Some(acc)
+    }
+
+    /// Builds a standalone pool; run work on it with
+    /// [`ThreadPool::install`].
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            core: pool::PoolCore::start(self.resolve()),
+        })
+    }
+
+    /// Initialises the **global** pool with this configuration; errors if
+    /// it was already initialised (first use wins, like the real rayon).
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        pool::init_global_pool(self.resolve()).map_err(|()| ThreadPoolBuildError {
+            msg: "the global thread pool has already been initialized",
+        })
     }
 }
 
-/// Conversion into a "parallel" iterator; here, the sequential [`ParIter`].
-pub trait IntoParallelIterator: IntoIterator + Sized {
-    /// Returns an iterator over `self`. The real rayon distributes this
-    /// across a thread pool; the fallback runs it in order on the caller's
-    /// thread, which preserves determinism and every aggregate result.
-    fn into_par_iter(self) -> ParIter<Self::IntoIter> {
-        ParIter(self.into_iter())
+/// A standalone thread pool (mirrors `rayon::ThreadPool`). Workers exit
+/// when the pool is dropped.
+pub struct ThreadPool {
+    core: std::sync::Arc<pool::PoolCore>,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool as the current thread's pool: every parallel
+    /// iterator inside executes here instead of the global pool.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        pool::with_pool(&self.core, f)
+    }
+
+    /// This pool's configured thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.core.num_threads.max(1)
     }
 }
 
-impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.core.shutdown();
+    }
+}
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+    use std::thread::ThreadId;
+    use std::time::Duration;
+
+    fn pool(n: usize) -> ThreadPool {
+        ThreadPoolBuilder::new().num_threads(n).build().unwrap()
+    }
 
     #[test]
     fn behaves_like_the_sequential_iterator() {
-        let doubled: Vec<usize> = (0..10).into_par_iter().map(|x| x * 2).collect();
+        let doubled: Vec<usize> = (0..10usize).into_par_iter().map(|x| x * 2).collect();
         assert_eq!(doubled, (0..10).map(|x| x * 2).collect::<Vec<_>>());
         let total: u64 = vec![1u64, 2, 3].into_par_iter().sum();
         assert_eq!(total, 6);
-        assert!((0..5).into_par_iter().all(|x| x < 5));
+        assert!((0..5u32).into_par_iter().all(|x| x < 5));
+        assert!(!(0..5u32).into_par_iter().all(|x| x < 4));
+        assert_eq!((3..9usize).into_par_iter().min(), Some(3));
+        assert_eq!((3..3usize).into_par_iter().min(), None);
+    }
+
+    #[test]
+    fn filter_preserves_order() {
+        let evens: Vec<u64> = (0..100u64).into_par_iter().filter(|x| x % 2 == 0).collect();
+        assert_eq!(
+            evens,
+            (0..100u64).filter(|x| x % 2 == 0).collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -101,7 +174,179 @@ mod tests {
 
     #[test]
     fn option_items_collect_into_option_vec() {
-        let v: Option<Vec<u32>> = (0..3).into_par_iter().map(Some).collect();
+        let v: Option<Vec<u32>> = (0..3u32).into_par_iter().map(Some).collect();
         assert_eq!(v, Some(vec![0, 1, 2]));
+        let none: Option<Vec<u32>> = (0..3u32)
+            .into_par_iter()
+            .map(|x| if x == 1 { None } else { Some(x) })
+            .collect();
+        assert_eq!(none, None);
+    }
+
+    #[test]
+    fn multi_threaded_pool_matches_sequential_results() {
+        let p4 = pool(4);
+        let p1 = pool(1);
+        let seq: Vec<u64> = p1.install(|| (0..10_000u64).into_par_iter().map(|x| x * x).collect());
+        let par: Vec<u64> = p4.install(|| {
+            (0..10_000u64)
+                .into_par_iter()
+                .with_min_len(16)
+                .map(|x| x * x)
+                .collect()
+        });
+        assert_eq!(seq, par);
+        let s1: u128 = p1.install(|| (0..10_000u64).into_par_iter().map(|x| x as u128).sum());
+        let s4: u128 = p4.install(|| (0..10_000u64).into_par_iter().map(|x| x as u128).sum());
+        assert_eq!(s1, s4);
+    }
+
+    #[test]
+    fn pool_size_introspection() {
+        assert!(current_num_threads() >= 1);
+        let p = pool(4);
+        assert_eq!(p.current_num_threads(), 4);
+        p.install(|| assert_eq!(current_num_threads(), 4));
+        let p1 = pool(1);
+        p1.install(|| assert_eq!(current_num_threads(), 1));
+    }
+
+    #[test]
+    fn executes_on_at_least_two_os_threads() {
+        // Each item sleeps briefly so queued chunks outlive the caller's
+        // first pops and the workers demonstrably pick some up — even on a
+        // single-core host this yields the core to the woken workers.
+        let p = pool(4);
+        let ids: Vec<ThreadId> = p.install(|| {
+            (0..64u32)
+                .into_par_iter()
+                .with_min_len(1)
+                .map(|_| {
+                    std::thread::sleep(Duration::from_millis(1));
+                    std::thread::current().id()
+                })
+                .collect()
+        });
+        let distinct: HashSet<ThreadId> = ids.into_iter().collect();
+        assert!(
+            distinct.len() >= 2,
+            "a 4-thread pool must execute on ≥ 2 OS threads, saw {}",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn one_thread_pool_runs_inline() {
+        let p = pool(1);
+        let caller = std::thread::current().id();
+        let ids: Vec<ThreadId> = p.install(|| {
+            (0..32u32)
+                .into_par_iter()
+                .map(|_| std::thread::current().id())
+                .collect()
+        });
+        assert!(ids.into_iter().all(|id| id == caller));
+    }
+
+    #[test]
+    fn nested_parallelism_completes() {
+        let p = pool(3);
+        let total: u64 = p.install(|| {
+            (0..8u64)
+                .into_par_iter()
+                .map(|i| (0..100u64).into_par_iter().map(move |j| i + j).sum::<u64>())
+                .sum()
+        });
+        let expect: u64 = (0..8u64)
+            .map(|i| (0..100u64).map(|j| i + j).sum::<u64>())
+            .sum();
+        assert_eq!(total, expect);
+    }
+
+    #[test]
+    fn by_value_vec_items_move_through() {
+        // Non-Copy items are taken out of the vec exactly once each.
+        let strings: Vec<String> = (0..50).map(|i| format!("item-{i}")).collect();
+        let p = pool(4);
+        let lens: Vec<usize> = p.install(|| {
+            strings
+                .into_par_iter()
+                .with_min_len(1)
+                .map(|s| s.len())
+                .collect()
+        });
+        assert_eq!(lens.len(), 50);
+        assert_eq!(lens[0], "item-0".len());
+        assert_eq!(lens[49], "item-49".len());
+    }
+
+    #[test]
+    fn with_min_len_caps_splitting() {
+        // min_len = usize::MAX forces a single chunk → inline execution.
+        let p = pool(4);
+        let caller = std::thread::current().id();
+        let ids: Vec<ThreadId> = p.install(|| {
+            (0..100u32)
+                .into_par_iter()
+                .with_min_len(usize::MAX)
+                .map(|_| std::thread::current().id())
+                .collect()
+        });
+        assert!(ids.into_iter().all(|id| id == caller));
+    }
+
+    #[test]
+    fn worker_panics_propagate_to_caller() {
+        let p = pool(4);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            p.install(|| {
+                (0..100u32)
+                    .into_par_iter()
+                    .with_min_len(1)
+                    .map(|x| {
+                        assert!(x != 37, "boom");
+                        x
+                    })
+                    .collect::<Vec<_>>()
+            })
+        }));
+        assert!(result.is_err());
+        // The pool survives a propagated panic and stays usable.
+        let sum: u32 = p.install(|| (0..10u32).into_par_iter().sum());
+        assert_eq!(sum, 45);
+    }
+
+    #[test]
+    fn build_global_second_call_errors() {
+        // Whichever of (explicit init, lazy init) happened first, a second
+        // explicit initialisation must report failure.
+        let first = ThreadPoolBuilder::new().num_threads(2).build_global();
+        let second = ThreadPoolBuilder::new().num_threads(3).build_global();
+        assert!(second.is_err());
+        let _ = first; // may be Ok or Err depending on test order
+    }
+
+    #[test]
+    fn concurrent_callers_share_the_pool() {
+        // Two OS threads issuing parallel work against one pool at once.
+        let p = std::sync::Arc::new(pool(4));
+        let results = Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let p = std::sync::Arc::clone(&p);
+                let results = &results;
+                s.spawn(move || {
+                    let sum: u64 = p.install(|| (0..1000u64).into_par_iter().map(|x| x + t).sum());
+                    results.lock().unwrap().push(sum);
+                });
+            }
+        });
+        let mut got = results.lock().unwrap().clone();
+        got.sort_unstable();
+        let mut expect: Vec<u64> = (0..4u64)
+            .map(|t| (0..1000u64).map(|x| x + t).sum())
+            .collect();
+        expect.sort_unstable();
+        assert_eq!(got, expect);
     }
 }

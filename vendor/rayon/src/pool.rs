@@ -1,0 +1,249 @@
+//! The thread-pool executor behind the parallel iterators.
+//!
+//! A pool is a shared FIFO injector (`Mutex<VecDeque>` + `Condvar`) drained
+//! by `num_threads` detached worker threads. Terminal iterator operations
+//! split their index space into chunks, enqueue one task per chunk, and the
+//! *calling* thread participates in draining the queue until every chunk of
+//! its batch has completed — so a pool is never idle while a caller waits,
+//! and nested parallel calls from inside a task cannot deadlock (whoever
+//! pushes work always helps execute it).
+//!
+//! Tasks borrow the caller's stack (the chunk closure and the completion
+//! latch live in the terminal operation's frame). That borrow is erased to
+//! `'static` when the task is enqueued, which is sound because the caller
+//! blocks in [`PoolCore::run_chunks`] until the latch confirms every task
+//! has finished — and a finishing task touches the latch *last*, under the
+//! latch mutex, so the frame outlives every access.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// A unit of work: run `func(index)` and count down `latch`.
+struct Task {
+    func: &'static (dyn Fn(usize) + Sync),
+    index: usize,
+    latch: &'static Latch,
+}
+
+impl Task {
+    fn execute(self) {
+        let result = catch_unwind(AssertUnwindSafe(|| (self.func)(self.index)));
+        let mut st = self.latch.state.lock().unwrap();
+        st.remaining -= 1;
+        if let Err(payload) = result {
+            if st.panic.is_none() {
+                st.panic = Some(payload);
+            }
+        }
+        if st.remaining == 0 {
+            self.latch.cv.notify_all();
+        }
+        // Nothing touches the latch after the guard drops: the caller can
+        // only observe `remaining == 0` (and free the latch's frame) after
+        // this mutex is released.
+    }
+}
+
+struct LatchState {
+    remaining: usize,
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+/// Counts outstanding tasks of one `run_chunks` batch; lives on the
+/// caller's stack and re-raises the first worker panic on completion.
+struct Latch {
+    state: Mutex<LatchState>,
+    cv: Condvar,
+}
+
+impl Latch {
+    fn new(count: usize) -> Latch {
+        Latch {
+            state: Mutex::new(LatchState {
+                remaining: count,
+                panic: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn wait(&self) {
+        let mut st = self.state.lock().unwrap();
+        while st.remaining > 0 {
+            st = self.cv.wait(st).unwrap();
+        }
+        if let Some(payload) = st.panic.take() {
+            drop(st);
+            resume_unwind(payload);
+        }
+    }
+}
+
+/// The shared state of one thread pool.
+pub(crate) struct PoolCore {
+    injector: Mutex<VecDeque<Task>>,
+    work_cv: Condvar,
+    shutdown: AtomicBool,
+    /// Configured parallelism (worker threads; `<= 1` means no workers are
+    /// spawned and every operation runs inline on the caller).
+    pub(crate) num_threads: usize,
+}
+
+impl PoolCore {
+    /// Starts a pool with `num_threads` workers (none when `<= 1`).
+    pub(crate) fn start(num_threads: usize) -> Arc<PoolCore> {
+        let core = Arc::new(PoolCore {
+            injector: Mutex::new(VecDeque::new()),
+            work_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            num_threads: num_threads.max(1),
+        });
+        if core.num_threads >= 2 {
+            for i in 0..core.num_threads {
+                let c = Arc::clone(&core);
+                std::thread::Builder::new()
+                    .name(format!("rayon-shim-{i}"))
+                    .spawn(move || worker_loop(c))
+                    .expect("spawning pool worker");
+            }
+        }
+        core
+    }
+
+    /// Asks the workers to exit once the queue drains (used by local pools;
+    /// the global pool lives for the process).
+    pub(crate) fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.work_cv.notify_all();
+    }
+
+    /// Runs `f(0)`, `f(1)`, …, `f(chunks − 1)` across the pool and returns
+    /// when all of them have completed; the caller participates in draining
+    /// the queue. Panics in any chunk propagate to the caller.
+    pub(crate) fn run_chunks(&self, chunks: usize, f: &(dyn Fn(usize) + Sync)) {
+        if chunks == 0 {
+            return;
+        }
+        if self.num_threads <= 1 {
+            for i in 0..chunks {
+                f(i);
+            }
+            return;
+        }
+        let latch = Latch::new(chunks);
+        // SAFETY: these stack borrows are erased to 'static only for the
+        // queue's benefit; `latch.wait()` below keeps this frame alive until
+        // every task has executed and released the latch mutex.
+        let func: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(f) };
+        let latch_ref: &'static Latch = unsafe { std::mem::transmute(&latch) };
+        {
+            let mut q = self.injector.lock().unwrap();
+            for index in 0..chunks {
+                q.push_back(Task {
+                    func,
+                    index,
+                    latch: latch_ref,
+                });
+            }
+        }
+        self.work_cv.notify_all();
+        // Help drain the queue (our tasks or anyone else's — executing any
+        // queued task makes global progress and cannot deadlock).
+        loop {
+            let task = self.injector.lock().unwrap().pop_front();
+            match task {
+                Some(t) => t.execute(),
+                None => break,
+            }
+        }
+        latch.wait();
+    }
+}
+
+fn worker_loop(core: Arc<PoolCore>) {
+    loop {
+        let task = {
+            let mut q = core.injector.lock().unwrap();
+            loop {
+                if let Some(t) = q.pop_front() {
+                    break Some(t);
+                }
+                if core.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                q = core.work_cv.wait(q).unwrap();
+            }
+        };
+        match task {
+            Some(t) => t.execute(),
+            None => return,
+        }
+    }
+}
+
+static GLOBAL_POOL: OnceLock<Arc<PoolCore>> = OnceLock::new();
+
+/// Default worker count: `RAYON_NUM_THREADS` if set and parseable (0 means
+/// "auto"), else the machine's available parallelism.
+pub(crate) fn default_num_threads() -> usize {
+    match std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+/// The lazily-started global pool.
+pub(crate) fn global_pool() -> &'static Arc<PoolCore> {
+    GLOBAL_POOL.get_or_init(|| PoolCore::start(default_num_threads()))
+}
+
+/// Initialises the global pool with an explicit size; `Err(())` if it was
+/// already initialised (mirrors rayon's `build_global` contract).
+pub(crate) fn init_global_pool(num_threads: usize) -> Result<(), ()> {
+    let mut created = false;
+    GLOBAL_POOL.get_or_init(|| {
+        created = true;
+        PoolCore::start(num_threads)
+    });
+    if created {
+        Ok(())
+    } else {
+        Err(())
+    }
+}
+
+thread_local! {
+    /// Pools "installed" on this thread, innermost last (see
+    /// [`crate::ThreadPool::install`]).
+    static CURRENT_POOL: std::cell::RefCell<Vec<Arc<PoolCore>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// The pool the current thread's parallel operations run on.
+pub(crate) fn current_pool() -> Arc<PoolCore> {
+    CURRENT_POOL
+        .with(|s| s.borrow().last().cloned())
+        .unwrap_or_else(|| Arc::clone(global_pool()))
+}
+
+/// Runs `f` with `core` as the thread's current pool (re-entrant).
+pub(crate) fn with_pool<R>(core: &Arc<PoolCore>, f: impl FnOnce() -> R) -> R {
+    struct Guard;
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            CURRENT_POOL.with(|s| {
+                s.borrow_mut().pop();
+            });
+        }
+    }
+    CURRENT_POOL.with(|s| s.borrow_mut().push(Arc::clone(core)));
+    let _g = Guard;
+    f()
+}
