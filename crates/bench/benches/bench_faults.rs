@@ -11,7 +11,7 @@ use rand::SeedableRng;
 use ttdc_core::construct::PartitionStrategy;
 use ttdc_protocols::TtdcMac;
 use ttdc_sim::{
-    CrashModel, FaultPlan, GeometricNetwork, GilbertElliott, SimConfig, Simulator, Topology,
+    CrashModel, FaultPlan, GeometricNetwork, GilbertElliott, SimulatorBuilder, Topology,
     TrafficPattern,
 };
 
@@ -59,14 +59,11 @@ fn bench_fault_axes(c: &mut Criterion) {
     for (name, plan) in plans() {
         g.bench_with_input(BenchmarkId::from_parameter(name), &plan, |b, plan| {
             b.iter(|| {
-                let mut sim = Simulator::new(
-                    topo(),
-                    TrafficPattern::PoissonUnicast { rate: 0.01 },
-                    SimConfig {
-                        faults: *plan,
-                        ..SimConfig::default()
-                    },
-                );
+                let mut sim =
+                    SimulatorBuilder::new(topo(), TrafficPattern::PoissonUnicast { rate: 0.01 })
+                        .faults(*plan)
+                        .build()
+                        .unwrap();
                 sim.run(black_box(&mac), SLOTS);
                 let r = sim.report();
                 (r.delivered, r.link_drops, r.retry_exhausted)

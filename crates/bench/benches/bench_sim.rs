@@ -11,7 +11,7 @@ use std::cell::Cell;
 use ttdc_core::construct::PartitionStrategy;
 use ttdc_protocols::{SlottedAlohaMac, TsmaMac, TtdcMac};
 use ttdc_sim::{
-    run_replications, GeometricNetwork, MacProtocol, SimConfig, Simulator, Topology, TrafficPattern,
+    run_replications, GeometricNetwork, MacProtocol, SimulatorBuilder, Topology, TrafficPattern,
 };
 
 const N: usize = 50;
@@ -55,11 +55,9 @@ static ALLOC: CountingAlloc = CountingAlloc;
 /// every `cargo bench` run before the timings.
 fn assert_zero_alloc_steady_state() {
     let mac = TtdcMac::new(N, D, 2, 4, PartitionStrategy::RoundRobin);
-    let mut sim = Simulator::new(
-        topo(),
-        TrafficPattern::PoissonUnicast { rate: 0.002 },
-        SimConfig::default(),
-    );
+    let mut sim = SimulatorBuilder::new(topo(), TrafficPattern::PoissonUnicast { rate: 0.002 })
+        .build()
+        .unwrap();
     sim.run(&mac, 60_000); // warm-up: queues, scratch, histogram reach capacity
     let before = ALLOC_COUNT.with(Cell::get);
     sim.run(&mac, 5_000);
@@ -92,11 +90,10 @@ fn bench_protocol_slot_rate(c: &mut Criterion) {
     for (name, mac) in &protos {
         g.bench_with_input(BenchmarkId::from_parameter(name), mac, |b, mac| {
             b.iter(|| {
-                let mut sim = Simulator::new(
-                    topo(),
-                    TrafficPattern::PoissonUnicast { rate: 0.01 },
-                    SimConfig::default(),
-                );
+                let mut sim =
+                    SimulatorBuilder::new(topo(), TrafficPattern::PoissonUnicast { rate: 0.01 })
+                        .build()
+                        .unwrap();
                 sim.run(black_box(mac.as_ref()), SLOTS);
                 sim.report().delivered
             });
@@ -111,11 +108,9 @@ fn bench_saturated_mode(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("5k_slots", |b| {
         b.iter(|| {
-            let mut sim = Simulator::new(
-                topo(),
-                TrafficPattern::SaturatedBroadcast,
-                SimConfig::default(),
-            );
+            let mut sim = SimulatorBuilder::new(topo(), TrafficPattern::SaturatedBroadcast)
+                .build()
+                .unwrap();
             sim.run(black_box(&mac), SLOTS);
             sim.report().collisions
         });
@@ -138,14 +133,13 @@ fn bench_replications_parallel(c: &mut Criterion) {
                 pool.install(|| {
                     run_replications(16, 7, |seed| {
                         let mac = TsmaMac::new(N, D);
-                        let mut sim = Simulator::new(
+                        let mut sim = SimulatorBuilder::new(
                             topo(),
                             TrafficPattern::PoissonUnicast { rate: 0.01 },
-                            SimConfig {
-                                seed,
-                                ..Default::default()
-                            },
-                        );
+                        )
+                        .seed(seed)
+                        .build()
+                        .unwrap();
                         sim.run(&mac, 500);
                         sim.report()
                     })

@@ -17,7 +17,8 @@ USAGE:
   ttdc simulate --degree D --topology ring|line|star|grid=WxH|geometric=SEED
                 [--slots N] [--rate R] [--seed S]
                 [--per P] [--burst PGB,PBG] [--crash-rate C[,R]]
-                [--drift RATE] [--max-retries N] FILE
+                [--drift RATE] [--max-retries N]
+                [--trace-out FILE] FILE
   ttdc help
 
 FAULT INJECTION (simulate):
@@ -27,6 +28,7 @@ FAULT INJECTION (simulate):
                      (default R = 0.1); a crashed node loses its queue
   --drift RATE       max per-slot clock skew, in slots/slot (e.g. 0.001)
   --max-retries N    drop a packet after N failed retransmissions of a hop
+  --trace-out FILE   write the per-slot event trace as JSON Lines to FILE
 
 FILE is a schedule in the `ttdc-schedule v1` text format (see `ttdc build`).";
 
@@ -88,6 +90,8 @@ pub enum Command {
         drift: f64,
         /// ARQ retry bound (`None` = retry forever).
         max_retries: Option<u32>,
+        /// Write the event trace as JSON Lines to this path.
+        trace_out: Option<String>,
         /// Schedule file.
         file: String,
     },
@@ -277,6 +281,7 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, String>
                 "crash-rate",
                 "drift",
                 "max-retries",
+                "trace-out",
             ])?;
             let burst = o
                 .flags
@@ -299,6 +304,7 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, String>
                 crash,
                 drift: o.opt("drift")?.unwrap_or(0.0),
                 max_retries: o.opt("max-retries")?,
+                trace_out: o.opt("trace-out")?,
                 file: o.file()?,
             })
         }
@@ -427,6 +433,7 @@ mod tests {
                 crash: None,
                 drift: 0.0,
                 max_retries: None,
+                trace_out: None,
                 file: "f".into(),
             }
         );

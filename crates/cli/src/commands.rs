@@ -12,7 +12,7 @@ use ttdc_core::throughput::{average_throughput, min_throughput};
 use ttdc_core::tsma::build;
 use ttdc_core::{construct, io as sched_io, Schedule};
 use ttdc_sim::{
-    CrashModel, FaultPlan, GeometricNetwork, GilbertElliott, ScheduleMac, SimConfig, Simulator,
+    CrashModel, FaultPlan, GeometricNetwork, GilbertElliott, ScheduleMac, SimulatorBuilder,
     Topology, TrafficPattern,
 };
 
@@ -179,6 +179,7 @@ pub fn execute(cmd: &Command, out: &mut dyn Write) -> CmdResult {
             crash,
             drift,
             max_retries,
+            trace_out,
             file,
         } => {
             let s = load_schedule(file)?;
@@ -220,16 +221,14 @@ pub fn execute(cmd: &Command, out: &mut dyn Write) -> CmdResult {
                 faults = faults.with_max_retries(*limit);
             }
             let mac = ScheduleMac::new("cli", s);
-            let mut sim = Simulator::try_new(
-                topo,
-                TrafficPattern::PoissonUnicast { rate: *rate },
-                SimConfig {
-                    seed: *seed,
-                    faults,
-                    ..Default::default()
-                },
-            )
-            .map_err(|e| e.to_string())?;
+            let mut builder =
+                SimulatorBuilder::new(topo, TrafficPattern::PoissonUnicast { rate: *rate })
+                    .seed(*seed)
+                    .faults(faults);
+            if trace_out.is_some() {
+                builder = builder.trace_capacity(1 << 16);
+            }
+            let mut sim = builder.build().map_err(|e| e.to_string())?;
             sim.run(&mac, *slots);
             let r = sim.report();
             writeln!(out, "slots      : {}", r.slots).ok();
@@ -267,6 +266,16 @@ pub fn execute(cmd: &Command, out: &mut dyn Write) -> CmdResult {
                     r.recoveries,
                     r.crash_dropped,
                     r.retry_exhausted
+                )
+                .ok();
+            }
+            if let Some(path) = trace_out {
+                std::fs::write(path, r.trace.to_jsonl()).map_err(|e| format!("{path}: {e}"))?;
+                writeln!(
+                    out,
+                    "trace      : wrote {} events to {path} (ring buffer keeps the last {})",
+                    r.trace.len(),
+                    1usize << 16
                 )
                 .ok();
             }
@@ -511,6 +520,52 @@ mod tests {
         assert_eq!(code, 1, "{out}");
         assert!(out.contains("per-link error rate"), "{out}");
         std::fs::remove_file(&file).ok();
+    }
+
+    #[test]
+    fn trace_out_writes_jsonl() {
+        let file = tmp("trace.sched");
+        let trace = tmp("trace.jsonl");
+        run_str(&[
+            "build",
+            "--nodes",
+            "9",
+            "--degree",
+            "2",
+            "--alpha-t",
+            "1",
+            "--alpha-r",
+            "2",
+            "--output",
+            &file,
+        ]);
+        let (code, out) = run_str(&[
+            "simulate",
+            "--degree",
+            "2",
+            "--topology",
+            "ring",
+            "--slots",
+            "500",
+            "--rate",
+            "0.05",
+            "--trace-out",
+            &trace,
+            &file,
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("trace"), "{out}");
+        let body = std::fs::read_to_string(&trace).unwrap();
+        assert!(!body.is_empty());
+        for line in body.lines() {
+            assert!(
+                line.starts_with("{\"slot\":") && line.ends_with('}'),
+                "malformed JSONL line: {line}"
+            );
+        }
+        assert!(body.contains("\"event\":\"generated\""), "{body}");
+        std::fs::remove_file(&file).ok();
+        std::fs::remove_file(&trace).ok();
     }
 
     #[test]

@@ -12,8 +12,7 @@ use rand::SeedableRng;
 use ttdc_core::construct::PartitionStrategy;
 use ttdc_protocols::{NaiveDutyCycleMac, TtdcMac};
 use ttdc_sim::{
-    run_replications, summarize, GeometricNetwork, MacProtocol, SimConfig, Simulator,
-    TrafficPattern,
+    run_replications, summarize, GeometricNetwork, MacProtocol, SimulatorBuilder, TrafficPattern,
 };
 use ttdc_util::Table;
 
@@ -25,14 +24,10 @@ const REPS: u64 = 8;
 fn scenario(mac: &dyn MacProtocol, rate: f64, seed: u64) -> ttdc_sim::SimReport {
     let mut rng = SmallRng::seed_from_u64(seed * 977 + 13);
     let topo = GeometricNetwork::random(N, 0.35, D, &mut rng).topology();
-    let mut sim = Simulator::new(
-        topo,
-        TrafficPattern::PoissonUnicast { rate },
-        SimConfig {
-            seed,
-            ..Default::default()
-        },
-    );
+    let mut sim = SimulatorBuilder::new(topo, TrafficPattern::PoissonUnicast { rate })
+        .seed(seed)
+        .build()
+        .expect("valid configuration");
     sim.run(mac, SLOTS);
     sim.report()
 }

@@ -24,8 +24,8 @@ use ttdc_protocols::{
     TtdcMac,
 };
 use ttdc_sim::{
-    churn, run_replications, summarize, GeometricNetwork, MacProtocol, SimConfig, Simulator,
-    Topology, TrafficPattern,
+    churn, run_replications, summarize, GeometricNetwork, MacProtocol, SimulatorBuilder, Topology,
+    TrafficPattern,
 };
 use ttdc_util::Table;
 
@@ -48,17 +48,16 @@ fn make_topology(seed: u64) -> Topology {
 
 fn scenario(mac: &dyn MacProtocol, dynamic: bool, seed: u64) -> ttdc_sim::SimReport {
     let topo = make_topology(seed);
-    let mut sim = Simulator::new(
+    let mut sim = SimulatorBuilder::new(
         topo,
         TrafficPattern::Convergecast {
             sink: 0,
             rate: RATE,
         },
-        SimConfig {
-            seed,
-            ..Default::default()
-        },
-    );
+    )
+    .seed(seed)
+    .build()
+    .expect("valid configuration");
     if dynamic {
         let mut rng = SmallRng::seed_from_u64(seed * 31 + 7);
         let mut remaining = SLOTS;

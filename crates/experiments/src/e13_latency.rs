@@ -8,7 +8,7 @@ use ttdc_core::construct::{construct, PartitionStrategy};
 use ttdc_core::latency::{average_access_delay, worst_case_access_delay};
 use ttdc_core::tsma::build_polynomial;
 use ttdc_protocols::RandomWakeupMac;
-use ttdc_sim::{MacProtocol, ScheduleMac, SimConfig, Simulator, Topology, TrafficPattern};
+use ttdc_sim::{MacProtocol, ScheduleMac, SimulatorBuilder, Topology, TrafficPattern};
 use ttdc_util::Table;
 
 /// Runs E13.
@@ -84,14 +84,13 @@ pub fn run() -> Vec<Table> {
         ("ttdc", &ttdc_mac as &dyn MacProtocol),
         ("random-wakeup", &rnd),
     ] {
-        let mut sim = Simulator::new(
+        let mut sim = SimulatorBuilder::new(
             Topology::ring(n),
             TrafficPattern::PoissonUnicast { rate: 0.0005 },
-            SimConfig {
-                seed: 11,
-                ..Default::default()
-            },
-        );
+        )
+        .seed(11)
+        .build()
+        .expect("valid configuration");
         sim.run(mac, 120_000);
         let r = sim.report();
         simulated.row(&[

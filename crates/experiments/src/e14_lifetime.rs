@@ -5,7 +5,7 @@
 
 use ttdc_core::construct::PartitionStrategy;
 use ttdc_protocols::{TsmaMac, TtdcMac};
-use ttdc_sim::{MacProtocol, SimConfig, Simulator, Topology, TrafficPattern};
+use ttdc_sim::{MacProtocol, SimulatorBuilder, Topology, TrafficPattern};
 use ttdc_util::Table;
 
 const N: usize = 20;
@@ -14,15 +14,14 @@ const HORIZON: u64 = 200_000;
 const BATTERY_MJ: f64 = 20_000.0; // ~44k listening slots at 0.45 mJ/slot
 
 fn lifetime(mac: &dyn MacProtocol) -> (Option<u64>, u64, f64) {
-    let mut sim = Simulator::new(
+    let mut sim = SimulatorBuilder::new(
         Topology::ring(N),
         TrafficPattern::PoissonUnicast { rate: 0.0005 },
-        SimConfig {
-            seed: 17,
-            battery_capacity_mj: Some(BATTERY_MJ),
-            ..Default::default()
-        },
-    );
+    )
+    .seed(17)
+    .battery_capacity_mj(BATTERY_MJ)
+    .build()
+    .expect("valid configuration");
     sim.run(mac, HORIZON);
     let r = sim.report();
     (r.first_death_slot, r.deaths, r.delivery_ratio())

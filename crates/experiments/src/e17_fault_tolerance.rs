@@ -29,7 +29,7 @@ use ttdc_core::construct::PartitionStrategy;
 use ttdc_protocols::{ColoringTdmaMac, SlottedAlohaMac, TsmaMac, TtdcMac};
 use ttdc_sim::{
     run_replications, summarize, CrashModel, FaultPlan, GeometricNetwork, GilbertElliott,
-    MacProtocol, SimConfig, Simulator, Topology, TrafficPattern,
+    MacProtocol, SimulatorBuilder, Topology, TrafficPattern,
 };
 use ttdc_util::Table;
 
@@ -70,18 +70,17 @@ fn fault_scenarios() -> Vec<(&'static str, FaultPlan)> {
 
 fn scenario(mac: &dyn MacProtocol, faults: FaultPlan, seed: u64) -> ttdc_sim::SimReport {
     let topo = make_topology(seed);
-    let mut sim = Simulator::new(
+    let mut sim = SimulatorBuilder::new(
         topo,
         TrafficPattern::Convergecast {
             sink: 0,
             rate: RATE,
         },
-        SimConfig {
-            seed,
-            faults,
-            ..Default::default()
-        },
-    );
+    )
+    .seed(seed)
+    .faults(faults)
+    .build()
+    .expect("valid configuration");
     sim.run(mac, SLOTS);
     sim.report()
 }

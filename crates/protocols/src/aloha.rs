@@ -63,4 +63,19 @@ mod tests {
     fn zero_persistence_rejected() {
         SlottedAlohaMac::new(0.0);
     }
+
+    #[test]
+    #[should_panic(expected = "persistence")]
+    fn nan_persistence_rejected() {
+        // NaN fails every comparison, so the (0, 1] assertion must
+        // reject it rather than let a poisoned probability reach the
+        // engine's transmit draw.
+        SlottedAlohaMac::new(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "persistence")]
+    fn oversized_persistence_rejected() {
+        SlottedAlohaMac::new(1.5);
+    }
 }

@@ -87,4 +87,18 @@ mod tests {
     fn zero_active_rejected() {
         SmacLikeMac::new(5, 0, 0.5);
     }
+
+    #[test]
+    #[should_panic]
+    fn nan_contention_probability_rejected() {
+        // NaN fails the (0, 1] range assertion — it must never reach
+        // the engine's transmit draw.
+        SmacLikeMac::new(5, 2, f64::NAN);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_contention_probability_rejected() {
+        SmacLikeMac::new(5, 2, 1.0001);
+    }
 }

@@ -1,33 +1,41 @@
-//! The slot-synchronous simulation engine.
+//! The slot-synchronous simulation engine (thin orchestrator).
 //!
 //! Time advances in slots (the paper assumes loose synchronization and
-//! describes behaviour per slot, §1/§3). Each slot the engine:
+//! describes behaviour per slot, §1/§3). Each [`Simulator::step`] runs the
+//! seven-phase pipeline (one internal module per phase under
+//! `crates/sim/src/phases/`):
 //!
-//! 1. generates traffic per the [`TrafficPattern`];
-//! 2. asks the MAC which nodes may transmit/listen, applies the
-//!    persistence probability and (optionally) a synchronization-miss
-//!    probability — the "loose sync" knob;
-//! 3. resolves collisions with the paper's model: a reception at `y`
-//!    succeeds iff `y` is listening and **exactly one** of its neighbours
-//!    transmits (and that packet's next hop is `y` in unicast modes);
-//! 4. charges the energy model: transmit / listen / sleep per node.
+//! 1. fault processes (crash/recovery, clock drift);
+//! 2. traffic generation per the [`TrafficPattern`];
+//! 3. transmit election (schedule, sync-miss, p-persistence);
+//! 4. reception resolution through the configured
+//!    [`ChannelModel`] — by default the paper's rule:
+//!    a reception at `y` succeeds iff **exactly one** of its neighbours
+//!    transmits;
+//! 5. handoff delivery; 6. bounded ARQ; 7. energy and battery depletion.
 //!
-//! Senders can be *schedule-aware* (transmit a packet only in slots where
-//! its next hop is scheduled to listen — possible because the schedule is
-//! global knowledge even though the topology is not) or eager.
-//! The topology may be swapped between steps ([`Simulator::set_topology`])
-//! to exercise topology transparency under churn and mobility.
+//! Anything observable is announced as a [`SlotEvent`] to the attached
+//! [`SlotObserver`]s; the built-in metrics and trace observers assemble
+//! the [`SimReport`]. Senders can be *schedule-aware* (transmit a packet
+//! only in slots where its next hop is scheduled to listen — possible
+//! because the schedule is global knowledge even though the topology is
+//! not) or eager. The topology may be swapped between steps
+//! ([`Simulator::set_topology`]) to exercise topology transparency under
+//! churn and mobility.
 
-use crate::energy::{EnergyModel, RadioState};
+use crate::builder::SimulatorBuilder;
+pub use crate::channel::CaptureModel;
+use crate::channel::ChannelModel;
+use crate::energy::{EnergyLedger, EnergyModel};
 use crate::error::SimError;
-use crate::faults::{CrashTransition, FaultPlan, FaultState};
+use crate::faults::{FaultPlan, FaultState};
 use crate::mac::MacProtocol;
 use crate::metrics::SimReport;
+use crate::observer::{MetricsObserver, SlotEvent, SlotObserver, TraceObserver};
+use crate::phases;
 use crate::topology::Topology;
-use crate::trace::TraceEvent;
 use crate::traffic::{Packet, TrafficPattern};
 use rand::rngs::SmallRng;
-use rand::Rng;
 use rand::SeedableRng;
 use std::collections::VecDeque;
 
@@ -69,41 +77,39 @@ impl Default for SimConfig {
     }
 }
 
-/// Physical-layer capture: when several neighbours transmit at a listener,
-/// the closest one is still decoded if it is sufficiently closer than the
-/// runner-up. This is the standard power-capture ablation: the paper's
-/// collision model is the conservative `ratio = ∞` special case, so
-/// enabling capture can only help a topology-transparent schedule.
-#[derive(Clone, Copy, Debug, PartialEq)]
-pub struct CaptureModel {
-    /// Minimum ratio `d₂/d₁` of runner-up to winner distance for capture
-    /// (≥ 1; with a path-loss exponent γ this is an SIR threshold of
-    /// `γ·10·log₁₀(ratio)` dB).
-    pub ratio: f64,
-}
-
-/// The simulator state: topology, per-node queues, metrics, and the RNG.
+/// The simulator state: topology, per-node queues, observers, and the RNG.
+///
+/// Construct through [`SimulatorBuilder`] (or the [`Simulator::new`] /
+/// [`Simulator::try_new`] shorthands, which route through it).
 #[derive(Debug)]
 pub struct Simulator {
-    topo: Topology,
-    pattern: TrafficPattern,
-    config: SimConfig,
-    rng: SmallRng,
-    queues: Vec<VecDeque<Packet>>,
+    pub(crate) topo: Topology,
+    pub(crate) pattern: TrafficPattern,
+    pub(crate) config: SimConfig,
+    pub(crate) rng: SmallRng,
+    pub(crate) queues: Vec<VecDeque<Packet>>,
     /// Convergecast next hop toward the sink (`usize::MAX` = no route).
-    routing: Vec<usize>,
-    report: SimReport,
-    slot: u64,
+    pub(crate) routing: Vec<usize>,
+    pub(crate) slot: u64,
     /// Battery-exhausted nodes (radio permanently off).
-    dead: Vec<bool>,
-    /// Node positions + capture model, when physical capture is enabled.
-    capture: Option<(Vec<(f64, f64)>, CaptureModel)>,
+    pub(crate) dead: Vec<bool>,
+    /// Cumulative per-node energy. Engine-owned (not observer state): the
+    /// energy phase must read it mid-loop to decide battery death.
+    pub(crate) energy: EnergyLedger,
     /// Fault-injection runtime state (crash flags, link channels, drift).
-    faults: FaultState,
+    pub(crate) faults: FaultState,
+    /// How concurrent transmissions resolve at a listener.
+    pub(crate) channel: Box<dyn ChannelModel>,
+    /// Built-in observers (concrete types — no dynamic dispatch on the
+    /// hot path) plus any user-attached extras.
+    pub(crate) metrics: MetricsObserver,
+    pub(crate) trace_obs: TraceObserver,
+    pub(crate) extra_observers: Vec<Box<dyn SlotObserver>>,
     // Per-slot scratch (reused across steps to avoid allocation).
-    transmitting: Vec<bool>,
-    tx_queue_idx: Vec<usize>,
-    successes: Vec<(usize, usize)>,
+    pub(crate) transmitting: Vec<bool>,
+    pub(crate) listening: Vec<bool>,
+    pub(crate) tx_queue_idx: Vec<usize>,
+    pub(crate) successes: Vec<(usize, usize)>,
 }
 
 impl Simulator {
@@ -120,24 +126,26 @@ impl Simulator {
 
     /// Creates a simulator over `topo`, rejecting invalid configuration
     /// (out-of-range sink, bad miss probability, bad fault plan) as a
-    /// typed [`SimError`] instead of panicking.
+    /// typed [`SimError`] instead of panicking. Routed through
+    /// [`SimulatorBuilder`].
     pub fn try_new(
         topo: Topology,
         pattern: TrafficPattern,
         config: SimConfig,
     ) -> Result<Simulator, SimError> {
+        SimulatorBuilder::new(topo, pattern).config(config).build()
+    }
+
+    /// Assembles a validated simulator; only [`SimulatorBuilder::build`]
+    /// calls this.
+    pub(crate) fn assemble(
+        topo: Topology,
+        pattern: TrafficPattern,
+        config: SimConfig,
+        channel: Box<dyn ChannelModel>,
+        extra_observers: Vec<Box<dyn SlotObserver>>,
+    ) -> Simulator {
         let n = topo.num_nodes();
-        if let Some(sink) = pattern.sink() {
-            if sink >= n {
-                return Err(SimError::SinkOutOfRange { sink, nodes: n });
-            }
-        }
-        if !(0.0..=1.0).contains(&config.miss_probability) {
-            return Err(SimError::InvalidMissProbability {
-                value: config.miss_probability,
-            });
-        }
-        config.faults.validate()?;
         let mut sim = Simulator {
             topo,
             pattern,
@@ -149,21 +157,21 @@ impl Simulator {
             // deeper than this still grow on demand.
             queues: (0..n).map(|_| VecDeque::with_capacity(64)).collect(),
             routing: vec![usize::MAX; n],
-            report: {
-                let mut r = SimReport::new(n);
-                r.trace = crate::trace::Trace::new(config.trace_capacity);
-                r
-            },
             slot: 0,
             dead: vec![false; n],
-            capture: None,
+            energy: EnergyLedger::new(n),
             faults: FaultState::new(config.faults, n, config.seed),
+            channel,
+            metrics: MetricsObserver::new(),
+            trace_obs: TraceObserver::new(config.trace_capacity),
+            extra_observers,
             transmitting: vec![false; n],
+            listening: vec![false; n],
             tx_queue_idx: vec![usize::MAX; n],
             successes: Vec::with_capacity(n),
         };
         sim.rebuild_routing();
-        Ok(sim)
+        sim
     }
 
     /// The current topology.
@@ -188,7 +196,8 @@ impl Simulator {
     }
 
     /// Enables physical capture: `positions[v]` is node `v`'s coordinate
-    /// (e.g. from [`crate::GeometricNetwork::positions`]).
+    /// (e.g. from [`crate::GeometricNetwork::positions`]). Replaces the
+    /// channel model with a [`crate::CaptureChannel`].
     ///
     /// Panics on invalid input; [`Simulator::try_enable_capture`] is the
     /// fallible equivalent.
@@ -214,36 +223,19 @@ impl Simulator {
         if model.ratio < 1.0 {
             return Err(SimError::CaptureRatioTooSmall { ratio: model.ratio });
         }
-        self.capture = Some((positions, model));
+        self.channel = Box::new(crate::channel::CaptureChannel::new(positions, model));
         Ok(())
     }
 
-    /// Among ≥ 2 transmitting neighbours of `y`, the one that captures the
-    /// channel, if any.
-    fn capture_winner(&self, y: usize) -> Option<usize> {
-        let (pos, model) = self.capture.as_ref()?;
-        let (py, mut best, mut second) = (pos[y], None::<(f64, usize)>, f64::INFINITY);
-        for v in self.topo.neighbors(y) {
-            if !self.transmitting[v] {
-                continue;
-            }
-            let d = ((pos[v].0 - py.0).powi(2) + (pos[v].1 - py.1).powi(2)).sqrt();
-            match best {
-                Some((bd, _)) if d >= bd => second = second.min(d),
-                _ => {
-                    if let Some((bd, _)) = best {
-                        second = second.min(bd);
-                    }
-                    best = Some((d, v));
-                }
-            }
-        }
-        let (bd, bv) = best?;
-        if second / bd.max(1e-12) >= model.ratio {
-            Some(bv)
-        } else {
-            None
-        }
+    /// Replaces the channel model mid-run (e.g. to degrade conditions).
+    pub fn set_channel(&mut self, channel: impl ChannelModel + 'static) {
+        self.channel = Box::new(channel);
+    }
+
+    /// The user-attached observers, in attachment order (the built-in
+    /// metrics and trace observers are not included).
+    pub fn observers(&self) -> &[Box<dyn SlotObserver>] {
+        &self.extra_observers
     }
 
     fn rebuild_routing(&mut self) {
@@ -266,328 +258,41 @@ impl Simulator {
     }
 
     /// The next hop for a packet currently held by `holder`.
-    fn next_hop(&self, holder: usize, packet: &Packet) -> usize {
+    pub(crate) fn next_hop(&self, holder: usize, packet: &Packet) -> usize {
         match self.pattern {
             TrafficPattern::Convergecast { .. } => self.routing[holder],
             _ => packet.final_dst,
         }
     }
 
-    fn generate_traffic(&mut self) {
-        let n = self.topo.num_nodes();
-        match self.pattern {
-            TrafficPattern::SaturatedBroadcast => {}
-            TrafficPattern::PoissonUnicast { rate } => {
-                for v in 0..n {
-                    if !self.dead[v] && !self.faults.is_crashed(v) && self.rng.gen_bool(rate) {
-                        self.generate_unicast(v);
-                    }
-                }
-            }
-            TrafficPattern::CbrUnicast { period } => {
-                for v in 0..n {
-                    if !self.dead[v]
-                        && !self.faults.is_crashed(v)
-                        && (self.slot + v as u64).is_multiple_of(period)
-                    {
-                        self.generate_unicast(v);
-                    }
-                }
-            }
-            TrafficPattern::Convergecast { sink, rate } => {
-                for v in 0..n {
-                    if self.dead[v]
-                        || self.faults.is_crashed(v)
-                        || v == sink
-                        || !self.rng.gen_bool(rate)
-                    {
-                        continue;
-                    }
-                    {
-                        self.report.generated += 1;
-                        if self.routing[v] == usize::MAX {
-                            self.report.undeliverable += 1;
-                        } else {
-                            self.queues[v].push_back(Packet {
-                                origin: v,
-                                final_dst: sink,
-                                created: self.slot,
-                                retries: 0,
-                            });
-                            self.report.trace.record(
-                                self.slot,
-                                TraceEvent::Generated {
-                                    node: v,
-                                    final_dst: sink,
-                                },
-                            );
-                        }
-                    }
-                }
-            }
+    /// Announces `event` to every observer: the built-in metrics and trace
+    /// recorders first, then user extras in attachment order.
+    #[inline]
+    pub(crate) fn emit(&mut self, event: SlotEvent) {
+        self.metrics.on_event(self.slot, &event);
+        self.trace_obs.on_event(self.slot, &event);
+        for obs in &mut self.extra_observers {
+            obs.on_event(self.slot, &event);
         }
     }
 
-    fn generate_unicast(&mut self, v: usize) {
-        self.report.generated += 1;
-        let deg = self.topo.degree(v);
-        if deg == 0 {
-            self.report.undeliverable += 1;
-            return;
-        }
-        let pick = self.rng.gen_range(0..deg);
-        let dst = self.topo.neighbors(v).iter().nth(pick).unwrap();
-        self.queues[v].push_back(Packet {
-            origin: v,
-            final_dst: dst,
-            created: self.slot,
-            retries: 0,
-        });
-        self.report.trace.record(
-            self.slot,
-            TraceEvent::Generated {
-                node: v,
-                final_dst: dst,
-            },
-        );
-    }
-
-    /// Advances one slot under `mac`.
+    /// Advances one slot under `mac`: runs the seven-phase pipeline (the
+    /// module-level docs list the phases) and closes the slot for every
+    /// observer.
     pub fn step(&mut self, mac: &dyn MacProtocol) {
-        let n = self.topo.num_nodes();
-
-        // Phase 0: fault processes — crash/recovery transitions and clock
-        // drift accrual. Every branch here is gated on the corresponding
-        // plan knob (and draws only from the dedicated fault RNG), so a
-        // no-op plan leaves the run bit-for-bit unchanged.
-        if self.faults.plan().crash.is_some() {
-            for v in 0..n {
-                if self.dead[v] {
-                    continue;
-                }
-                match self.faults.step_crash(v) {
-                    Some(CrashTransition::Crashed { drop_queue }) => {
-                        self.report.crashes += 1;
-                        self.report
-                            .trace
-                            .record(self.slot, TraceEvent::NodeCrashed { node: v });
-                        if drop_queue {
-                            let lost = self.queues[v].len() as u64;
-                            self.queues[v].clear();
-                            self.report.crash_dropped += lost;
-                            self.report.undeliverable += lost;
-                        }
-                    }
-                    Some(CrashTransition::Recovered) => {
-                        self.report.recoveries += 1;
-                        self.report
-                            .trace
-                            .record(self.slot, TraceEvent::NodeRecovered { node: v });
-                    }
-                    None => {}
-                }
-            }
+        phases::faults::run(self);
+        phases::traffic::run(self);
+        phases::election::run(self, mac);
+        phases::channel::run(self, mac);
+        phases::delivery::run(self);
+        phases::arq::run(self);
+        phases::energy::run(self);
+        let slot = self.slot;
+        self.metrics.on_slot_end(slot);
+        self.trace_obs.on_slot_end(slot);
+        for obs in &mut self.extra_observers {
+            obs.on_slot_end(slot);
         }
-        self.faults.step_drift();
-
-        self.generate_traffic();
-        let saturated = self.pattern.is_saturated();
-        let miss = self.config.miss_probability;
-        let lossy_links = self.faults.plan().has_link_loss();
-        let arq_limit = self.faults.plan().max_retries;
-
-        // Phase 1: transmit decisions. Each node consults the schedule at
-        // its *perceived* slot (clock drift skews its local clock), though
-        // the transmission physically happens in the true slot.
-        for v in 0..n {
-            self.transmitting[v] = false;
-            self.tx_queue_idx[v] = usize::MAX;
-            if self.dead[v] || self.faults.is_crashed(v) {
-                continue;
-            }
-            let pslot = self.faults.perceived_slot(v, self.slot);
-            if !mac.may_transmit(v, pslot) {
-                continue;
-            }
-            if miss > 0.0 && self.rng.gen_bool(miss) {
-                continue;
-            }
-            if saturated {
-                self.transmitting[v] = true;
-                self.report.trace.record(
-                    self.slot,
-                    TraceEvent::Transmitted {
-                        node: v,
-                        next_hop: usize::MAX,
-                    },
-                );
-                continue;
-            }
-            // Drop stale packets whose next hop left radio range and has no
-            // replacement route.
-            while let Some(front) = self.queues[v].front() {
-                let nh = self.next_hop(v, front);
-                if nh == usize::MAX || !self.topo.has_edge(v, nh) {
-                    self.queues[v].pop_front();
-                    self.report.undeliverable += 1;
-                } else {
-                    break;
-                }
-            }
-            let chosen = if self.config.schedule_aware_senders {
-                // The sender predicts the receiver's listen slot with its
-                // *own* clock — a drifted sender guesses wrong.
-                self.queues[v].iter().position(|p| {
-                    let nh = self.next_hop(v, p);
-                    nh != usize::MAX && self.topo.has_edge(v, nh) && mac.may_receive(nh, pslot)
-                })
-            } else if self.queues[v].is_empty() {
-                None
-            } else {
-                Some(0)
-            };
-            if let Some(qi) = chosen {
-                let p = mac.transmit_probability(v, pslot);
-                if p >= 1.0 || self.rng.gen_bool(p.max(0.0)) {
-                    self.transmitting[v] = true;
-                    self.tx_queue_idx[v] = qi;
-                    let nh = self.next_hop(v, &self.queues[v][qi]);
-                    self.report.trace.record(
-                        self.slot,
-                        TraceEvent::Transmitted {
-                            node: v,
-                            next_hop: nh,
-                        },
-                    );
-                }
-            }
-        }
-
-        // Phase 2: reception and collision resolution. The (sender,
-        // receiver) scratch is taken out of `self` (retaining capacity) so
-        // the steady state allocates nothing, like `transmitting` above.
-        let mut successes = std::mem::take(&mut self.successes);
-        successes.clear();
-        for y in 0..n {
-            if self.dead[y]
-                || self.faults.is_crashed(y)
-                || self.transmitting[y]
-                || !mac.may_receive(y, self.faults.perceived_slot(y, self.slot))
-                || (miss > 0.0 && self.rng.gen_bool(miss))
-            {
-                continue;
-            }
-            let mut tx_neighbors = self
-                .topo
-                .neighbors(y)
-                .iter()
-                .filter(|&v| self.transmitting[v]);
-            let first = tx_neighbors.next();
-            let second = tx_neighbors.next();
-            let decoded = match (first, second) {
-                (Some(x), None) => Some(x),
-                (Some(_), Some(_)) => {
-                    // Physical capture may still decode the closest sender.
-                    let winner = self.capture_winner(y);
-                    if winner.is_none() {
-                        self.report.collisions += 1;
-                        self.report
-                            .trace
-                            .record(self.slot, TraceEvent::Collision { at: y });
-                    }
-                    winner
-                }
-                _ => None,
-            };
-            let Some(x) = decoded else { continue };
-            // Injected link loss can still erase the decoded transmission.
-            if lossy_links && !self.faults.link_delivers(x, y, self.slot) {
-                self.report.link_drops += 1;
-                self.report
-                    .trace
-                    .record(self.slot, TraceEvent::LinkDropped { from: x, to: y });
-                continue;
-            }
-            if saturated {
-                *self.report.link_success.entry((x, y)).or_insert(0) += 1;
-            } else {
-                let qi = self.tx_queue_idx[x];
-                let pkt = self.queues[x][qi];
-                if self.next_hop(x, &pkt) == y {
-                    successes.push((x, y));
-                }
-            }
-        }
-
-        // Phase 3: apply successful handoffs.
-        for &(x, y) in &successes {
-            let pkt = self.queues[x].remove(self.tx_queue_idx[x]).unwrap();
-            // Mark the hop acknowledged so the ARQ pass below skips it.
-            self.tx_queue_idx[x] = usize::MAX;
-            self.report.hop_deliveries += 1;
-            self.report
-                .trace
-                .record(self.slot, TraceEvent::HopDelivered { from: x, to: y });
-            if pkt.final_dst == y {
-                self.report.delivered += 1;
-                self.report.latency.push((self.slot - pkt.created) as f64);
-                self.report.latency_hist.record(self.slot - pkt.created);
-            } else {
-                // ARQ is per hop: the retry budget resets on success.
-                self.queues[y].push_back(Packet { retries: 0, ..pkt });
-            }
-        }
-        self.successes = successes;
-
-        // Bounded link-layer ARQ: a sender whose transmission went
-        // unacknowledged (collision, fade, deaf receiver) burns one retry;
-        // past the budget the packet is abandoned.
-        if let Some(limit) = arq_limit {
-            for v in 0..n {
-                let qi = self.tx_queue_idx[v];
-                if qi == usize::MAX {
-                    continue; // no queued transmission, or the hop succeeded
-                }
-                let pkt = &mut self.queues[v][qi];
-                pkt.retries += 1;
-                if pkt.retries > limit {
-                    self.queues[v].remove(qi);
-                    self.report.retry_exhausted += 1;
-                    self.report
-                        .trace
-                        .record(self.slot, TraceEvent::RetryExhausted { node: v });
-                }
-            }
-        }
-
-        // Phase 4: energy and battery depletion. A crashed node's radio is
-        // off: it pays only the sleep floor while down.
-        for v in 0..n {
-            if self.dead[v] {
-                continue;
-            }
-            let state = if self.transmitting[v] {
-                RadioState::Transmit
-            } else if !self.faults.is_crashed(v)
-                && mac.may_receive(v, self.faults.perceived_slot(v, self.slot))
-            {
-                RadioState::Listen
-            } else {
-                RadioState::Sleep
-            };
-            self.report.energy.record(&self.config.energy, v, state);
-            if let Some(cap) = self.config.battery_capacity_mj {
-                if self.report.energy.consumed_mj[v] >= cap {
-                    self.dead[v] = true;
-                    self.report.deaths += 1;
-                    self.report.first_death_slot.get_or_insert(self.slot);
-                    self.report
-                        .trace
-                        .record(self.slot, TraceEvent::NodeDied { node: v });
-                }
-            }
-        }
-
         self.slot += 1;
     }
 
@@ -598,11 +303,15 @@ impl Simulator {
         }
     }
 
-    /// Snapshot of the metrics so far.
+    /// Snapshot of the metrics so far: the metrics observer's counters
+    /// plus the engine-owned slot count, backlog, energy ledger, and the
+    /// trace observer's retained events.
     pub fn report(&self) -> SimReport {
-        let mut r = self.report.clone();
+        let mut r = self.metrics.snapshot().clone();
         r.slots = self.slot;
         r.backlog = self.queues.iter().map(|q| q.len() as u64).sum();
+        r.energy = self.energy.clone();
+        r.trace = self.trace_obs.trace().clone();
         r
     }
 
@@ -630,738 +339,5 @@ impl Simulator {
     /// Number of currently-crashed nodes.
     pub fn crashed_count(&self) -> usize {
         self.faults.crashed_count()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::mac::ScheduleMac;
-    use ttdc_core::Schedule;
-    use ttdc_util::BitSet;
-
-    fn rr_mac(n: usize) -> ScheduleMac {
-        let t = (0..n).map(|i| BitSet::from_iter(n, [i])).collect();
-        ScheduleMac::new("rr", Schedule::non_sleeping(n, t))
-    }
-
-    #[test]
-    fn saturated_two_nodes_alternate_perfectly() {
-        // 2 nodes, round-robin: every slot is a guaranteed success on the
-        // single link, alternating direction.
-        let mut sim = Simulator::new(
-            Topology::line(2),
-            TrafficPattern::SaturatedBroadcast,
-            SimConfig::default(),
-        );
-        let mac = rr_mac(2);
-        sim.run(&mac, 10);
-        let r = sim.report();
-        assert_eq!(r.slots, 10);
-        assert_eq!(r.collisions, 0);
-        assert_eq!(r.link_success[&(0, 1)], 5);
-        assert_eq!(r.link_success[&(1, 0)], 5);
-    }
-
-    #[test]
-    fn saturated_star_collides_under_all_transmit() {
-        // Non-sleeping "everyone transmits every slot" schedule on a star:
-        // the hub always sees ≥ 2 transmitters → collisions, no successes.
-        let n = 4;
-        let t = vec![BitSet::from_iter(n, 1..n)]; // leaves transmit
-        let r = vec![BitSet::from_iter(n, [0])]; // hub listens
-        let mac = ScheduleMac::new("all-leaves", Schedule::new(n, t, r));
-        let mut sim = Simulator::new(
-            Topology::star(n),
-            TrafficPattern::SaturatedBroadcast,
-            SimConfig::default(),
-        );
-        sim.run(&mac, 8);
-        let rep = sim.report();
-        assert_eq!(rep.collisions, 8, "hub collides every slot");
-        assert!(rep.link_success.is_empty());
-    }
-
-    #[test]
-    fn unicast_delivery_on_pair() {
-        let mut sim = Simulator::new(
-            Topology::line(2),
-            TrafficPattern::CbrUnicast { period: 4 },
-            SimConfig {
-                seed: 1,
-                ..Default::default()
-            },
-        );
-        let mac = rr_mac(2);
-        sim.run(&mac, 40);
-        let r = sim.report();
-        assert!(r.generated >= 18, "CBR generates steadily: {}", r.generated);
-        assert_eq!(r.collisions, 0);
-        assert!(r.delivered + r.backlog + r.undeliverable >= r.generated - 2);
-        assert!(r.delivered > 0);
-        assert!(r.delivery_ratio() > 0.5, "{}", r.delivery_ratio());
-        assert!(r.latency.mean() >= 0.0);
-    }
-
-    #[test]
-    fn energy_accounting_splits_states() {
-        // Round-robin on 2 nodes: each node transmits half the slots
-        // (saturated), listens the other half → no sleep.
-        let cfg = SimConfig::default();
-        let mut sim = Simulator::new(Topology::line(2), TrafficPattern::SaturatedBroadcast, cfg);
-        sim.run(&rr_mac(2), 10);
-        let r = sim.report();
-        for v in 0..2 {
-            assert_eq!(r.energy.tx_slots[v], 5);
-            assert_eq!(r.energy.listen_slots[v], 5);
-            assert_eq!(r.energy.sleep_slots[v], 0);
-            assert_eq!(r.energy.duty_cycle(v), 1.0);
-        }
-        let expect = 5.0 * cfg.energy.slot_energy_mj(RadioState::Transmit)
-            + 5.0 * cfg.energy.slot_energy_mj(RadioState::Listen);
-        assert!((r.energy.consumed_mj[0] - expect).abs() < 1e-9);
-    }
-
-    #[test]
-    fn sleeping_nodes_save_energy() {
-        // Duty-cycled pair inside a 4-node line: nodes 2,3 always sleep.
-        let n = 4;
-        let t = vec![BitSet::from_iter(n, [0]), BitSet::from_iter(n, [1])];
-        let r = vec![BitSet::from_iter(n, [1]), BitSet::from_iter(n, [0])];
-        let mac = ScheduleMac::new("pair", Schedule::new(n, t, r));
-        let mut sim = Simulator::new(
-            Topology::line(n),
-            TrafficPattern::SaturatedBroadcast,
-            SimConfig::default(),
-        );
-        sim.run(&mac, 20);
-        let rep = sim.report();
-        assert_eq!(rep.energy.sleep_slots[2], 20);
-        assert_eq!(rep.energy.sleep_slots[3], 20);
-        assert!(rep.energy.consumed_mj[2] < rep.energy.consumed_mj[0] / 100.0);
-        assert_eq!(rep.link_success[&(0, 1)], 10);
-    }
-
-    #[test]
-    fn convergecast_reaches_sink_over_multiple_hops() {
-        // Line 0-1-2, sink 0; node 2's packets need two hops.
-        let n = 3;
-        let mut sim = Simulator::new(
-            Topology::line(n),
-            TrafficPattern::Convergecast {
-                sink: 0,
-                rate: 0.05,
-            },
-            SimConfig {
-                seed: 42,
-                ..Default::default()
-            },
-        );
-        let mac = rr_mac(n);
-        sim.run(&mac, 3000);
-        let r = sim.report();
-        assert!(r.generated > 100);
-        assert!(r.delivery_ratio() > 0.8, "ratio {}", r.delivery_ratio());
-        assert!(
-            r.hop_deliveries > r.delivered,
-            "multi-hop forwarding must show up: {} hops vs {} deliveries",
-            r.hop_deliveries,
-            r.delivered
-        );
-        assert!(r.latency.mean() > 0.0);
-    }
-
-    #[test]
-    fn disconnected_generator_counts_undeliverable() {
-        // Node 2 is isolated; unicast generation there is undeliverable.
-        let mut topo = Topology::empty(3);
-        topo.add_edge(0, 1);
-        let mut sim = Simulator::new(
-            topo,
-            TrafficPattern::CbrUnicast { period: 2 },
-            SimConfig::default(),
-        );
-        sim.run(&rr_mac(3), 20);
-        let r = sim.report();
-        assert!(r.undeliverable > 0);
-        // Single-hop conservation: every generated packet is delivered,
-        // dropped as undeliverable, or still queued.
-        assert_eq!(r.generated, r.delivered + r.undeliverable + r.backlog);
-    }
-
-    #[test]
-    fn miss_probability_degrades_throughput() {
-        let run = |miss: f64| {
-            let mut sim = Simulator::new(
-                Topology::line(2),
-                TrafficPattern::SaturatedBroadcast,
-                SimConfig {
-                    seed: 3,
-                    miss_probability: miss,
-                    ..Default::default()
-                },
-            );
-            sim.run(&rr_mac(2), 2000);
-            let r = sim.report();
-            r.link_success.values().sum::<u64>()
-        };
-        let perfect = run(0.0);
-        let sloppy = run(0.3);
-        assert_eq!(perfect, 2000);
-        assert!(sloppy < perfect, "{sloppy} !< {perfect}");
-        assert!(
-            sloppy > 500,
-            "sync jitter should not kill the link: {sloppy}"
-        );
-    }
-
-    #[test]
-    fn topology_swap_reroutes_convergecast() {
-        // Start with line 0-1-2 (sink 0). Swap to a topology where 2
-        // connects directly to 0: packets should still flow.
-        let n = 3;
-        let mut sim = Simulator::new(
-            Topology::line(n),
-            TrafficPattern::Convergecast { sink: 0, rate: 0.1 },
-            SimConfig {
-                seed: 9,
-                ..Default::default()
-            },
-        );
-        let mac = rr_mac(n);
-        sim.run(&mac, 500);
-        let mut t2 = Topology::empty(n);
-        t2.add_edge(0, 2);
-        t2.add_edge(0, 1);
-        sim.set_topology(t2);
-        sim.run(&mac, 500);
-        let r = sim.report();
-        assert!(r.delivery_ratio() > 0.7, "ratio {}", r.delivery_ratio());
-    }
-
-    #[test]
-    fn determinism_in_seed() {
-        let run = |seed| {
-            let mut sim = Simulator::new(
-                Topology::ring(5),
-                TrafficPattern::PoissonUnicast { rate: 0.2 },
-                SimConfig {
-                    seed,
-                    ..Default::default()
-                },
-            );
-            sim.run(&rr_mac(5), 300);
-            let r = sim.report();
-            (r.generated, r.delivered, r.collisions, r.hop_deliveries)
-        };
-        assert_eq!(run(7), run(7));
-        assert_ne!(run(7), run(8));
-    }
-
-    #[test]
-    fn capture_decodes_the_much_closer_sender() {
-        // Star: hub 0 listens; leaves 1 (very close) and 2 (far) transmit
-        // simultaneously. Without capture: collision. With capture at
-        // ratio 2: leaf 1 wins every slot.
-        let n = 3;
-        let topo = Topology::star(n);
-        let t = vec![BitSet::from_iter(n, [1, 2])];
-        let r = vec![BitSet::from_iter(n, [0])];
-        let mac = ScheduleMac::new("both", Schedule::new(n, t, r));
-        let positions = vec![(0.0, 0.0), (0.05, 0.0), (0.9, 0.0)];
-
-        let mut plain = Simulator::new(
-            topo.clone(),
-            TrafficPattern::SaturatedBroadcast,
-            SimConfig::default(),
-        );
-        plain.run(&mac, 10);
-        let rp = plain.report();
-        assert_eq!(rp.collisions, 10);
-        assert!(rp.link_success.is_empty());
-
-        let mut cap = Simulator::new(
-            topo,
-            TrafficPattern::SaturatedBroadcast,
-            SimConfig::default(),
-        );
-        cap.enable_capture(positions, CaptureModel { ratio: 2.0 });
-        cap.run(&mac, 10);
-        let rc = cap.report();
-        assert_eq!(rc.collisions, 0);
-        assert_eq!(rc.link_success[&(1, 0)], 10, "closest sender captures");
-        assert!(!rc.link_success.contains_key(&(2, 0)));
-    }
-
-    #[test]
-    fn capture_below_threshold_still_collides() {
-        let n = 3;
-        let topo = Topology::star(n);
-        let t = vec![BitSet::from_iter(n, [1, 2])];
-        let r = vec![BitSet::from_iter(n, [0])];
-        let mac = ScheduleMac::new("both", Schedule::new(n, t, r));
-        // Nearly equidistant: ratio 1.1 < required 2.0.
-        let positions = vec![(0.0, 0.0), (0.50, 0.0), (0.55, 0.0)];
-        let mut sim = Simulator::new(
-            topo,
-            TrafficPattern::SaturatedBroadcast,
-            SimConfig::default(),
-        );
-        sim.enable_capture(positions, CaptureModel { ratio: 2.0 });
-        sim.run(&mac, 10);
-        assert_eq!(sim.report().collisions, 10);
-    }
-
-    #[test]
-    #[should_panic(expected = "one position per node")]
-    fn capture_requires_all_positions() {
-        let mut sim = Simulator::new(
-            Topology::line(3),
-            TrafficPattern::SaturatedBroadcast,
-            SimConfig::default(),
-        );
-        sim.enable_capture(vec![(0.0, 0.0)], CaptureModel { ratio: 2.0 });
-    }
-
-    #[test]
-    fn battery_exhaustion_kills_nodes_and_sets_lifetime() {
-        // Tiny battery: listening costs 0.45 mJ/slot, so a 9 mJ battery
-        // lasts exactly 20 always-listening slots.
-        let cfg = SimConfig {
-            battery_capacity_mj: Some(9.0),
-            ..Default::default()
-        };
-        let mut sim = Simulator::new(Topology::line(2), TrafficPattern::SaturatedBroadcast, cfg);
-        let mac = rr_mac(2);
-        sim.run(&mac, 100);
-        let r = sim.report();
-        assert_eq!(r.deaths, 2);
-        assert!(sim.is_dead(0) && sim.is_dead(1));
-        assert_eq!(sim.dead_count(), 2);
-        let death = r.first_death_slot.expect("someone must die");
-        // tx 0.6 + listen 0.45 alternating: ~17 slots to burn 9 mJ.
-        assert!((15..=19).contains(&death), "death at {death}");
-        // Dead nodes stop consuming: totals are capped near the capacity.
-        assert!(r.energy.consumed_mj[0] <= 9.0 + 0.61);
-        // And stop communicating: successes stop after death.
-        assert!(r.link_success[&(0, 1)] < 15);
-    }
-
-    #[test]
-    fn dead_nodes_generate_nothing() {
-        let cfg = SimConfig {
-            battery_capacity_mj: Some(1.0),
-            seed: 4,
-            ..Default::default()
-        };
-        let mut sim = Simulator::new(
-            Topology::line(2),
-            TrafficPattern::CbrUnicast { period: 1 },
-            cfg,
-        );
-        sim.run(&rr_mac(2), 500);
-        let r = sim.report();
-        assert_eq!(r.deaths, 2);
-        // Generation stops shortly after both died (~2-3 slots in).
-        assert!(r.generated < 20, "{}", r.generated);
-    }
-
-    #[test]
-    fn trace_records_lifecycle_events() {
-        use crate::trace::TraceEvent;
-        let cfg = SimConfig {
-            trace_capacity: 1000,
-            seed: 1,
-            ..Default::default()
-        };
-        let mut sim = Simulator::new(
-            Topology::line(2),
-            TrafficPattern::CbrUnicast { period: 5 },
-            cfg,
-        );
-        sim.run(&rr_mac(2), 50);
-        let r = sim.report();
-        let has = |f: &dyn Fn(&TraceEvent) -> bool| r.trace.events().any(|(_, e)| f(e));
-        assert!(has(&|e| matches!(e, TraceEvent::Generated { .. })));
-        assert!(has(&|e| matches!(e, TraceEvent::Transmitted { .. })));
-        assert!(has(&|e| matches!(e, TraceEvent::HopDelivered { .. })));
-        assert!(!has(&|e| matches!(e, TraceEvent::Collision { .. })));
-        // Trace slots are monotone.
-        let slots: Vec<u64> = r.trace.events().map(|&(s, _)| s).collect();
-        assert!(slots.windows(2).all(|w| w[0] <= w[1]));
-    }
-
-    #[test]
-    fn trace_disabled_by_default() {
-        let mut sim = Simulator::new(
-            Topology::line(2),
-            TrafficPattern::SaturatedBroadcast,
-            SimConfig::default(),
-        );
-        sim.run(&rr_mac(2), 10);
-        assert!(sim.report().trace.is_empty());
-    }
-
-    #[test]
-    #[should_panic(expected = "sink out of range")]
-    fn bad_sink_rejected() {
-        Simulator::new(
-            Topology::line(2),
-            TrafficPattern::Convergecast { sink: 5, rate: 0.1 },
-            SimConfig::default(),
-        );
-    }
-
-    // ---- fault injection ----
-
-    use crate::error::SimError;
-    use crate::faults::{CrashModel, FaultPlan, GilbertElliott};
-
-    #[test]
-    fn fault_counters_stay_zero_without_faults() {
-        let mut sim = Simulator::new(
-            Topology::ring(5),
-            TrafficPattern::PoissonUnicast { rate: 0.2 },
-            SimConfig {
-                seed: 7,
-                ..Default::default()
-            },
-        );
-        sim.run(&rr_mac(5), 300);
-        let r = sim.report();
-        assert_eq!(
-            (
-                r.link_drops,
-                r.crashes,
-                r.recoveries,
-                r.retry_exhausted,
-                r.crash_dropped
-            ),
-            (0, 0, 0, 0, 0)
-        );
-        assert_eq!(r.fault_drops(), 0);
-        assert_eq!(r.link_drop_rate(), 0.0);
-    }
-
-    #[test]
-    fn unbounded_arq_budget_matches_legacy_behaviour() {
-        // A huge retry budget enables the ARQ pass but never drops, so the
-        // observable report matches the no-fault run with the same seed —
-        // the pre-ARQ engine was exactly "retry forever".
-        let run = |faults: FaultPlan| {
-            let mut sim = Simulator::new(
-                Topology::line(4),
-                TrafficPattern::Convergecast { sink: 0, rate: 0.1 },
-                SimConfig {
-                    seed: 21,
-                    faults,
-                    ..Default::default()
-                },
-            );
-            sim.run(&rr_mac(4), 1500);
-            let r = sim.report();
-            (
-                r.generated,
-                r.delivered,
-                r.hop_deliveries,
-                r.collisions,
-                r.undeliverable,
-                r.backlog,
-                format!("{:?}", r.latency.mean()),
-            )
-        };
-        assert_eq!(
-            run(FaultPlan::none()),
-            run(FaultPlan::none().with_max_retries(u32::MAX))
-        );
-    }
-
-    #[test]
-    fn uniform_link_loss_erases_saturated_receptions() {
-        let mut sim = Simulator::new(
-            Topology::line(2),
-            TrafficPattern::SaturatedBroadcast,
-            SimConfig {
-                seed: 2,
-                faults: FaultPlan::lossy(0.3),
-                ..Default::default()
-            },
-        );
-        sim.run(&rr_mac(2), 2000);
-        let r = sim.report();
-        let successes: u64 = r.link_success.values().sum();
-        // Every slot is decoded by exactly one listener; loss erases ~30%.
-        assert_eq!(successes + r.link_drops, 2000);
-        assert!(r.link_drops > 450, "{}", r.link_drops);
-        assert!(
-            (r.link_drop_rate() - 0.3).abs() < 0.05,
-            "{}",
-            r.link_drop_rate()
-        );
-    }
-
-    #[test]
-    fn bursty_channel_hits_its_stationary_loss() {
-        // A Gilbert–Elliott channel with 50% stationary bad time and a
-        // lossless good state drops roughly per_bad × π_bad of receptions.
-        let ge = GilbertElliott {
-            p_good_to_bad: 0.02,
-            p_bad_to_good: 0.02,
-            per_good: 0.0,
-            per_bad: 1.0,
-        };
-        let mut sim = Simulator::new(
-            Topology::line(2),
-            TrafficPattern::SaturatedBroadcast,
-            SimConfig {
-                seed: 8,
-                faults: FaultPlan::default().with_burst(ge),
-                ..Default::default()
-            },
-        );
-        sim.run(&rr_mac(2), 4000);
-        let r = sim.report();
-        let drop_rate = r.link_drop_rate();
-        assert!(
-            (drop_rate - 0.5).abs() < 0.15,
-            "stationary loss ~50%, got {drop_rate}"
-        );
-    }
-
-    #[test]
-    fn arq_exhaustion_is_observable_in_report_and_trace() {
-        // Total link loss + a 3-retry budget: every packet is abandoned
-        // after 4 failed transmissions; nothing is ever delivered.
-        let mut sim = Simulator::new(
-            Topology::line(2),
-            TrafficPattern::CbrUnicast { period: 10 },
-            SimConfig {
-                seed: 5,
-                trace_capacity: 4096,
-                faults: FaultPlan::lossy(1.0).with_max_retries(3),
-                ..Default::default()
-            },
-        );
-        sim.run(&rr_mac(2), 400);
-        let r = sim.report();
-        assert_eq!(r.delivered, 0);
-        assert!(r.retry_exhausted > 0);
-        assert!(r.link_drops >= 4 * r.retry_exhausted);
-        assert_eq!(
-            r.generated,
-            r.delivered + r.undeliverable + r.retry_exhausted + r.backlog,
-            "conservation: {r:?}"
-        );
-        let has = |f: &dyn Fn(&TraceEvent) -> bool| r.trace.events().any(|(_, e)| f(e));
-        assert!(has(&|e| matches!(e, TraceEvent::RetryExhausted { .. })));
-        assert!(has(&|e| matches!(e, TraceEvent::LinkDropped { .. })));
-    }
-
-    #[test]
-    fn crashes_recover_and_lose_queues() {
-        let mut sim = Simulator::new(
-            Topology::line(4),
-            TrafficPattern::Convergecast { sink: 0, rate: 0.2 },
-            SimConfig {
-                seed: 13,
-                trace_capacity: 1 << 16,
-                faults: FaultPlan::default().with_crash(CrashModel::new(0.02, 0.25)),
-                ..Default::default()
-            },
-        );
-        sim.run(&rr_mac(4), 3000);
-        let r = sim.report();
-        assert!(r.crashes > 10, "{}", r.crashes);
-        assert!(r.recoveries > 10, "{}", r.recoveries);
-        assert!(
-            r.crash_dropped > 0,
-            "a busy relay should crash with a queue"
-        );
-        assert!(r.crash_dropped <= r.undeliverable);
-        assert_eq!(r.generated, r.delivered + r.undeliverable + r.backlog);
-        assert!(r.delivered > 0, "the network still works between crashes");
-        let has = |f: &dyn Fn(&TraceEvent) -> bool| r.trace.events().any(|(_, e)| f(e));
-        assert!(has(&|e| matches!(e, TraceEvent::NodeCrashed { .. })));
-        assert!(has(&|e| matches!(e, TraceEvent::NodeRecovered { .. })));
-    }
-
-    #[test]
-    fn persistent_queues_survive_crashes() {
-        let crash = CrashModel {
-            crash_probability: 0.02,
-            recovery_probability: 0.25,
-            persist_queue: true,
-        };
-        let mut sim = Simulator::new(
-            Topology::line(4),
-            TrafficPattern::Convergecast { sink: 0, rate: 0.2 },
-            SimConfig {
-                seed: 13,
-                faults: FaultPlan::default().with_crash(crash),
-                ..Default::default()
-            },
-        );
-        sim.run(&rr_mac(4), 3000);
-        let r = sim.report();
-        assert!(r.crashes > 10);
-        assert_eq!(r.crash_dropped, 0, "persisted queues drop nothing");
-        assert_eq!(r.generated, r.delivered + r.undeliverable + r.backlog);
-    }
-
-    #[test]
-    fn permanently_crashed_network_goes_silent() {
-        let mut sim = Simulator::new(
-            Topology::line(2),
-            TrafficPattern::SaturatedBroadcast,
-            SimConfig {
-                seed: 1,
-                faults: FaultPlan::default().with_crash(CrashModel::new(1.0, 0.0)),
-                ..Default::default()
-            },
-        );
-        sim.run(&rr_mac(2), 50);
-        let r = sim.report();
-        assert!(r.link_success.is_empty(), "crashed nodes never transmit");
-        assert_eq!(sim.crashed_count(), 2);
-        assert!(sim.is_crashed(0) && sim.is_crashed(1));
-        assert_eq!(sim.dead_count(), 0, "crash is not battery death");
-        // Radios are off: only the sleep floor is consumed.
-        let sleep_only = 50.0 * sim.energy_model().slot_energy_mj(RadioState::Sleep);
-        assert!((r.energy.consumed_mj[0] - sleep_only).abs() < 1e-9);
-    }
-
-    #[test]
-    fn clock_drift_breaks_schedule_agreement() {
-        let run = |drift: f64| {
-            let mut sim = Simulator::new(
-                Topology::line(2),
-                TrafficPattern::SaturatedBroadcast,
-                SimConfig {
-                    seed: 5,
-                    faults: FaultPlan::default().with_drift(drift),
-                    ..Default::default()
-                },
-            );
-            sim.run(&rr_mac(2), 2000);
-            sim.report().link_success.values().sum::<u64>()
-        };
-        let perfect = run(0.0);
-        let drifted = run(0.2);
-        assert_eq!(perfect, 2000);
-        assert!(drifted < 1900, "relative skew must cost slots: {drifted}");
-        assert!(
-            drifted > 100,
-            "drifted clocks still agree sometimes: {drifted}"
-        );
-    }
-
-    #[test]
-    fn faulted_runs_are_deterministic_in_seed() {
-        let plan = FaultPlan::lossy(0.1)
-            .with_burst(GilbertElliott::bursty(0.01, 0.2))
-            .with_crash(CrashModel::new(0.005, 0.1))
-            .with_drift(0.01)
-            .with_max_retries(5);
-        let run = |seed| {
-            let mut sim = Simulator::new(
-                Topology::ring(6),
-                TrafficPattern::Convergecast {
-                    sink: 0,
-                    rate: 0.15,
-                },
-                SimConfig {
-                    seed,
-                    faults: plan,
-                    ..Default::default()
-                },
-            );
-            sim.run(&rr_mac(6), 800);
-            let r = sim.report();
-            (
-                r.generated,
-                r.delivered,
-                r.link_drops,
-                r.crashes,
-                r.recoveries,
-                r.retry_exhausted,
-                r.crash_dropped,
-                r.backlog,
-            )
-        };
-        assert_eq!(run(31), run(31));
-        assert_ne!(run(31), run(32));
-    }
-
-    #[test]
-    fn try_new_reports_typed_errors() {
-        let err = Simulator::try_new(
-            Topology::line(2),
-            TrafficPattern::Convergecast { sink: 5, rate: 0.1 },
-            SimConfig::default(),
-        )
-        .unwrap_err();
-        assert_eq!(err, SimError::SinkOutOfRange { sink: 5, nodes: 2 });
-
-        let err = Simulator::try_new(
-            Topology::line(2),
-            TrafficPattern::SaturatedBroadcast,
-            SimConfig {
-                miss_probability: 1.5,
-                ..Default::default()
-            },
-        )
-        .unwrap_err();
-        assert_eq!(err, SimError::InvalidMissProbability { value: 1.5 });
-
-        let err = Simulator::try_new(
-            Topology::line(2),
-            TrafficPattern::SaturatedBroadcast,
-            SimConfig {
-                faults: FaultPlan::lossy(2.0),
-                ..Default::default()
-            },
-        )
-        .unwrap_err();
-        assert!(matches!(err, SimError::InvalidProbability { .. }));
-    }
-
-    #[test]
-    #[should_panic(expected = "per-link error rate must be in [0, 1]")]
-    fn invalid_fault_plan_panics_in_new() {
-        Simulator::new(
-            Topology::line(2),
-            TrafficPattern::SaturatedBroadcast,
-            SimConfig {
-                faults: FaultPlan::lossy(-0.5),
-                ..Default::default()
-            },
-        );
-    }
-
-    #[test]
-    fn try_enable_capture_reports_typed_errors() {
-        let mut sim = Simulator::new(
-            Topology::line(3),
-            TrafficPattern::SaturatedBroadcast,
-            SimConfig::default(),
-        );
-        let err = sim
-            .try_enable_capture(vec![(0.0, 0.0)], CaptureModel { ratio: 2.0 })
-            .unwrap_err();
-        assert_eq!(
-            err,
-            SimError::PositionCountMismatch {
-                positions: 1,
-                nodes: 3
-            }
-        );
-        let positions = vec![(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)];
-        let err = sim
-            .try_enable_capture(positions.clone(), CaptureModel { ratio: 0.5 })
-            .unwrap_err();
-        assert_eq!(err, SimError::CaptureRatioTooSmall { ratio: 0.5 });
-        assert!(sim
-            .try_enable_capture(positions, CaptureModel { ratio: 2.0 })
-            .is_ok());
     }
 }

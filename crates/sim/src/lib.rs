@@ -15,8 +15,16 @@
 //!   adapter for `ttdc-core` schedules;
 //! * [`traffic`] — saturated worst-case broadcast (the paper's regime),
 //!   Bernoulli/CBR unicast, multi-hop convergecast;
-//! * [`engine`] — the per-slot simulation loop with schedule-aware senders
-//!   and a sync-miss knob;
+//! * [`engine`] — the per-slot orchestrator with schedule-aware senders
+//!   and a sync-miss knob; each slot phase lives in its own module under
+//!   `phases/` (faults → traffic → election → channel → delivery → arq →
+//!   energy);
+//! * [`builder`] — [`SimulatorBuilder`], the one construction path every
+//!   constructor routes through;
+//! * [`channel`] — the [`ChannelModel`] trait with ideal-collision and
+//!   physical-capture resolution;
+//! * [`observer`] — the [`SlotObserver`] trait; metrics accumulation and
+//!   event tracing are its two built-in implementations;
 //! * [`energy`] — transmit/listen/sleep accounting;
 //! * [`faults`] — fault injection (lossy/bursty links, transient node
 //!   crashes, clock drift) and the bounded link-layer ARQ;
@@ -53,6 +61,10 @@
 //! `generated = delivered + undeliverable + retry_exhausted + backlog`
 //! holds under every plan (crash-dropped queues count as undeliverable).
 
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod channel;
 pub mod energy;
 pub mod engine;
 pub mod error;
@@ -60,10 +72,14 @@ pub mod faults;
 pub mod mac;
 pub mod metrics;
 pub mod montecarlo;
+pub mod observer;
+mod phases;
 pub mod topology;
 pub mod trace;
 pub mod traffic;
 
+pub use builder::SimulatorBuilder;
+pub use channel::{CaptureChannel, ChannelModel, IdealChannel, LinkFading, Reception};
 pub use energy::{EnergyLedger, EnergyModel, RadioState};
 pub use engine::{CaptureModel, SimConfig, Simulator};
 pub use error::SimError;
@@ -71,6 +87,7 @@ pub use faults::{CrashModel, FaultPlan, GilbertElliott};
 pub use mac::{MacProtocol, ScheduleMac};
 pub use metrics::SimReport;
 pub use montecarlo::{run_replications, summarize, McSummary};
+pub use observer::{MetricsObserver, SlotEvent, SlotObserver, TraceObserver};
 pub use topology::{churn, GeometricNetwork, Topology};
 pub use trace::{Trace, TraceEvent};
 pub use traffic::{Packet, TrafficPattern};

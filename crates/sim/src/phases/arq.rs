@@ -1,0 +1,28 @@
+//! Phase 6: the bounded link-layer ARQ pass.
+//!
+//! A sender whose transmission went unacknowledged (collision, fade, deaf
+//! receiver) burns one retry; past the budget the packet is abandoned.
+//! Skipped entirely when the plan retries forever (`max_retries: None`) —
+//! the pre-ARQ engine behaviour.
+
+use crate::engine::Simulator;
+use crate::observer::SlotEvent;
+
+pub(crate) fn run(sim: &mut Simulator) {
+    let Some(limit) = sim.faults.plan().max_retries else {
+        return;
+    };
+    let n = sim.topo.num_nodes();
+    for v in 0..n {
+        let qi = sim.tx_queue_idx[v];
+        if qi == usize::MAX {
+            continue; // no queued transmission, or the hop succeeded
+        }
+        let pkt = &mut sim.queues[v][qi];
+        pkt.retries += 1;
+        if pkt.retries > limit {
+            sim.queues[v].remove(qi);
+            sim.emit(SlotEvent::RetryExhausted { node: v });
+        }
+    }
+}

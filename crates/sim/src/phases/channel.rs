@@ -1,0 +1,57 @@
+//! Phase 4: listen decisions and reception resolution.
+//!
+//! Each eligible listener makes its listen decision — including the
+//! sync-miss roll — exactly once per slot; the energy phase reuses the
+//! stored `listening` flag, so a missed listen is charged as sleep, not
+//! listening. Concurrent transmissions then resolve through the
+//! configured [`ChannelModel`](crate::ChannelModel), with injected link
+//! fading applied to decoded receptions only.
+
+use crate::channel::{LinkFading, Reception};
+use crate::engine::Simulator;
+use crate::mac::MacProtocol;
+use crate::observer::SlotEvent;
+use rand::Rng;
+
+pub(crate) fn run(sim: &mut Simulator, mac: &dyn MacProtocol) {
+    let n = sim.topo.num_nodes();
+    let saturated = sim.pattern.is_saturated();
+    let miss = sim.config.miss_probability;
+    let lossy_links = sim.faults.plan().has_link_loss();
+    sim.successes.clear();
+    for y in 0..n {
+        sim.listening[y] = false;
+        if sim.dead[y]
+            || sim.faults.is_crashed(y)
+            || sim.transmitting[y]
+            || !mac.may_receive(y, sim.faults.perceived_slot(y, sim.slot))
+            || (miss > 0.0 && sim.rng.gen_bool(miss))
+        {
+            continue;
+        }
+        sim.listening[y] = true;
+        let reception = {
+            let mut fading = LinkFading::new(&mut sim.faults, lossy_links);
+            sim.channel
+                .resolve(y, sim.slot, &sim.topo, &sim.transmitting, &mut fading)
+        };
+        match reception {
+            Reception::Idle => {}
+            Reception::Collision => sim.emit(SlotEvent::Collision { at: y }),
+            Reception::Faded { from } => {
+                sim.emit(SlotEvent::LinkDropped { from, to: y });
+            }
+            Reception::Decoded { from: x } => {
+                if saturated {
+                    sim.emit(SlotEvent::LinkSuccess { from: x, to: y });
+                } else {
+                    let qi = sim.tx_queue_idx[x];
+                    let pkt = sim.queues[x][qi];
+                    if sim.next_hop(x, &pkt) == y {
+                        sim.successes.push((x, y));
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Phase 5: applying successful handoffs.
+//!
+//! Every `(sender, receiver)` pair the channel phase collected hands its
+//! packet over: removed from the sender's queue, delivered if the receiver
+//! is the final destination, re-queued at the receiver otherwise. ARQ is
+//! per hop — the retry budget resets on a successful handoff.
+
+use crate::engine::Simulator;
+use crate::observer::SlotEvent;
+use crate::traffic::Packet;
+
+pub(crate) fn run(sim: &mut Simulator) {
+    // Taken out of `self` (retaining capacity) so event emission can
+    // borrow the simulator mutably while iterating.
+    let successes = std::mem::take(&mut sim.successes);
+    for &(x, y) in &successes {
+        let pkt = sim.queues[x].remove(sim.tx_queue_idx[x]).unwrap();
+        // Mark the hop acknowledged so the ARQ pass skips it.
+        sim.tx_queue_idx[x] = usize::MAX;
+        sim.emit(SlotEvent::HopDelivered { from: x, to: y });
+        if pkt.final_dst == y {
+            sim.emit(SlotEvent::Delivered {
+                node: y,
+                latency: sim.slot - pkt.created,
+            });
+        } else {
+            sim.queues[y].push_back(Packet { retries: 0, ..pkt });
+        }
+    }
+    sim.successes = successes;
+}

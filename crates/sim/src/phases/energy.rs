@@ -1,0 +1,36 @@
+//! Phase 7: energy accounting and battery depletion.
+//!
+//! Charges each live node for the radio state it actually occupied this
+//! slot — transmit beats listen beats sleep, using the flags the election
+//! and channel phases stored — and kills nodes whose cumulative draw
+//! reaches the battery capacity. A crashed node's radio is off: it pays
+//! only the sleep floor while down, as does a node that *missed* its
+//! listen slot (the sync-miss roll already decided it never turned the
+//! radio on).
+
+use crate::energy::RadioState;
+use crate::engine::Simulator;
+use crate::observer::SlotEvent;
+
+pub(crate) fn run(sim: &mut Simulator) {
+    let n = sim.topo.num_nodes();
+    for v in 0..n {
+        if sim.dead[v] {
+            continue;
+        }
+        let state = if sim.transmitting[v] {
+            RadioState::Transmit
+        } else if sim.listening[v] {
+            RadioState::Listen
+        } else {
+            RadioState::Sleep
+        };
+        sim.energy.record(&sim.config.energy, v, state);
+        if let Some(cap) = sim.config.battery_capacity_mj {
+            if sim.energy.consumed_mj[v] >= cap {
+                sim.dead[v] = true;
+                sim.emit(SlotEvent::NodeDied { node: v });
+            }
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Phase 1: fault processes — crash/recovery transitions and clock-drift
+//! accrual.
+//!
+//! Every branch is gated on the corresponding plan knob (and draws only
+//! from the dedicated fault RNG stream), so a no-op plan leaves the run
+//! bit-for-bit unchanged.
+
+use crate::engine::Simulator;
+use crate::faults::CrashTransition;
+use crate::observer::SlotEvent;
+
+pub(crate) fn run(sim: &mut Simulator) {
+    let n = sim.topo.num_nodes();
+    if sim.faults.plan().crash.is_some() {
+        for v in 0..n {
+            // Battery death dominates transient churn: dead nodes leave
+            // the crash chain entirely.
+            if sim.dead[v] {
+                continue;
+            }
+            match sim.faults.step_crash(v) {
+                Some(CrashTransition::Crashed { drop_queue }) => {
+                    let queue_lost = if drop_queue {
+                        let lost = sim.queues[v].len() as u64;
+                        sim.queues[v].clear();
+                        lost
+                    } else {
+                        0
+                    };
+                    sim.emit(SlotEvent::NodeCrashed {
+                        node: v,
+                        queue_lost,
+                    });
+                }
+                Some(CrashTransition::Recovered) => {
+                    sim.emit(SlotEvent::NodeRecovered { node: v });
+                }
+                None => {}
+            }
+        }
+    }
+    sim.faults.step_drift();
+}

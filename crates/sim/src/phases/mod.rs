@@ -1,0 +1,36 @@
+//! The slot-phase pipeline.
+//!
+//! One simulated slot is seven phases, run in fixed order by
+//! [`Simulator::step`](crate::Simulator::step):
+//!
+//! 1. [`faults`] — crash/recovery transitions and clock-drift accrual;
+//! 2. [`traffic`] — workload packet generation;
+//! 3. [`election`] — transmit decisions (schedule, sync-miss roll,
+//!    p-persistence, stale-packet drop, schedule-aware packet choice);
+//! 4. [`channel`] — listen decisions and reception resolution through the
+//!    configured [`ChannelModel`](crate::ChannelModel);
+//! 5. [`delivery`] — applying successful handoffs;
+//! 6. [`arq`] — the bounded link-layer retry pass;
+//! 7. [`energy`] — radio-state accounting and battery death.
+//!
+//! Each phase is a free function over the engine state; anything
+//! observable is announced as a [`SlotEvent`](crate::SlotEvent) rather
+//! than recorded inline. Phases communicate only through per-slot scratch
+//! on the `Simulator` (`transmitting`, `listening`, `tx_queue_idx`,
+//! `successes`), all pre-allocated — the steady-state step loop performs
+//! zero heap allocations (asserted by `bench_sim`).
+//!
+//! **RNG-draw-order compatibility rule** (see `DESIGN.md`): phases consume
+//! the main RNG stream in pipeline order, node-index order within a phase,
+//! and must keep every draw behind the exact gating condition that guarded
+//! it before — adding, removing, or reordering a draw (or a short-circuit
+//! in front of one) silently re-randomizes every later decision in the
+//! run. The golden fixture tests pin this bit-for-bit.
+
+pub(crate) mod arq;
+pub(crate) mod channel;
+pub(crate) mod delivery;
+pub(crate) mod election;
+pub(crate) mod energy;
+pub(crate) mod faults;
+pub(crate) mod traffic;
