@@ -4,7 +4,9 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use ttdc_core::requirements::{
-    is_topology_transparent, is_topology_transparent_par, spot_check_topology_transparent,
+    is_topology_transparent, is_topology_transparent_par, requirement1_violation,
+    requirement1_violation_naive, requirement2_violation, requirement2_violation_naive,
+    spot_check_topology_transparent,
 };
 use ttdc_core::tsma::build_polynomial;
 
@@ -48,10 +50,47 @@ fn bench_exhaustive_parallel(c: &mut Criterion) {
     g.finish();
 }
 
+/// The from-scratch reference scan vs the incremental subset engine, both
+/// on a forced 1-thread pool so the comparison isolates the per-subset
+/// algorithmic win (delta unions + witness-safe pruning) from parallelism.
+fn bench_naive_vs_incremental(c: &mut Criterion) {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .unwrap();
+
+    let mut g = c.benchmark_group("requirements/req1_naive_vs_incremental_d2");
+    g.sample_size(10);
+    for n in [16usize, 25, 36] {
+        let ns = build_polynomial(n, 2);
+        g.bench_with_input(BenchmarkId::new("naive", n), &ns, |b, ns| {
+            b.iter(|| requirement1_violation_naive(black_box(&ns.schedule), 2));
+        });
+        g.bench_with_input(BenchmarkId::new("incremental", n), &ns, |b, ns| {
+            b.iter(|| pool.install(|| requirement1_violation(black_box(&ns.schedule), 2)));
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("requirements/req2_naive_vs_incremental_d2");
+    g.sample_size(10);
+    for n in [16usize, 25] {
+        let ns = build_polynomial(n, 2);
+        g.bench_with_input(BenchmarkId::new("naive", n), &ns, |b, ns| {
+            b.iter(|| requirement2_violation_naive(black_box(&ns.schedule), 2));
+        });
+        g.bench_with_input(BenchmarkId::new("incremental", n), &ns, |b, ns| {
+            b.iter(|| pool.install(|| requirement2_violation(black_box(&ns.schedule), 2)));
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_exhaustive,
     bench_sampled,
-    bench_exhaustive_parallel
+    bench_exhaustive_parallel,
+    bench_naive_vs_incremental
 );
 criterion_main!(benches);

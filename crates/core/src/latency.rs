@@ -9,51 +9,48 @@
 //! link and over the whole class `N_n^D`.
 
 use crate::schedule::Schedule;
-use crate::throughput::guaranteed_slots;
+use crate::throughput::{guaranteed_slots, SweepScratch};
 use rayon::prelude::*;
-use ttdc_util::{for_each_subset_of, BitSet};
+use ttdc_util::BitSet;
 
 /// The maximum cyclic gap between consecutive set slots: the number of
 /// slots a packet can wait for the next guaranteed opportunity if it
 /// arrives at the worst moment. `None` if the set is empty (unbounded).
+///
+/// Streams the set's elements directly (no intermediate Vec) — this runs
+/// once per `(x, y, S)` inside the exhaustive delay sweeps.
 pub fn max_cyclic_gap(slots: &BitSet) -> Option<usize> {
     let l = slots.universe();
-    let elems: Vec<usize> = slots.iter().collect();
-    if elems.is_empty() {
-        return None;
-    }
+    let mut iter = slots.iter();
+    let first = iter.next()?;
+    let mut prev = first;
     let mut max_gap = 0;
-    for (i, &s) in elems.iter().enumerate() {
-        let next = if i + 1 < elems.len() {
-            elems[i + 1]
-        } else {
-            elems[0] + l
-        };
-        max_gap = max_gap.max(next - s);
+    for s in iter {
+        max_gap = max_gap.max(s - prev);
+        prev = s;
     }
-    Some(max_gap)
+    Some(max_gap.max(first + l - prev))
 }
 
 /// The arrival-averaged wait until the next set slot, assuming the packet
 /// arrives uniformly at random within a frame: `Σ g_i·(g_i+1)/2 / L` over
 /// the cyclic gaps `g_i` (a packet arriving during a gap of length `g`
 /// waits `1..=g` slots, uniformly). `None` if the set is empty.
+///
+/// The gaps are accumulated in the same ascending-then-wrap order as the
+/// original Vec-based implementation, so the f64 result is bit-identical.
 pub fn mean_cyclic_wait(slots: &BitSet) -> Option<f64> {
     let l = slots.universe();
-    let elems: Vec<usize> = slots.iter().collect();
-    if elems.is_empty() {
-        return None;
-    }
+    let mut iter = slots.iter();
+    let first = iter.next()?;
+    let mut prev = first;
     let mut acc = 0.0;
-    for (i, &s) in elems.iter().enumerate() {
-        let next = if i + 1 < elems.len() {
-            elems[i + 1]
-        } else {
-            elems[0] + l
-        };
-        let g = (next - s) as f64;
-        acc += g * (g + 1.0) / 2.0;
+    let mut add_gap = |g: f64| acc += g * (g + 1.0) / 2.0;
+    for s in iter {
+        add_gap((s - prev) as f64);
+        prev = s;
     }
+    add_gap((first + l - prev) as f64);
     Some(acc / l as f64)
 }
 
@@ -76,30 +73,24 @@ pub fn worst_case_access_delay(s: &Schedule, d: usize) -> Option<usize> {
         .into_par_iter()
         .map(|x| {
             let mut worst = 0usize;
-            let mut scratch = BitSet::new(s.frame_length());
+            let mut scratch = SweepScratch::new(n, s.frame_length());
             for y in 0..n {
                 if y == x {
                     continue;
                 }
-                let pool: Vec<usize> = (0..n).filter(|&v| v != x && v != y).collect();
+                scratch.prepare(s, x, y);
                 let mut dead = false;
-                for_each_subset_of(&pool, d - 1, |others| {
-                    scratch.clear();
-                    scratch.union_with(s.recv(y));
-                    scratch.intersect_with(s.tran(x));
-                    scratch.difference_with(s.tran(y));
-                    for &z in others {
-                        scratch.difference_with(s.tran(z));
+                // 𝒯(x, y, S) is the counter's residual; the max over
+                // subsets is order-free, so the revolving-door order is
+                // fine here.
+                scratch.sweep(d, |counter| match max_cyclic_gap(counter.uncovered()) {
+                    Some(g) => {
+                        worst = worst.max(g);
+                        true
                     }
-                    match max_cyclic_gap(&scratch) {
-                        Some(g) => {
-                            worst = worst.max(g);
-                            true
-                        }
-                        None => {
-                            dead = true;
-                            false
-                        }
+                    None => {
+                        dead = true;
+                        false
                     }
                 });
                 if dead {
@@ -123,31 +114,25 @@ pub fn average_access_delay(s: &Schedule, d: usize) -> Option<f64> {
         .map(|x| {
             let mut sum = 0.0;
             let mut count = 0u64;
-            let mut scratch = BitSet::new(s.frame_length());
+            let mut scratch = SweepScratch::new(n, s.frame_length());
             for y in 0..n {
                 if y == x {
                     continue;
                 }
-                let pool: Vec<usize> = (0..n).filter(|&v| v != x && v != y).collect();
+                scratch.prepare(s, x, y);
                 let mut dead = false;
-                for_each_subset_of(&pool, d - 1, |others| {
-                    scratch.clear();
-                    scratch.union_with(s.recv(y));
-                    scratch.intersect_with(s.tran(x));
-                    scratch.difference_with(s.tran(y));
-                    for &z in others {
-                        scratch.difference_with(s.tran(z));
+                // The per-subset waits are summed in f64, so the visit
+                // order matters for bit-identity: use the lexicographic
+                // delta stream, which reproduces the historical order.
+                scratch.sweep_lex(d, |counter| match mean_cyclic_wait(counter.uncovered()) {
+                    Some(w) => {
+                        sum += w;
+                        count += 1;
+                        true
                     }
-                    match mean_cyclic_wait(&scratch) {
-                        Some(w) => {
-                            sum += w;
-                            count += 1;
-                            true
-                        }
-                        None => {
-                            dead = true;
-                            false
-                        }
+                    None => {
+                        dead = true;
+                        false
                     }
                 });
                 if dead {

@@ -13,7 +13,9 @@
 
 use crate::schedule::Schedule;
 use rayon::prelude::*;
-use ttdc_util::{for_each_subset_of, BinomialTable, BitSet};
+use ttdc_util::{
+    for_each_subset_delta, for_each_subset_of, BinomialTable, BitSet, CoverCounter, SubsetEvent,
+};
 
 /// `𝒯(x, y, S) = recv(y) ∩ freeSlots(x, {y} ∪ S)`: slots where `x → y` is
 /// guaranteed to succeed when `y`'s other neighbours are `S`.
@@ -27,12 +29,132 @@ pub fn guaranteed_slots(s: &Schedule, x: usize, y: usize, others: &[usize]) -> B
     out
 }
 
+/// Per-transmitter scratch for the incremental `(x, y, S)` sweeps: the
+/// interferer pool, the base set `recv(y) ∩ tran(x) − tran(y)`, the pool's
+/// transmit sets masked to the base, and the cover counter whose residual
+/// is exactly `𝒯(x, y, S)`.
+pub(crate) struct SweepScratch {
+    pub(crate) pool: Vec<usize>,
+    pub(crate) base: BitSet,
+    pub(crate) masked: Vec<BitSet>,
+    pub(crate) counter: CoverCounter,
+}
+
+impl SweepScratch {
+    pub(crate) fn new(n: usize, l: usize) -> Self {
+        SweepScratch {
+            pool: Vec::with_capacity(n),
+            base: BitSet::new(l),
+            masked: vec![BitSet::new(l); n],
+            counter: CoverCounter::new(l),
+        }
+    }
+
+    /// Prepares the scratch for one `(x, y)` pair: rebuilds the pool and
+    /// base set, masks the pool's transmit sets, and retargets the counter.
+    pub(crate) fn prepare(&mut self, s: &Schedule, x: usize, y: usize) {
+        let n = s.num_nodes();
+        self.pool.clear();
+        self.pool.extend((0..n).filter(|&v| v != x && v != y));
+        self.base.clone_from(s.recv(y));
+        self.base.intersect_with(s.tran(x));
+        self.base.difference_with(s.tran(y));
+        for &z in &self.pool {
+            self.masked[z].clone_from(s.tran(z));
+            self.masked[z].intersect_with(&self.base);
+        }
+        self.counter.set_target(&self.base);
+    }
+
+    /// Runs the revolving-door enumeration over `(D−1)`-sets of the pool,
+    /// keeping `counter` in sync; `visit(counter)` sees
+    /// `counter.deficit() = |𝒯(x, y, S)|` per subset and returns `false` to
+    /// abort.
+    pub(crate) fn sweep(&mut self, d: usize, mut visit: impl FnMut(&CoverCounter) -> bool) {
+        let SweepScratch {
+            pool,
+            masked,
+            counter,
+            ..
+        } = self;
+        for_each_subset_delta(pool, d - 1, |ev| match ev {
+            SubsetEvent::Add(z) => {
+                counter.add(&masked[z]);
+                true
+            }
+            SubsetEvent::Remove(z) => {
+                counter.remove(&masked[z]);
+                true
+            }
+            SubsetEvent::Visit(_) => visit(counter),
+        });
+    }
+
+    /// Like [`sweep`](Self::sweep) but in **lexicographic** subset order —
+    /// for callers that accumulate floating-point per subset and must
+    /// reproduce the historical iteration order bit-for-bit
+    /// (`average_access_delay`).
+    pub(crate) fn sweep_lex(&mut self, d: usize, mut visit: impl FnMut(&CoverCounter) -> bool) {
+        let SweepScratch {
+            pool,
+            masked,
+            counter,
+            ..
+        } = self;
+        ttdc_util::for_each_subset_delta_lex(pool, d - 1, |ev| match ev {
+            SubsetEvent::Add(z) => {
+                counter.add(&masked[z]);
+                true
+            }
+            SubsetEvent::Remove(z) => {
+                counter.remove(&masked[z]);
+                true
+            }
+            SubsetEvent::Visit(_) => visit(counter),
+        });
+    }
+}
+
 /// Definition 1: the minimum worst-case throughput
 /// `min_{x,y,S} |𝒯(x,y,S)| / L` over all `x ≠ y` and `|S| = D−1`,
-/// computed exhaustively (parallel over the transmitter).
+/// computed exhaustively (parallel over the transmitter, incremental
+/// subset engine inside).
 ///
 /// The schedule is topology-transparent for `N_n^D` iff this is `> 0`.
 pub fn min_throughput(s: &Schedule, d: usize) -> f64 {
+    assert!(d >= 1);
+    let n = s.num_nodes();
+    assert!(n > d, "need at least D+1 nodes for a degree-D worst case");
+    let l = s.frame_length();
+    let min_count = (0..n)
+        .into_par_iter()
+        .map(|x| {
+            let mut local = usize::MAX;
+            let mut scratch = SweepScratch::new(n, l);
+            for y in 0..n {
+                if y == x {
+                    continue;
+                }
+                scratch.prepare(s, x, y);
+                scratch.sweep(d, |counter| {
+                    local = local.min(counter.deficit());
+                    local > 0 // a zero cannot be beaten; stop early
+                });
+                if local == 0 {
+                    break;
+                }
+            }
+            local
+        })
+        .min()
+        .unwrap_or(0);
+    min_count as f64 / l as f64
+}
+
+/// Reference implementation of [`min_throughput`]: the pre-engine scan
+/// that rebuilds every `𝒯(x, y, S)` from scratch. Kept as the equivalence
+/// baseline for proptests and `bench_verify`.
+pub fn min_throughput_naive(s: &Schedule, d: usize) -> f64 {
     assert!(d >= 1);
     let n = s.num_nodes();
     assert!(n > d, "need at least D+1 nodes for a degree-D worst case");
@@ -72,7 +194,41 @@ pub fn min_throughput(s: &Schedule, d: usize) -> f64 {
 /// Definition 2 computed by brute force: enumerates every `(x, y, S)` and
 /// sums `|𝒯(x, y, S)|` into `F`, then normalises. Exponential in `D`;
 /// the ground truth that [`average_throughput`] is validated against.
+/// The exact-integer accumulation makes the enumeration order irrelevant,
+/// so the incremental engine returns the bit-identical f64.
 pub fn average_throughput_bruteforce(s: &Schedule, d: usize) -> f64 {
+    assert!(d >= 1);
+    let n = s.num_nodes();
+    assert!(n > d);
+    let l = s.frame_length();
+    let f: u128 = (0..n)
+        .into_par_iter()
+        .map(|x| {
+            let mut acc: u128 = 0;
+            let mut scratch = SweepScratch::new(n, l);
+            for y in 0..n {
+                if y == x {
+                    continue;
+                }
+                scratch.prepare(s, x, y);
+                scratch.sweep(d, |counter| {
+                    acc += counter.deficit() as u128;
+                    true
+                });
+            }
+            acc
+        })
+        .sum();
+    let denom = n as f64
+        * (n - 1) as f64
+        * ttdc_util::binomial_f64((n - 2) as u64, (d - 1) as u64)
+        * l as f64;
+    f as f64 / denom
+}
+
+/// Reference implementation of [`average_throughput_bruteforce`] — the
+/// pre-engine from-scratch scan, kept as the equivalence baseline.
+pub fn average_throughput_bruteforce_naive(s: &Schedule, d: usize) -> f64 {
     assert!(d >= 1);
     let n = s.num_nodes();
     assert!(n > d);
@@ -298,6 +454,25 @@ mod tests {
                 (average_throughput(&s, d) - average_throughput_from_counts(9, d, &counts)).abs()
                     < 1e-15
             );
+        }
+    }
+
+    #[test]
+    fn incremental_sweeps_match_naive_to_the_bit() {
+        for (q, k, n) in [(3usize, 1u32, 9u64), (4, 1, 12)] {
+            let s = polynomial_schedule(q, k, n);
+            for d in 1..=3 {
+                assert_eq!(
+                    min_throughput(&s, d).to_bits(),
+                    min_throughput_naive(&s, d).to_bits(),
+                    "min q={q} n={n} d={d}"
+                );
+                assert_eq!(
+                    average_throughput_bruteforce(&s, d).to_bits(),
+                    average_throughput_bruteforce_naive(&s, d).to_bits(),
+                    "avg q={q} n={n} d={d}"
+                );
+            }
         }
     }
 

@@ -73,6 +73,13 @@ pub fn run() -> Vec<Table> {
         cases.push((format!("random(seed={seed})"), s, 2));
     }
 
+    // Extended (n, D) sweep unlocked by the incremental verifier engine:
+    // paper-scale polynomial families the from-scratch scan made slow.
+    for (n, d) in [(16usize, 3usize), (25, 2), (25, 4), (36, 2)] {
+        let ns = build_polynomial(n, d);
+        cases.push((format!("poly(n={n})"), ns.schedule, d));
+    }
+
     for (name, s, d) in &cases {
         let r1 = satisfies_requirement1(s, *d);
         let r2 = satisfies_requirement2(s, *d);

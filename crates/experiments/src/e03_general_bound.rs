@@ -13,7 +13,16 @@ pub fn run() -> Vec<Table> {
         "E3a — g_{n,D}(x): average throughput of uniform schedules vs transmitters/slot",
         &["n", "D", "x", "g(x)", "is_argmax"],
     );
-    for (n, d) in [(25usize, 2usize), (25, 4), (64, 3), (100, 5)] {
+    // (49, 2) and (81, 4) extend the seed-era grid; kept last so the
+    // original rows stay byte-identical in results/.
+    for (n, d) in [
+        (25usize, 2usize),
+        (25, 4),
+        (64, 3),
+        (100, 5),
+        (49, 2),
+        (81, 4),
+    ] {
         let best = g_argmax(n, d);
         for x in 0..n {
             sweep.row(&[
@@ -46,6 +55,8 @@ pub fn run() -> Vec<Table> {
         (64, 3),
         (100, 5),
         (256, 8),
+        (49, 2),
+        (81, 4),
     ] {
         let b = general_bound(n, d);
         let max_sweep = (0..n).map(|x| g(n, d, x)).fold(0.0, f64::max);
@@ -86,6 +97,6 @@ mod tests {
             .position(|c| c == "is_argmax")
             .unwrap();
         let marked = sweep.rows().iter().filter(|r| r[is_arg] == "true").count();
-        assert_eq!(marked, 4, "one argmax per (n,D) pair");
+        assert_eq!(marked, 6, "one argmax per (n,D) pair");
     }
 }

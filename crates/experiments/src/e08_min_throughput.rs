@@ -33,6 +33,11 @@ pub fn run() -> Vec<Table> {
         cases.push(("poly".into(), build_polynomial(n, d).schedule, d));
     }
     cases.push(("steiner".into(), build_steiner(12).unwrap().schedule, 2));
+    // Extended sweep (incremental verifier engine): larger polynomial
+    // sources, appended so the seed-era rows stay byte-identical.
+    for (n, d) in [(25usize, 2usize), (36, 2)] {
+        cases.push(("poly".into(), build_polynomial(n, d).schedule, d));
+    }
 
     for (src, ns, d) in &cases {
         let n = ns.num_nodes();

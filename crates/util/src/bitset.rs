@@ -67,6 +67,21 @@ impl BitSet {
         self.universe
     }
 
+    /// The raw `u64` blocks backing the set, least-significant word first.
+    ///
+    /// Bits above the universe in the final word are always zero, so word
+    /// algorithms (popcounts, custom masks) need no end-of-universe fixup.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.blocks
+    }
+
+    /// Number of `u64` blocks (`⌈universe / 64⌉`).
+    #[inline]
+    pub fn word_count(&self) -> usize {
+        self.blocks.len()
+    }
+
     /// Inserts `e`; returns `true` if it was not already present.
     #[inline]
     pub fn insert(&mut self, e: usize) -> bool {
@@ -204,6 +219,21 @@ impl BitSet {
             .zip(&other.blocks)
             .map(|(a, b)| (a & !b).count_ones() as usize)
             .sum()
+    }
+
+    /// `true` iff `self − other` is empty, i.e. `self ⊆ other`.
+    ///
+    /// Equivalent to `difference_len(other) == 0` but bails out on the first
+    /// word that pins the count nonzero — the fast path for coverage checks
+    /// (Requirement 1 asks only *whether* `tran(x)` is covered, not by how
+    /// much).
+    #[inline]
+    pub fn difference_is_empty(&self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.universe, other.universe);
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// The smallest element, if any.
@@ -394,6 +424,34 @@ mod tests {
         assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 63, 64, 65, 199]);
         assert_eq!(s.min(), Some(0));
         assert_eq!(BitSet::new(5).min(), None);
+    }
+
+    #[test]
+    fn words_accessors_and_trailing_bits() {
+        for u in [63usize, 64, 65] {
+            let f = BitSet::full(u);
+            assert_eq!(f.word_count(), u.div_ceil(64), "universe {u}");
+            let popcount: u32 = f.words().iter().map(|w| w.count_ones()).sum();
+            assert_eq!(popcount as usize, u, "no stray bits above universe {u}");
+        }
+        let mut s = BitSet::new(65);
+        s.insert(64);
+        assert_eq!(s.words(), &[0, 1]);
+    }
+
+    #[test]
+    fn difference_is_empty_matches_difference_len() {
+        for u in [63usize, 64, 65] {
+            let a = BitSet::from_iter(u, [0, u / 2, u - 1]);
+            let b = BitSet::full(u);
+            assert!(a.difference_is_empty(&b), "universe {u}");
+            assert_eq!(a.difference_len(&b), 0);
+            let mut c = b.clone();
+            c.remove(u - 1);
+            assert!(!a.difference_is_empty(&c), "universe {u}");
+            assert_eq!(a.difference_len(&c), 1);
+            assert!(BitSet::new(u).difference_is_empty(&BitSet::new(u)));
+        }
     }
 
     #[test]

@@ -1,0 +1,168 @@
+//! Incremental set-cover bookkeeping for subset sweeps.
+//!
+//! [`CoverCounter`] pairs with the delta streams in [`crate::subsets`]: a
+//! verifier fixes a *target* slot set (e.g. `tran(x)` for Requirement 1),
+//! then adds/removes member sets as the enumeration swaps elements in and
+//! out, and can ask in O(1) whether the running union covers the target.
+//! Per-slot `u16` multiplicities make removal exact (a slot stays covered
+//! while *any* member still supplies it), and an `uncovered` bitmask is
+//! maintained word-incrementally so callers can also stream the residual
+//! `target − union` set (free-slot style checks, throughput counts).
+
+use crate::bitset::BitSet;
+
+/// Multiset union of slot sets, tracked against a fixed target.
+///
+/// Invariants (upheld by `add`/`remove`, checked by `debug_assert!`):
+/// * `counts[s]` = number of currently-added sets containing slot `s`;
+/// * `uncovered = target − { s : counts[s] > 0 }`;
+/// * `deficit = |uncovered|`, so `is_covered()` is a single comparison.
+///
+/// Every set passed to [`add`](Self::add) **must be a subset of the current
+/// target** — callers mask their sets with the target first (that masking is
+/// where the real speedup lives: for polynomial schedules two blocks
+/// intersect in at most `k` slots, so a swap costs `O(k)` instead of
+/// `O(L)`). The restriction lets `add`/`remove` skip any membership test
+/// against the target.
+#[derive(Clone, Debug)]
+pub struct CoverCounter {
+    counts: Vec<u16>,
+    target: BitSet,
+    uncovered: BitSet,
+    deficit: usize,
+}
+
+impl CoverCounter {
+    /// Creates a counter over `universe` slots with an empty target.
+    pub fn new(universe: usize) -> Self {
+        CoverCounter {
+            counts: vec![0; universe],
+            target: BitSet::new(universe),
+            uncovered: BitSet::new(universe),
+            deficit: 0,
+        }
+    }
+
+    /// Resets the counter to track `target` with no sets added.
+    pub fn set_target(&mut self, target: &BitSet) {
+        debug_assert_eq!(target.universe(), self.counts.len());
+        self.counts.fill(0);
+        self.target.clone_from(target);
+        self.uncovered.clone_from(target);
+        self.deficit = target.len();
+    }
+
+    /// Adds one member set (must be ⊆ the current target).
+    pub fn add(&mut self, set: &BitSet) {
+        debug_assert!(
+            set.is_subset(&self.target),
+            "CoverCounter::add requires sets masked to the target"
+        );
+        for s in set.iter() {
+            self.counts[s] += 1;
+            if self.counts[s] == 1 {
+                self.uncovered.remove(s);
+                self.deficit -= 1;
+            }
+        }
+    }
+
+    /// Removes one previously-added member set.
+    pub fn remove(&mut self, set: &BitSet) {
+        for s in set.iter() {
+            debug_assert!(
+                self.counts[s] > 0,
+                "CoverCounter::remove of an unadded slot"
+            );
+            self.counts[s] -= 1;
+            if self.counts[s] == 0 {
+                self.uncovered.insert(s);
+                self.deficit += 1;
+            }
+        }
+    }
+
+    /// `true` iff the union of the added sets equals the target.
+    #[inline]
+    pub fn is_covered(&self) -> bool {
+        self.deficit == 0
+    }
+
+    /// Number of target slots not yet covered (`|target − union|`).
+    #[inline]
+    pub fn deficit(&self) -> usize {
+        self.deficit
+    }
+
+    /// The residual `target − union` as a bitmask.
+    #[inline]
+    pub fn uncovered(&self) -> &BitSet {
+        &self.uncovered
+    }
+
+    /// Universe size the counter was built for.
+    #[inline]
+    pub fn universe(&self) -> usize {
+        self.counts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bs(universe: usize, elems: &[usize]) -> BitSet {
+        let mut b = BitSet::new(universe);
+        for &e in elems {
+            b.insert(e);
+        }
+        b
+    }
+
+    #[test]
+    fn cover_tracks_union_against_target() {
+        let mut c = CoverCounter::new(10);
+        c.set_target(&bs(10, &[1, 3, 5, 7]));
+        assert!(!c.is_covered());
+        assert_eq!(c.deficit(), 4);
+
+        let a = bs(10, &[1, 3]);
+        let b = bs(10, &[3, 5]);
+        c.add(&a);
+        assert_eq!(c.deficit(), 2);
+        c.add(&b);
+        assert_eq!(c.deficit(), 1);
+        assert_eq!(c.uncovered().iter().collect::<Vec<_>>(), vec![7]);
+
+        // Slot 3 is covered twice: removing one supplier keeps it covered.
+        c.remove(&a);
+        assert_eq!(c.deficit(), 2);
+        assert_eq!(c.uncovered().iter().collect::<Vec<_>>(), vec![1, 7]);
+        c.remove(&b);
+        assert_eq!(c.deficit(), 4);
+
+        c.add(&bs(10, &[1, 3, 5, 7]));
+        assert!(c.is_covered());
+        assert_eq!(c.uncovered().len(), 0);
+    }
+
+    #[test]
+    fn set_target_resets_state() {
+        let mut c = CoverCounter::new(8);
+        c.set_target(&bs(8, &[0, 1]));
+        c.add(&bs(8, &[0, 1]));
+        assert!(c.is_covered());
+        c.set_target(&bs(8, &[2]));
+        assert!(!c.is_covered());
+        assert_eq!(c.deficit(), 1);
+        c.add(&bs(8, &[2]));
+        assert!(c.is_covered());
+    }
+
+    #[test]
+    fn empty_target_is_trivially_covered() {
+        let mut c = CoverCounter::new(4);
+        c.set_target(&BitSet::new(4));
+        assert!(c.is_covered());
+    }
+}

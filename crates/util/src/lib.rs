@@ -9,12 +9,16 @@
 
 pub mod binomial;
 pub mod bitset;
+pub mod cover;
 pub mod histogram;
 pub mod stats;
+pub mod subsets;
 pub mod table;
 
 pub use binomial::{binomial_exact, binomial_f64, binomial_ratio, ln_binomial, BinomialTable};
 pub use bitset::{for_each_subset, for_each_subset_of, BitSet};
+pub use cover::CoverCounter;
 pub use histogram::Histogram;
 pub use stats::{ConfidenceInterval, OnlineStats};
+pub use subsets::{for_each_subset_delta, for_each_subset_delta_lex, SubsetEvent};
 pub use table::Table;
