@@ -12,7 +12,7 @@ use rand::SeedableRng;
 use ttdc_core::construct::PartitionStrategy;
 use ttdc_protocols::{NaiveDutyCycleMac, TtdcMac};
 use ttdc_sim::{
-    run_replications, summarize, GeometricNetwork, MacProtocol, SimulatorBuilder, TrafficPattern,
+    run_replications_summarized, GeometricNetwork, MacProtocol, SimulatorBuilder, TrafficPattern,
 };
 use ttdc_util::Table;
 
@@ -58,8 +58,10 @@ pub fn run() -> Vec<Table> {
             ("ttdc", &ttdc as &dyn MacProtocol),
             ("naive-1-in-k", &naive),
         ] {
-            let reports = run_replications(REPS, 1, |seed| scenario(mac, rate, seed));
-            let s = summarize(&reports);
+            // Streamed: each replication folds into the summary as it
+            // finishes (bit-identical to the two-step path) instead of
+            // holding every SimReport until the sweep point ends.
+            let s = run_replications_summarized(REPS, 1, |seed| scenario(mac, rate, seed));
             table.row(&[
                 name.to_string(),
                 format!("{rate}"),

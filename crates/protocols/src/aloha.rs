@@ -31,6 +31,10 @@ impl MacProtocol for SlottedAlohaMac {
         1
     }
 
+    fn frame_periodic(&self) -> bool {
+        true // awake every slot: trivially periodic with frame 1
+    }
+
     fn may_transmit(&self, _node: usize, _slot: u64) -> bool {
         true
     }
@@ -55,6 +59,7 @@ mod tests {
         assert!(mac.may_receive(1, 5));
         assert_eq!(mac.transmit_probability(0, 5), 0.25);
         assert_eq!(mac.frame_length(), 1);
+        assert!(mac.frame_periodic());
         assert_eq!(mac.persistence(), 0.25);
     }
 

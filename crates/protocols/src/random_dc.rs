@@ -81,6 +81,16 @@ mod tests {
     }
 
     #[test]
+    fn not_frame_periodic_despite_unit_frame() {
+        // The wakeup hash keys on the *absolute* slot, so frame_length 1
+        // does not mean slot 0's answer repeats — the sparse slot-plan
+        // path must never engage for this MAC.
+        let mac = RandomWakeupMac::new(0.5, 3);
+        assert!(!mac.frame_periodic());
+        assert!((0..200u64).any(|s| mac.awake(0, s) != mac.awake(0, 0)));
+    }
+
+    #[test]
     fn transmit_and_receive_coincide() {
         let mac = RandomWakeupMac::new(0.5, 7);
         for s in 0..200u64 {

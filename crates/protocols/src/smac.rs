@@ -43,6 +43,10 @@ impl MacProtocol for SmacLikeMac {
         self.period as usize
     }
 
+    fn frame_periodic(&self) -> bool {
+        true // the listen window is slot mod period
+    }
+
     fn may_transmit(&self, _node: usize, slot: u64) -> bool {
         self.awake(slot)
     }
@@ -73,6 +77,7 @@ mod tests {
         }
         assert_eq!(mac.transmit_probability(0, 0), 0.5);
         assert_eq!(mac.frame_length(), 10);
+        assert!(mac.frame_periodic());
     }
 
     #[test]

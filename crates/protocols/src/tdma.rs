@@ -72,6 +72,10 @@ impl MacProtocol for ColoringTdmaMac {
         self.num_colors
     }
 
+    fn frame_periodic(&self) -> bool {
+        true // both answers reduce the slot mod num_colors first
+    }
+
     fn may_transmit(&self, node: usize, slot: u64) -> bool {
         (slot % self.num_colors as u64) as usize == self.colors[node]
     }
@@ -154,5 +158,6 @@ mod tests {
             assert!(!mac.may_receive(v, mac.color(v) as u64));
         }
         assert_eq!(mac.name(), "coloring-tdma");
+        assert!(mac.frame_periodic());
     }
 }

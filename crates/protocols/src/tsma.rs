@@ -37,6 +37,10 @@ impl MacProtocol for TsmaMac {
         "tsma"
     }
 
+    fn frame_periodic(&self) -> bool {
+        true // delegates to a ScheduleMac, which wraps by construction
+    }
+
     fn frame_length(&self) -> usize {
         self.inner.frame_length()
     }
@@ -66,6 +70,7 @@ mod tests {
             }
         }
         assert_eq!(mac.name(), "tsma");
+        assert!(mac.frame_periodic());
         assert!(mac.source().params.is_some());
     }
 

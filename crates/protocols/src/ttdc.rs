@@ -52,6 +52,10 @@ impl MacProtocol for TtdcMac {
         "ttdc"
     }
 
+    fn frame_periodic(&self) -> bool {
+        true // delegates to a ScheduleMac, which wraps by construction
+    }
+
     fn frame_length(&self) -> usize {
         self.inner.frame_length()
     }
@@ -87,5 +91,6 @@ mod tests {
         let mac = TtdcMac::new(16, 3, 2, 4, PartitionStrategy::Contiguous);
         assert!(ttdc_core::is_topology_transparent(mac.schedule(), 3));
         assert_eq!(mac.name(), "ttdc");
+        assert!(mac.frame_periodic());
     }
 }

@@ -22,6 +22,7 @@
 
 use crate::faults::FaultState;
 use crate::topology::Topology;
+use ttdc_util::BitSet;
 
 /// Physical-layer capture: when several neighbours transmit at a listener,
 /// the closest one is still decoded if it is sufficiently closer than the
@@ -121,6 +122,43 @@ pub trait ChannelModel: std::fmt::Debug + Send {
             r => r,
         }
     }
+
+    /// [`decode`](ChannelModel::decode) with the transmitter set also
+    /// available as a word mask (`tx_mask.contains(v) ⟺ transmitting[v]`
+    /// — the engine maintains both). The default ignores the mask and
+    /// defers to `decode`; models whose resolution is a set intersection
+    /// (the ideal collision rule) override it to work word by word
+    /// instead of per node. Must decode exactly what `decode` would.
+    fn decode_masked(
+        &self,
+        y: usize,
+        topo: &Topology,
+        transmitting: &[bool],
+        tx_mask: &BitSet,
+    ) -> Reception {
+        let _ = tx_mask;
+        self.decode(y, topo, transmitting)
+    }
+
+    /// [`resolve`](ChannelModel::resolve) routed through
+    /// [`decode_masked`](ChannelModel::decode_masked) — same fading
+    /// contract: exactly one draw per decoded reception, none otherwise.
+    fn resolve_masked(
+        &self,
+        y: usize,
+        slot: u64,
+        topo: &Topology,
+        transmitting: &[bool],
+        tx_mask: &BitSet,
+        fading: &mut LinkFading<'_>,
+    ) -> Reception {
+        match self.decode_masked(y, topo, transmitting, tx_mask) {
+            Reception::Decoded { from } if !fading.delivers(from, y, slot) => {
+                Reception::Faded { from }
+            }
+            r => r,
+        }
+    }
 }
 
 /// The paper's idealized channel: a reception at `y` succeeds iff exactly
@@ -135,6 +173,38 @@ impl ChannelModel for IdealChannel {
             (Some(x), None) => Reception::Decoded { from: x },
             (Some(_), Some(_)) => Reception::Collision,
             _ => Reception::Idle,
+        }
+    }
+
+    /// The exactly-one rule as a word intersection: AND each block of
+    /// `neighbors(y)` against the transmitter mask and stop at the second
+    /// set bit. Identical outcome to [`decode`](ChannelModel::decode) —
+    /// both walk transmitting neighbours in ascending order, so the
+    /// decoded `from` is the same node.
+    fn decode_masked(
+        &self,
+        y: usize,
+        topo: &Topology,
+        _transmitting: &[bool],
+        tx_mask: &BitSet,
+    ) -> Reception {
+        let mut first = usize::MAX;
+        let mut collided = false;
+        topo.neighbors(y).intersect_for_each(tx_mask, |v| {
+            if first == usize::MAX {
+                first = v;
+                true
+            } else {
+                collided = true;
+                false
+            }
+        });
+        if collided {
+            Reception::Collision
+        } else if first != usize::MAX {
+            Reception::Decoded { from: first }
+        } else {
+            Reception::Idle
         }
     }
 }
@@ -253,6 +323,42 @@ mod tests {
             Reception::Collision
         );
         assert_eq!(close.model().ratio, 2.0);
+    }
+
+    #[test]
+    fn masked_decode_matches_dense_decode() {
+        // A 70-node ring crosses the 64-bit word boundary; exercise idle,
+        // decoded, and collided listeners through both entry points.
+        let n = 70;
+        let topo = Topology::ring(n);
+        let ch = IdealChannel;
+        for txs in [
+            vec![],
+            vec![63usize],
+            vec![63, 65],
+            vec![0, 69],
+            vec![1, 2, 3, 64],
+        ] {
+            let flags = star_flags(n, &txs);
+            let mask = ttdc_util::BitSet::from_iter(n, txs.iter().copied());
+            for y in 0..n {
+                assert_eq!(
+                    ch.decode_masked(y, &topo, &flags, &mask),
+                    ch.decode(y, &topo, &flags),
+                    "listener {y}, txs {txs:?}"
+                );
+            }
+        }
+        // The default (capture) implementation ignores the mask entirely.
+        let positions: Vec<(f64, f64)> = (0..3).map(|v| (v as f64, 0.0)).collect();
+        let cap = CaptureChannel::new(positions, CaptureModel { ratio: 1.5 });
+        let topo3 = Topology::star(3);
+        let flags = star_flags(3, &[1, 2]);
+        let mask = ttdc_util::BitSet::from_iter(3, [1, 2]);
+        assert_eq!(
+            cap.decode_masked(0, &topo3, &flags, &mask),
+            cap.decode(0, &topo3, &flags)
+        );
     }
 
     #[test]

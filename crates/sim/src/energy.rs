@@ -56,7 +56,7 @@ impl EnergyModel {
 }
 
 /// Per-node accumulated energy and state counts.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct EnergyLedger {
     /// Energy consumed so far (mJ) per node.
     pub consumed_mj: Vec<f64>,
@@ -86,6 +86,23 @@ impl EnergyLedger {
             RadioState::Transmit => self.tx_slots[node] += 1,
             RadioState::Listen => self.listen_slots[node] += 1,
             RadioState::Sleep => self.sleep_slots[node] += 1,
+        }
+    }
+
+    /// Bulk sleep charge for a contiguous node range: one slot of the
+    /// sleep floor (`sleep_mj`, hoisted by the caller) per node. Per node
+    /// this is the exact `+= slot_energy_mj(Sleep)` that [`record`] would
+    /// perform, just stripped of the per-call state dispatch so the
+    /// sleep-sparse energy pass can charge whole schedule gaps in two
+    /// tight (auto-vectorisable) array sweeps.
+    ///
+    /// [`record`]: EnergyLedger::record
+    pub fn charge_sleep_range(&mut self, sleep_mj: f64, range: std::ops::Range<usize>) {
+        for c in &mut self.consumed_mj[range.clone()] {
+            *c += sleep_mj;
+        }
+        for s in &mut self.sleep_slots[range] {
+            *s += 1;
         }
     }
 

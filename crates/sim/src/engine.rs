@@ -33,11 +33,13 @@ use crate::mac::MacProtocol;
 use crate::metrics::SimReport;
 use crate::observer::{MetricsObserver, SlotEvent, SlotObserver, TraceObserver};
 use crate::phases;
+use crate::plan::SlotPlan;
 use crate::topology::Topology;
 use crate::traffic::{Packet, TrafficPattern};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::collections::VecDeque;
+use ttdc_util::BitSet;
 
 /// Engine knobs independent of workload and protocol.
 #[derive(Clone, Copy, Debug)]
@@ -110,6 +112,25 @@ pub struct Simulator {
     pub(crate) listening: Vec<bool>,
     pub(crate) tx_queue_idx: Vec<usize>,
     pub(crate) successes: Vec<(usize, usize)>,
+    /// Nodes that actually transmitted this slot, ascending. Maintained by
+    /// both election paths: the sparse step clears only these flags
+    /// instead of all `n`, and the ARQ pass iterates them instead of
+    /// scanning every node.
+    pub(crate) active_tx: Vec<usize>,
+    /// Nodes that actually listened this slot, ascending (same role as
+    /// `active_tx` for the `listening` flags).
+    pub(crate) active_rx: Vec<usize>,
+    /// `active_tx` as a word mask; the sparse channel phase resolves
+    /// receptions by intersecting neighbourhoods against it.
+    pub(crate) tx_mask: BitSet,
+    /// `perceived[v]` = the slot node `v` believes it is in, refreshed
+    /// once per slot after the fault phase (election and channel both
+    /// read it; under zero drift it equals the true slot).
+    pub(crate) perceived: Vec<u64>,
+    /// Cached sleep-sparse slot plan, rebuilt in place by [`Simulator::run`]
+    /// whenever the sparse path is eligible (rebuilding reuses buffers, so
+    /// steady-state runs stay allocation-free).
+    plan_cache: Option<SlotPlan>,
 }
 
 impl Simulator {
@@ -169,6 +190,11 @@ impl Simulator {
             listening: vec![false; n],
             tx_queue_idx: vec![usize::MAX; n],
             successes: Vec::with_capacity(n),
+            active_tx: Vec::with_capacity(n),
+            active_rx: Vec::with_capacity(n),
+            tx_mask: BitSet::new(n),
+            perceived: vec![0; n],
+            plan_cache: None,
         };
         sim.rebuild_routing();
         sim
@@ -278,15 +304,44 @@ impl Simulator {
 
     /// Advances one slot under `mac`: runs the seven-phase pipeline (the
     /// module-level docs list the phases) and closes the slot for every
-    /// observer.
+    /// observer. This is the dense reference path — every phase scans all
+    /// `n` nodes; [`Simulator::run`] prefers the bit-identical
+    /// sleep-sparse step when the MAC allows it.
     pub fn step(&mut self, mac: &dyn MacProtocol) {
         phases::faults::run(self);
+        self.refresh_perceived();
         phases::traffic::run(self);
         phases::election::run(self, mac);
         phases::channel::run(self, mac);
         phases::delivery::run(self);
         phases::arq::run(self);
         phases::energy::run(self);
+        self.close_slot();
+    }
+
+    /// Advances one slot through the sleep-sparse pipeline: election walks
+    /// only `plan`'s transmitter roster, channel only its listener roster
+    /// (resolving receptions against the word-level transmitter mask), ARQ
+    /// only the actual transmitters, and energy charges the roster
+    /// complement as sleepers in bulk. Caller guarantees eligibility
+    /// (periodic MAC, zero clock drift), under which every gate and RNG
+    /// draw matches the dense [`Simulator::step`] exactly.
+    fn step_sparse(&mut self, mac: &dyn MacProtocol, plan: &SlotPlan) {
+        phases::faults::run(self);
+        // Zero drift: every node perceives the true slot, so the
+        // `perceived` scratch refresh is skipped (nothing reads it on
+        // this path).
+        phases::traffic::run(self);
+        phases::election::run_sparse(self, mac, plan);
+        phases::channel::run_sparse(self, plan);
+        phases::delivery::run(self);
+        phases::arq::run_sparse(self);
+        phases::energy::run_sparse(self, plan);
+        self.close_slot();
+    }
+
+    /// Announces the slot boundary to every observer and advances time.
+    fn close_slot(&mut self) {
         let slot = self.slot;
         self.metrics.on_slot_end(slot);
         self.trace_obs.on_slot_end(slot);
@@ -296,8 +351,67 @@ impl Simulator {
         self.slot += 1;
     }
 
+    /// Recomputes each node's drift-perceived slot once for the whole
+    /// slot; the election and channel phases read the scratch instead of
+    /// re-deriving it per phase.
+    fn refresh_perceived(&mut self) {
+        let slot = self.slot;
+        for (v, p) in self.perceived.iter_mut().enumerate() {
+            *p = self.faults.perceived_slot(v, slot);
+        }
+    }
+
+    /// `true` when the sleep-sparse path reproduces the dense pipeline
+    /// bit for bit: the MAC must genuinely be frame-periodic (so rosters
+    /// precomputed at `slot % L` are the schedule), and clock drift must
+    /// be off (a drifted node consults the schedule at its *perceived*
+    /// slot, which no per-frame plan can represent).
+    fn sparse_eligible(&self, mac: &dyn MacProtocol) -> bool {
+        mac.frame_periodic() && mac.frame_length() > 0 && self.faults.plan().clock_drift == 0.0
+    }
+
     /// Runs `slots` consecutive slots under `mac`.
+    ///
+    /// Dispatches to the sleep-sparse pipeline when `mac` is
+    /// frame-periodic and clock drift is inactive, falling back to the
+    /// dense per-node scan otherwise ([`Simulator::run_dense`] forces the
+    /// latter). Both paths produce bit-identical reports and traces — the
+    /// golden fixtures and the sparse/dense equivalence proptests pin
+    /// this — so the dispatch is purely a performance decision.
     pub fn run(&mut self, mac: &dyn MacProtocol, slots: u64) {
+        if slots == 0 {
+            return;
+        }
+        if !self.sparse_eligible(mac) {
+            self.run_dense(mac, slots);
+            return;
+        }
+        // Build the plan into the cached buffers: the refill allocates
+        // only when the frame/node shape actually grew, so repeated runs
+        // under the same MAC keep the whole loop heap-silent.
+        let n = self.topo.num_nodes();
+        match &mut self.plan_cache {
+            Some(plan) => plan.rebuild(mac, n),
+            None => self.plan_cache = Some(SlotPlan::build(mac, n)),
+        }
+        // Move the plan out while stepping (phases borrow the simulator
+        // mutably) and restore it afterwards.
+        let mut plan = self.plan_cache.take().expect("plan was just built");
+        for _ in 0..slots {
+            // Lazy fill: rosters materialise the first time a frame slot
+            // is visited, so short runs under huge frames (TTDC's frame
+            // grows ~n^2.25) never pay for slots they don't reach.
+            plan.ensure_filled(mac, plan.slot_index(self.slot));
+            self.step_sparse(mac, &plan);
+        }
+        self.plan_cache = Some(plan);
+    }
+
+    /// Runs `slots` consecutive slots through the dense per-node pipeline
+    /// unconditionally — the reference path the sparse one is measured
+    /// and verified against (`bench_sim_scale`, the equivalence
+    /// proptests).
+    pub fn run_dense(&mut self, mac: &dyn MacProtocol, slots: u64) {
         for _ in 0..slots {
             self.step(mac);
         }

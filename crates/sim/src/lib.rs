@@ -74,6 +74,7 @@ pub mod metrics;
 pub mod montecarlo;
 pub mod observer;
 mod phases;
+pub mod plan;
 pub mod topology;
 pub mod trace;
 pub mod traffic;
@@ -86,8 +87,9 @@ pub use error::SimError;
 pub use faults::{CrashModel, FaultPlan, GilbertElliott};
 pub use mac::{MacProtocol, ScheduleMac};
 pub use metrics::SimReport;
-pub use montecarlo::{run_replications, summarize, McSummary};
+pub use montecarlo::{run_replications, run_replications_summarized, summarize, McSummary};
 pub use observer::{MetricsObserver, SlotEvent, SlotObserver, TraceObserver};
+pub use plan::SlotPlan;
 pub use topology::{churn, GeometricNetwork, Topology};
 pub use trace::{Trace, TraceEvent};
 pub use traffic::{Packet, TrafficPattern};

@@ -25,6 +25,27 @@ pub trait MacProtocol: Send + Sync {
     /// May `node` listen in `slot`?
     fn may_receive(&self, node: usize, slot: u64) -> bool;
 
+    /// Declares that [`may_transmit`] and [`may_receive`] depend on the
+    /// slot **only through `slot % frame_length()`** — i.e. the protocol
+    /// really is periodic with period [`frame_length`].
+    ///
+    /// The engine uses this to precompute a per-frame
+    /// [`SlotPlan`](crate::SlotPlan) and iterate only scheduled nodes
+    /// (the sleep-sparse fast path). Defaults to `false` because the
+    /// claim cannot be checked cheaply: a protocol that hashes the
+    /// *absolute* slot (e.g. an asynchronous random-wakeup baseline)
+    /// reports `frame_length() == 1` without being periodic, and a plan
+    /// built from it would silently simulate the wrong schedule. Only
+    /// override to `true` when the modular identity genuinely holds for
+    /// every `(node, slot)`.
+    ///
+    /// [`may_transmit`]: MacProtocol::may_transmit
+    /// [`may_receive`]: MacProtocol::may_receive
+    /// [`frame_length`]: MacProtocol::frame_length
+    fn frame_periodic(&self) -> bool {
+        false
+    }
+
     /// Probability that a node with pending traffic actually uses a
     /// transmit opportunity (p-persistence). Defaults to 1 (fully
     /// persistent), which is what schedule-based protocols want.
@@ -74,6 +95,11 @@ impl MacProtocol for ScheduleMac {
         let i = (slot % self.schedule.frame_length() as u64) as usize;
         self.schedule.receivers(i).contains(node)
     }
+
+    /// A wrapped schedule consults slot `s mod L` by construction.
+    fn frame_periodic(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]
@@ -96,5 +122,6 @@ mod tests {
         }
         assert_eq!(mac.transmit_probability(0, 0), 1.0);
         assert_eq!(mac.schedule().num_nodes(), 2);
+        assert!(mac.frame_periodic(), "ScheduleMac wraps by definition");
     }
 }

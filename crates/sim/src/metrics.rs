@@ -6,7 +6,7 @@ use std::collections::BTreeMap;
 use ttdc_util::{Histogram, OnlineStats};
 
 /// Everything a simulation run measured.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SimReport {
     /// Slots simulated.
     pub slots: u64,

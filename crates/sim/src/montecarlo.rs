@@ -22,7 +22,7 @@ where
 }
 
 /// Cross-replication statistics of the headline metrics.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct McSummary {
     /// End-to-end delivery ratio per replication.
     pub delivery_ratio: OnlineStats,
@@ -53,6 +53,67 @@ pub fn summarize(reports: &[SimReport]) -> McSummary {
         s.collisions.push(r.collisions as f64);
         s.duty_cycle.push(r.mean_duty_cycle());
         s.energy_fairness.push(r.energy.fairness_index());
+    }
+    s
+}
+
+/// The headline metrics one replication contributes to an [`McSummary`] —
+/// a few dozen bytes, versus a [`SimReport`] that owns per-node vectors
+/// and a latency histogram.
+struct RepMetrics {
+    delivery_ratio: f64,
+    /// `Some` only when the replication delivered at least one packet
+    /// (matching [`summarize`]'s conditional pushes).
+    latency_and_epd: Option<(f64, f64)>,
+    energy_mean_mj: f64,
+    collisions: f64,
+    duty_cycle: f64,
+    energy_fairness: f64,
+}
+
+/// Runs `replications` of `scenario(seed)` in parallel and folds each
+/// report straight into an [`McSummary`] without materialising a
+/// `Vec<SimReport>`.
+///
+/// For sweeps at large `n` × many replications this is the difference
+/// between holding one report per *in-flight* worker and holding all of
+/// them until the sweep point ends: each report is reduced to its handful
+/// of summary metrics as soon as its replication finishes.
+///
+/// Bit-identical to `summarize(&run_replications(..))`: the Welford
+/// accumulators in [`OnlineStats`] are *not* associative under `merge`, so
+/// the fold collects the per-replication metrics in seed order and pushes
+/// them sequentially — the same addition order as the two-step path.
+pub fn run_replications_summarized<F>(replications: u64, base_seed: u64, scenario: F) -> McSummary
+where
+    F: Fn(u64) -> SimReport + Sync,
+{
+    let metrics: Vec<RepMetrics> = (0..replications)
+        .into_par_iter()
+        .map(|i| {
+            let r = scenario(base_seed + i);
+            RepMetrics {
+                delivery_ratio: r.delivery_ratio(),
+                latency_and_epd: (r.delivered > 0)
+                    .then(|| (r.latency.mean(), r.energy_per_delivery_mj())),
+                energy_mean_mj: r.energy.mean_mj(),
+                collisions: r.collisions as f64,
+                duty_cycle: r.mean_duty_cycle(),
+                energy_fairness: r.energy.fairness_index(),
+            }
+        })
+        .collect();
+    let mut s = McSummary::default();
+    for m in &metrics {
+        s.delivery_ratio.push(m.delivery_ratio);
+        if let Some((latency, epd)) = m.latency_and_epd {
+            s.latency_mean.push(latency);
+            s.energy_per_delivery_mj.push(epd);
+        }
+        s.energy_mean_mj.push(m.energy_mean_mj);
+        s.collisions.push(m.collisions);
+        s.duty_cycle.push(m.duty_cycle);
+        s.energy_fairness.push(m.energy_fairness);
     }
     s
 }
@@ -110,6 +171,51 @@ mod tests {
         assert!(s.duty_cycle.mean() > 0.74, "{}", s.duty_cycle.mean());
         assert!(s.energy_fairness.mean() > 0.9);
         assert!(s.latency_mean.mean() >= 0.0);
+    }
+
+    #[test]
+    fn summarized_path_is_bit_identical_to_the_two_step_path() {
+        let two_step = summarize(&run_replications(6, 42, scenario));
+        let streamed = run_replications_summarized(6, 42, scenario);
+        assert_eq!(streamed, two_step);
+        // PartialEq on f64 is value equality; the claim is stronger —
+        // same push order means the Welford state matches bit for bit.
+        assert_eq!(
+            streamed.delivery_ratio.mean().to_bits(),
+            two_step.delivery_ratio.mean().to_bits()
+        );
+        assert_eq!(
+            streamed.latency_mean.variance().to_bits(),
+            two_step.latency_mean.variance().to_bits()
+        );
+    }
+
+    #[test]
+    fn summarized_path_skips_latency_without_deliveries() {
+        // An unreachable pair: two nodes, no edges, so nothing delivers
+        // and the latency accumulator must stay empty — matching
+        // `summarize`'s conditional push.
+        let s = run_replications_summarized(3, 7, |seed| {
+            let mac = ScheduleMac::new(
+                "lonely",
+                Schedule::non_sleeping(
+                    2,
+                    vec![BitSet::from_iter(2, [0]), BitSet::from_iter(2, [1])],
+                ),
+            );
+            let mut sim = Simulator::new(
+                Topology::empty(2),
+                TrafficPattern::PoissonUnicast { rate: 0.2 },
+                SimConfig {
+                    seed,
+                    ..Default::default()
+                },
+            );
+            sim.run(&mac, 200);
+            sim.report()
+        });
+        assert_eq!(s.latency_mean.count(), 0);
+        assert_eq!(s.delivery_ratio.count(), 3);
     }
 
     #[test]

@@ -18,11 +18,38 @@ pub(crate) fn run(sim: &mut Simulator) {
         if qi == usize::MAX {
             continue; // no queued transmission, or the hop succeeded
         }
-        let pkt = &mut sim.queues[v][qi];
-        pkt.retries += 1;
-        if pkt.retries > limit {
-            sim.queues[v].remove(qi);
-            sim.emit(SlotEvent::RetryExhausted { node: v });
+        retry(sim, v, qi, limit);
+    }
+}
+
+/// Burns one retry on `v`'s in-flight packet, abandoning it past the
+/// budget — shared by the dense and sparse passes.
+#[inline]
+fn retry(sim: &mut Simulator, v: usize, qi: usize, limit: u32) {
+    let pkt = &mut sim.queues[v][qi];
+    pkt.retries += 1;
+    if pkt.retries > limit {
+        sim.queues[v].remove(qi);
+        sim.emit(SlotEvent::RetryExhausted { node: v });
+    }
+}
+
+/// The sleep-sparse ARQ pass: only this slot's actual transmitters can
+/// hold an unacknowledged hop (`tx_queue_idx` is set at election and
+/// cleared on delivery), so the scan walks the engine's `active_tx`
+/// roster — ascending, like the dense node loop — instead of all `n`
+/// nodes. Stale queue indices on nodes *not* elected this slot are never
+/// read here, matching the dense scan where election resets them all.
+pub(crate) fn run_sparse(sim: &mut Simulator) {
+    let Some(limit) = sim.faults.plan().max_retries else {
+        return;
+    };
+    for i in 0..sim.active_tx.len() {
+        let v = sim.active_tx[i];
+        let qi = sim.tx_queue_idx[v];
+        if qi == usize::MAX {
+            continue; // the hop was acknowledged in delivery
         }
+        retry(sim, v, qi, limit);
     }
 }

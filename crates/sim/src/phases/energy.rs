@@ -11,6 +11,7 @@
 use crate::energy::RadioState;
 use crate::engine::Simulator;
 use crate::observer::SlotEvent;
+use crate::plan::SlotPlan;
 
 pub(crate) fn run(sim: &mut Simulator) {
     let n = sim.topo.num_nodes();
@@ -26,11 +27,94 @@ pub(crate) fn run(sim: &mut Simulator) {
             RadioState::Sleep
         };
         sim.energy.record(&sim.config.energy, v, state);
-        if let Some(cap) = sim.config.battery_capacity_mj {
-            if sim.energy.consumed_mj[v] >= cap {
-                sim.dead[v] = true;
-                sim.emit(SlotEvent::NodeDied { node: v });
-            }
+        charge_battery(sim, v);
+    }
+}
+
+/// Depletes `v`'s battery if its cumulative draw just crossed the
+/// capacity — the shared tail of every energy charge.
+#[inline]
+fn charge_battery(sim: &mut Simulator, v: usize) {
+    if let Some(cap) = sim.config.battery_capacity_mj {
+        if sim.energy.consumed_mj[v] >= cap {
+            sim.dead[v] = true;
+            sim.emit(SlotEvent::NodeDied { node: v });
         }
+    }
+}
+
+/// The sleep-sparse energy pass: identical charges to [`run`], but the
+/// per-node radio-state branch only runs for `plan`'s awake roster. The
+/// walk advances through the roster and charges every index gap — nodes
+/// the schedule guarantees asleep — with the sleep floor directly, no
+/// flag reads. Interleaving gaps with roster entries (rather than two
+/// separate loops) keeps `NodeDied` emission ascending in the node
+/// index, exactly like the dense scan. When no battery capacity is
+/// configured the gap charges additionally drop the per-node death
+/// checks and go through the bulk range sweep (nothing can die, so the
+/// checks are statically dead).
+pub(crate) fn run_sparse(sim: &mut Simulator, plan: &SlotPlan) {
+    let n = sim.topo.num_nodes();
+    let si = plan.slot_index(sim.slot);
+    if sim.config.battery_capacity_mj.is_none() {
+        // Without a battery cap no node ever dies (`dead` is set nowhere
+        // but the depletion check), so every gap charge reduces to the
+        // same two array bumps — take them in bulk per gap instead of a
+        // guarded call per node. The per-node f64 work is unchanged (one
+        // `+= sleep_mj` per slot, same order), so reports stay
+        // bit-identical; this is what makes the sparse energy pass cheap
+        // when nearly everyone sleeps.
+        let sleep_mj = sim.config.energy.slot_energy_mj(RadioState::Sleep);
+        let mut next = 0usize;
+        for &a in plan.awake(si) {
+            let a = a as usize;
+            sim.energy.charge_sleep_range(sleep_mj, next..a);
+            next = a + 1;
+            // A roster node can still have slept: crashed, missed sync,
+            // or lost the p-persistence roll — the flags decide.
+            let state = if sim.transmitting[a] {
+                RadioState::Transmit
+            } else if sim.listening[a] {
+                RadioState::Listen
+            } else {
+                RadioState::Sleep
+            };
+            sim.energy.record(&sim.config.energy, a, state);
+        }
+        sim.energy.charge_sleep_range(sleep_mj, next..n);
+        return;
+    }
+    let mut next = 0usize;
+    for &a in plan.awake(si) {
+        let a = a as usize;
+        for v in next..a {
+            if sim.dead[v] {
+                continue;
+            }
+            sim.energy.record(&sim.config.energy, v, RadioState::Sleep);
+            charge_battery(sim, v);
+        }
+        next = a + 1;
+        if sim.dead[a] {
+            continue;
+        }
+        // A roster node can still have slept: crashed, missed sync, or
+        // lost the p-persistence roll — the flags decide, as in `run`.
+        let state = if sim.transmitting[a] {
+            RadioState::Transmit
+        } else if sim.listening[a] {
+            RadioState::Listen
+        } else {
+            RadioState::Sleep
+        };
+        sim.energy.record(&sim.config.energy, a, state);
+        charge_battery(sim, a);
+    }
+    for v in next..n {
+        if sim.dead[v] {
+            continue;
+        }
+        sim.energy.record(&sim.config.energy, v, RadioState::Sleep);
+        charge_battery(sim, v);
     }
 }

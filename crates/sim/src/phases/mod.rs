@@ -17,8 +17,20 @@
 //! observable is announced as a [`SlotEvent`](crate::SlotEvent) rather
 //! than recorded inline. Phases communicate only through per-slot scratch
 //! on the `Simulator` (`transmitting`, `listening`, `tx_queue_idx`,
-//! `successes`), all pre-allocated — the steady-state step loop performs
-//! zero heap allocations (asserted by `bench_sim`).
+//! `successes`, the `active_tx`/`active_rx` rosters with the `tx_mask`
+//! word mask, and the hoisted `perceived` slot table — each node's
+//! drift-perceived slot is computed once per slot, between the fault and
+//! traffic phases, instead of once per consulting phase), all
+//! pre-allocated — the steady-state step loop performs zero heap
+//! allocations (asserted by `bench_sim`).
+//!
+//! The election, channel, ARQ, and energy phases each also ship a
+//! `run_sparse` twin driven by a [`SlotPlan`](crate::SlotPlan): same
+//! decisions and draws, but iterating only the slot's scheduled rosters.
+//! [`Simulator::run`](crate::Simulator::run) dispatches whole runs to the
+//! sparse pipeline when the MAC is frame-periodic and clock drift is off;
+//! the golden fixtures and the sparse/dense equivalence proptest pin the
+//! two pipelines bit-identical.
 //!
 //! **RNG-draw-order compatibility rule** (see `DESIGN.md`): phases consume
 //! the main RNG stream in pipeline order, node-index order within a phase,

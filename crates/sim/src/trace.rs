@@ -64,7 +64,7 @@ pub enum TraceEvent {
 }
 
 /// A bounded ring of `(slot, event)` pairs; oldest entries are evicted.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Trace {
     capacity: usize,
     events: std::collections::VecDeque<(u64, TraceEvent)>,

@@ -39,6 +39,17 @@ const GOLDEN_SEEDS: u64 = 32;
 
 const FIXTURE_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/golden.txt");
 
+/// Pinned drift + crash scenarios — every one keeps clock drift active, so
+/// [`Simulator::run`] must take the dense fallback rather than the sparse
+/// slot-plan path (verified in-test by comparing against a forced
+/// [`Simulator::run_dense`]).
+const DRIFT_SEEDS: u64 = 16;
+
+const DRIFT_FIXTURE_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/fixtures/golden_drift.txt"
+);
+
 /// Runs the scenario derived from `seed` and fingerprints its report.
 fn scenario_fingerprint(seed: u64) -> String {
     // Scenario derivation draws from its own stream; the simulation itself
@@ -153,6 +164,84 @@ fn scenario_fingerprint(seed: u64) -> String {
     fingerprint(&sim.report())
 }
 
+/// Runs the drift + crash scenario derived from `seed` through the
+/// dispatching `run()` *and* the forced dense scan, asserts they agree,
+/// and fingerprints the report. Clock drift is always on (and a crash
+/// model always installed), so these scenarios exercise exactly the
+/// sparse-ineligible corner the slot-plan dispatcher must refuse.
+fn drift_scenario_fingerprint(seed: u64) -> String {
+    let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xDF1F);
+    let n = rng.gen_range(4usize..12);
+    let tseed = rng.gen_range(0u64..1_000_000);
+    let mut trng = SmallRng::seed_from_u64(tseed);
+    let topo = Topology::random_gnp_capped(n, 0.4, 4, &mut trng);
+
+    let frame = rng.gen_range(1usize..5);
+    let mut t = Vec::new();
+    let mut r = Vec::new();
+    for _ in 0..frame {
+        let tm: u32 = rng.gen_range(1..(1u32 << n));
+        let rm: u32 = rng.gen_range(0..(1u32 << n));
+        t.push(BitSet::from_iter(n, (0..n).filter(|&i| tm >> i & 1 == 1)));
+        r.push(BitSet::from_iter(
+            n,
+            (0..n).filter(|&i| rm >> i & 1 == 1 && tm >> i & 1 == 0),
+        ));
+    }
+    let mac = ScheduleMac::new("golden-drift", Schedule::new(n, t, r));
+
+    let pattern = match rng.gen_range(0u32..3) {
+        0 => TrafficPattern::PoissonUnicast {
+            rate: rng.gen_range(0.02..0.25),
+        },
+        1 => TrafficPattern::SaturatedBroadcast,
+        _ => TrafficPattern::Convergecast {
+            sink: 0,
+            rate: rng.gen_range(0.02..0.15),
+        },
+    };
+
+    let mut crash = CrashModel::new(rng.gen_range(0.005..0.04), rng.gen_range(0.02..0.5));
+    crash.persist_queue = rng.gen_bool(0.5);
+    let mut faults = FaultPlan::none()
+        .with_drift(rng.gen_range(0.01..0.3))
+        .with_crash(crash);
+    if rng.gen_bool(0.5) {
+        faults = faults.with_per(rng.gen_range(0.0..0.5));
+    }
+    if rng.gen_bool(0.4) {
+        faults = faults.with_max_retries(rng.gen_range(0u32..6));
+    }
+    assert!(faults.clock_drift > 0.0, "the family's defining trait");
+
+    let config = SimConfig {
+        seed: rng.gen_range(0u64..1 << 20),
+        miss_probability: if rng.gen_bool(0.4) {
+            rng.gen_range(0.0..0.35)
+        } else {
+            0.0
+        },
+        schedule_aware_senders: rng.gen_bool(0.7),
+        trace_capacity: 64,
+        faults,
+        ..Default::default()
+    };
+    let slots = rng.gen_range(120u64..320);
+
+    let mut dispatched = Simulator::new(topo.clone(), pattern, config);
+    dispatched.run(&mac, slots);
+    let fp = fingerprint(&dispatched.report());
+
+    let mut forced = Simulator::new(topo, pattern, config);
+    forced.run_dense(&mac, slots);
+    assert_eq!(
+        fp,
+        fingerprint(&forced.report()),
+        "seed {seed}: under clock drift, run() must take the dense fallback"
+    );
+    fp
+}
+
 /// A bit-exact, diffable text rendering of everything a report contains.
 fn fingerprint(r: &SimReport) -> String {
     let mut s = String::new();
@@ -218,10 +307,10 @@ fn fingerprint(r: &SimReport) -> String {
     s
 }
 
-/// Parses the fixture file into per-seed fingerprints.
-fn load_fixtures() -> Vec<(u64, String)> {
-    let text = std::fs::read_to_string(FIXTURE_PATH).unwrap_or_else(|e| {
-        panic!("missing golden fixtures at {FIXTURE_PATH} ({e}); bless with TTDC_BLESS=1")
+/// Parses a fixture file into per-seed fingerprints.
+fn load_fixtures_from(path: &str) -> Vec<(u64, String)> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        panic!("missing golden fixtures at {path} ({e}); bless with TTDC_BLESS=1")
     });
     let mut out = Vec::new();
     for block in text.split("=== seed ").skip(1) {
@@ -235,29 +324,43 @@ fn bless_requested() -> bool {
     std::env::var_os("TTDC_BLESS").is_some()
 }
 
+/// Writes (bless) or verifies one fixture family.
+fn check_family(path: &str, seeds: u64, fingerprint_of: impl Fn(u64) -> String) {
+    if bless_requested() {
+        let mut text = String::new();
+        for seed in 0..seeds {
+            writeln!(text, "=== seed {seed}").unwrap();
+            text.push_str(&fingerprint_of(seed));
+        }
+        std::fs::create_dir_all(std::path::Path::new(path).parent().unwrap()).unwrap();
+        std::fs::write(path, text).unwrap();
+        eprintln!("blessed {seeds} golden fixtures at {path}");
+        return;
+    }
+    let fixtures = load_fixtures_from(path);
+    assert_eq!(fixtures.len() as u64, seeds, "fixture count in {path}");
+    for (seed, expected) in fixtures {
+        let got = fingerprint_of(seed);
+        assert_eq!(
+            got, expected,
+            "seed {seed}: pipeline output diverged from the fixture in {path}"
+        );
+    }
+}
+
 /// Exhaustive check of every pinned seed (and the bless entry point).
 #[test]
 fn golden_fixtures_cover_every_pinned_seed() {
-    if bless_requested() {
-        let mut text = String::new();
-        for seed in 0..GOLDEN_SEEDS {
-            writeln!(text, "=== seed {seed}").unwrap();
-            text.push_str(&scenario_fingerprint(seed));
-        }
-        std::fs::create_dir_all(std::path::Path::new(FIXTURE_PATH).parent().unwrap()).unwrap();
-        std::fs::write(FIXTURE_PATH, text).unwrap();
-        eprintln!("blessed {GOLDEN_SEEDS} golden fixtures at {FIXTURE_PATH}");
-        return;
-    }
-    let fixtures = load_fixtures();
-    assert_eq!(fixtures.len() as u64, GOLDEN_SEEDS, "fixture count");
-    for (seed, expected) in fixtures {
-        let got = scenario_fingerprint(seed);
-        assert_eq!(
-            got, expected,
-            "seed {seed}: pipeline output diverged from the recorded fixture"
-        );
-    }
+    check_family(FIXTURE_PATH, GOLDEN_SEEDS, scenario_fingerprint);
+}
+
+/// The drift + crash family: scenarios the sparse dispatcher must refuse.
+/// Each seed also cross-checks `run()` against a forced `run_dense()`
+/// inside `drift_scenario_fingerprint`, so a dispatcher that wrongly took
+/// the sparse path under drift fails here even before the fixture diff.
+#[test]
+fn drift_crash_fixtures_pin_the_dense_fallback() {
+    check_family(DRIFT_FIXTURE_PATH, DRIFT_SEEDS, drift_scenario_fingerprint);
 }
 
 proptest! {
@@ -271,7 +374,7 @@ proptest! {
         if bless_requested() {
             return Ok(()); // fixtures are being rewritten by the bless test
         }
-        let fixtures = load_fixtures();
+        let fixtures = load_fixtures_from(FIXTURE_PATH);
         let expected = &fixtures
             .iter()
             .find(|(s, _)| *s == seed)

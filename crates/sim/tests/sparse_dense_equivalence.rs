@@ -1,0 +1,214 @@
+//! The sleep-sparse pipeline must be bit-identical to the dense scan.
+//!
+//! [`Simulator::run`] dispatches eligible runs (frame-periodic MAC, zero
+//! clock drift) through the [`SlotPlan`]-driven sparse phases;
+//! [`Simulator::run_dense`] forces the historical all-nodes scan. The
+//! properties here pin the two paths to the same *full* [`SimReport`] —
+//! every counter, the per-node energy ledger, the latency histogram bit
+//! patterns, and the retained event trace — across random topologies,
+//! schedules, fault plans, and 1- vs 4-thread rayon pools.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rayon::ThreadPool;
+use std::sync::OnceLock;
+use ttdc_core::Schedule;
+use ttdc_sim::{
+    CrashModel, FaultPlan, GilbertElliott, MacProtocol, ScheduleMac, SimConfig, SimReport,
+    Simulator, Topology, TrafficPattern,
+};
+use ttdc_util::BitSet;
+
+fn sequential_pool() -> &'static ThreadPool {
+    static POOL: OnceLock<ThreadPool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap()
+    })
+}
+
+fn parallel_pool() -> &'static ThreadPool {
+    static POOL: OnceLock<ThreadPool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap()
+    })
+}
+
+/// A randomized [`FaultPlan`] spanning every axis *except* clock drift —
+/// drift is the dense-fallback trigger and gets its own property below.
+fn arb_driftless_fault_plan() -> impl Strategy<Value = FaultPlan> {
+    (
+        prop_oneof![Just(0.0f64), 0.0f64..0.9],
+        prop::option::of((0.001f64..0.5, 0.001f64..0.5)),
+        prop::option::of((0.0f64..0.05, 0.0f64..0.5, any::<bool>())),
+        prop::option::of(0u32..6),
+    )
+        .prop_map(|(per, burst, crash, max_retries)| {
+            let mut plan = FaultPlan::none().with_per(per);
+            if let Some(m) = max_retries {
+                plan = plan.with_max_retries(m);
+            }
+            if let Some((gb, bg)) = burst {
+                plan = plan.with_burst(GilbertElliott::bursty(gb, bg));
+            }
+            if let Some((c, r, persist)) = crash {
+                let mut model = CrashModel::new(c, r);
+                model.persist_queue = persist;
+                plan = plan.with_crash(model);
+            }
+            plan
+        })
+}
+
+/// A random degree-capped topology with a random periodic schedule MAC —
+/// including duty-cycled slots where most (or all) nodes sleep.
+fn arb_scenario() -> impl Strategy<Value = (Topology, ScheduleMac)> {
+    (3usize..10).prop_flat_map(|n| {
+        let topo = (0u64..1000, 2usize..5).prop_map(move |(seed, dcap)| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            Topology::random_gnp_capped(n, 0.4, dcap, &mut rng)
+        });
+        let mac = prop::collection::vec(
+            (0u32..(1 << n), prop::bits::u32::masked((1 << n) - 1)),
+            1..6,
+        )
+        .prop_map(move |slots| {
+            let mut t = Vec::new();
+            let mut r = Vec::new();
+            for (tm, rm) in slots {
+                t.push(BitSet::from_iter(n, (0..n).filter(|&i| tm >> i & 1 == 1)));
+                r.push(BitSet::from_iter(
+                    n,
+                    (0..n).filter(|&i| rm >> i & 1 == 1 && tm >> i & 1 == 0),
+                ));
+            }
+            ScheduleMac::new("prop", Schedule::new(n, t, r))
+        });
+        (topo, mac)
+    })
+}
+
+fn arb_pattern() -> impl Strategy<Value = TrafficPattern> {
+    prop_oneof![
+        Just(TrafficPattern::SaturatedBroadcast),
+        (0.01f64..0.3).prop_map(|rate| TrafficPattern::PoissonUnicast { rate }),
+        (0.01f64..0.15).prop_map(|rate| TrafficPattern::Convergecast { sink: 0, rate }),
+    ]
+}
+
+fn fresh(
+    topo: &Topology,
+    pattern: &TrafficPattern,
+    seed: u64,
+    faults: &FaultPlan,
+    battery: Option<f64>,
+) -> Simulator {
+    Simulator::new(
+        topo.clone(),
+        *pattern,
+        SimConfig {
+            seed,
+            faults: *faults,
+            trace_capacity: 64,
+            battery_capacity_mj: battery,
+            ..Default::default()
+        },
+    )
+}
+
+/// `run()` (sparse-dispatched) and `run_dense()` on identical inputs.
+fn both_reports(
+    topo: &Topology,
+    mac: &dyn MacProtocol,
+    pattern: &TrafficPattern,
+    seed: u64,
+    faults: &FaultPlan,
+    battery: Option<f64>,
+    slots: u64,
+) -> (SimReport, SimReport) {
+    let mut sparse = fresh(topo, pattern, seed, faults, battery);
+    sparse.run(mac, slots);
+    let mut dense = fresh(topo, pattern, seed, faults, battery);
+    dense.run_dense(mac, slots);
+    (sparse.report(), dense.report())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Zero drift + periodic MAC: the sparse pipeline engages and must
+    /// reproduce the dense report bit for bit, on a 1-thread and a
+    /// 4-thread rayon pool alike. The optional battery cap exercises both
+    /// tiers of the sparse energy pass (the bulk no-battery sweep and the
+    /// death-checked gap walk).
+    #[test]
+    fn sparse_path_is_bit_identical_to_dense(
+        (topo, mac) in arb_scenario(),
+        pattern in arb_pattern(),
+        plan in arb_driftless_fault_plan(),
+        battery in prop::option::of(2.0f64..60.0),
+        seed in 0u64..500,
+        slots in 50u64..400,
+    ) {
+        prop_assert!(mac.frame_periodic(), "ScheduleMac wraps by definition");
+        let (sparse_seq, dense_seq) = sequential_pool()
+            .install(|| both_reports(&topo, &mac, &pattern, seed, &plan, battery, slots));
+        prop_assert_eq!(&sparse_seq, &dense_seq);
+        let (sparse_par, dense_par) = parallel_pool()
+            .install(|| both_reports(&topo, &mac, &pattern, seed, &plan, battery, slots));
+        prop_assert_eq!(&sparse_par, &dense_par);
+        // Pool size must not matter either.
+        prop_assert_eq!(&sparse_seq, &sparse_par);
+        // The trace really was compared, not disabled on both sides.
+        prop_assert!(sparse_seq.trace.enabled());
+    }
+
+    /// With clock drift active the dispatcher must fall back to the dense
+    /// scan — `run()` and `run_dense()` stay interchangeable.
+    #[test]
+    fn drift_falls_back_to_dense(
+        (topo, mac) in arb_scenario(),
+        drift in 0.001f64..0.4,
+        seed in 0u64..300,
+        slots in 50u64..300,
+    ) {
+        let plan = FaultPlan::none().with_drift(drift);
+        let pattern = TrafficPattern::PoissonUnicast { rate: 0.1 };
+        let (via_run, via_dense) = both_reports(&topo, &mac, &pattern, seed, &plan, None, slots);
+        prop_assert_eq!(via_run, via_dense);
+    }
+
+    /// Mode transitions on one simulator: a dense segment followed by a
+    /// sparse segment (and the reverse) must equal one uninterrupted run —
+    /// the per-slot scratch (`transmitting`/`listening` flags, rosters,
+    /// word mask, queue indices) survives the handoff in both directions.
+    #[test]
+    fn chunked_mode_transitions_match_single_run(
+        (topo, mac) in arb_scenario(),
+        plan in arb_driftless_fault_plan(),
+        seed in 0u64..300,
+        first in 20u64..150,
+        second in 20u64..150,
+    ) {
+        let pattern = TrafficPattern::PoissonUnicast { rate: 0.1 };
+        let mut whole = fresh(&topo, &pattern, seed, &plan, None);
+        whole.run_dense(&mac, first + second);
+        let whole = whole.report();
+
+        let mut dense_then_sparse = fresh(&topo, &pattern, seed, &plan, None);
+        dense_then_sparse.run_dense(&mac, first);
+        dense_then_sparse.run(&mac, second);
+        prop_assert_eq!(&dense_then_sparse.report(), &whole);
+
+        let mut sparse_then_dense = fresh(&topo, &pattern, seed, &plan, None);
+        sparse_then_dense.run(&mac, first);
+        sparse_then_dense.run_dense(&mac, second);
+        prop_assert_eq!(&sparse_then_dense.report(), &whole);
+    }
+}

@@ -10,7 +10,7 @@
 const SUB: usize = 8; // sub-buckets per octave
 
 /// A fixed-memory histogram of non-negative integer samples.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Histogram {
     counts: Vec<u64>,
     total: u64,

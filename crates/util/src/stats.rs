@@ -6,7 +6,7 @@
 //! report normal-approximation [`ConfidenceInterval`]s.
 
 /// Welford online mean/variance accumulator.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct OnlineStats {
     n: u64,
     mean: f64,
