@@ -122,6 +122,7 @@ fn main() {
     });
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_verify.json");
     let body = to_string_pretty(&doc).expect("serialization cannot fail");
-    std::fs::write(path, body + "\n").expect("write BENCH_verify.json");
+    ttdc_util::write_atomic(std::path::Path::new(path), (body + "\n").as_bytes())
+        .expect("write BENCH_verify.json");
     eprintln!("wrote {path}");
 }

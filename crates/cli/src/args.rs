@@ -1,5 +1,6 @@
 //! Hand-rolled argument parsing (no CLI-framework dependency).
 
+use crate::error::CliError;
 use ttdc_core::construct::PartitionStrategy;
 use ttdc_core::tsma::SourceKind;
 
@@ -19,6 +20,9 @@ USAGE:
                 [--per P] [--burst PGB,PBG] [--crash-rate C[,R]]
                 [--drift RATE] [--max-retries N]
                 [--trace-out FILE] FILE
+  ttdc campaign run    --grid NAME [--reps N] [--seed S] [--shard-size K] DIR
+  ttdc campaign resume DIR
+  ttdc campaign status DIR
   ttdc help
 
 FAULT INJECTION (simulate):
@@ -29,6 +33,17 @@ FAULT INJECTION (simulate):
   --drift RATE       max per-slot clock skew, in slots/slot (e.g. 0.001)
   --max-retries N    drop a packet after N failed retransmissions of a hop
   --trace-out FILE   write the per-slot event trace as JSON Lines to FILE
+
+CAMPAIGNS:
+  A campaign runs a named Monte-Carlo grid (smoke, e10, e12, e12-large,
+  e17) sharded over the thread pool, checkpointing every completed shard
+  to DIR/manifest.jsonl. `resume` replays the completed shards of a
+  killed campaign and executes only the missing ones; the merged output
+  is byte-identical to an uninterrupted run. `status` reports progress.
+
+EXIT CODES:
+  0 success        1 runtime error    2 usage error      3 invalid value
+  4 I/O error      5 bad schedule     6 verify failed    7 campaign error
 
 FILE is a schedule in the `ttdc-schedule v1` text format (see `ttdc build`).";
 
@@ -95,8 +110,38 @@ pub enum Command {
         /// Schedule file.
         file: String,
     },
+    /// Run, resume, or inspect a checkpointed Monte-Carlo campaign.
+    Campaign(CampaignAction),
     /// Print usage.
     Help,
+}
+
+/// The `ttdc campaign` subcommands.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CampaignAction {
+    /// Start a fresh campaign in a directory.
+    Run {
+        /// Named grid (see `ttdc_experiments::grid_names`).
+        grid: String,
+        /// Checkpoint directory (must not already hold a manifest).
+        dir: String,
+        /// Override the grid's replications per point.
+        reps: Option<u64>,
+        /// Override the grid's base seed.
+        seed: Option<u64>,
+        /// Override the grid's checkpoint granularity.
+        shard_size: Option<u64>,
+    },
+    /// Resume a killed or interrupted campaign from its manifest.
+    Resume {
+        /// The campaign directory.
+        dir: String,
+    },
+    /// Report a campaign directory's progress without executing anything.
+    Status {
+        /// The campaign directory.
+        dir: String,
+    },
 }
 
 /// Topology selection for `ttdc simulate`.
@@ -198,6 +243,14 @@ impl Opts {
         }
     }
 
+    fn dir(&self) -> Result<String, String> {
+        match self.positional.as_slice() {
+            [d] => Ok(d.clone()),
+            [] => Err("missing campaign DIR".into()),
+            more => Err(format!("unexpected arguments: {more:?}")),
+        }
+    }
+
     fn known(&self, allowed: &[&str]) -> Result<(), String> {
         for k in self.flags.keys() {
             if !allowed.contains(&k.as_str()) {
@@ -209,7 +262,80 @@ impl Opts {
 }
 
 /// Parses `argv` (without the program name) into a [`Command`].
-pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, String> {
+///
+/// Malformed command lines map to [`CliError::Usage`] (exit 2); command
+/// lines that parse but carry an out-of-domain value (NaN or
+/// out-of-range probabilities, zero replications) map to
+/// [`CliError::InvalidValue`] (exit 3).
+pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, CliError> {
+    let cmd = parse_shape(argv).map_err(CliError::Usage)?;
+    validate(&cmd)?;
+    Ok(cmd)
+}
+
+/// A probability flag must be a real number in `[0, 1]`.
+fn probability(value: f64, flag: &str, what: &str) -> Result<(), CliError> {
+    if value.is_finite() && (0.0..=1.0).contains(&value) {
+        Ok(())
+    } else {
+        Err(CliError::InvalidValue(format!(
+            "--{flag}: {what} must be a probability in [0, 1], got {value}"
+        )))
+    }
+}
+
+/// Domain checks on values that already parsed as the right type.
+fn validate(cmd: &Command) -> Result<(), CliError> {
+    match cmd {
+        Command::Simulate {
+            rate,
+            per,
+            burst,
+            crash,
+            drift,
+            ..
+        } => {
+            probability(*per, "per", "per-link error rate")?;
+            if !rate.is_finite() || *rate < 0.0 {
+                return Err(CliError::InvalidValue(format!(
+                    "--rate: packet rate must be finite and >= 0, got {rate}"
+                )));
+            }
+            if !drift.is_finite() || !(0.0..1.0).contains(drift) {
+                return Err(CliError::InvalidValue(format!(
+                    "--drift: per-slot clock skew must be in [0, 1), got {drift}"
+                )));
+            }
+            if let Some((p_gb, p_bg)) = burst {
+                probability(*p_gb, "burst", "P(good->bad)")?;
+                probability(*p_bg, "burst", "P(bad->good)")?;
+            }
+            if let Some((crash_p, recover_p)) = crash {
+                probability(*crash_p, "crash-rate", "crash probability")?;
+                probability(*recover_p, "crash-rate", "recovery probability")?;
+            }
+            Ok(())
+        }
+        Command::Campaign(CampaignAction::Run {
+            reps, shard_size, ..
+        }) => {
+            if *reps == Some(0) {
+                return Err(CliError::InvalidValue(
+                    "--reps: a campaign needs at least one replication per point".into(),
+                ));
+            }
+            if *shard_size == Some(0) {
+                return Err(CliError::InvalidValue(
+                    "--shard-size: shards must hold at least one replication".into(),
+                ));
+            }
+            Ok(())
+        }
+        _ => Ok(()),
+    }
+}
+
+fn parse_shape<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, String> {
     let mut it = argv.into_iter();
     let sub = it.next().ok_or("missing subcommand")?;
     match sub.as_str() {
@@ -307,6 +433,35 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, String>
                 trace_out: o.opt("trace-out")?,
                 file: o.file()?,
             })
+        }
+        "campaign" => {
+            let action = it
+                .next()
+                .ok_or("campaign needs an action: run, resume, or status")?;
+            match action.as_str() {
+                "run" => {
+                    let o = collect(it)?;
+                    o.known(&["grid", "reps", "seed", "shard-size"])?;
+                    Ok(Command::Campaign(CampaignAction::Run {
+                        grid: o.flags.get("grid").ok_or("missing --grid")?.clone(),
+                        reps: o.opt("reps")?,
+                        seed: o.opt("seed")?,
+                        shard_size: o.opt("shard-size")?,
+                        dir: o.dir()?,
+                    }))
+                }
+                "resume" => {
+                    let o = collect(it)?;
+                    o.known(&[])?;
+                    Ok(Command::Campaign(CampaignAction::Resume { dir: o.dir()? }))
+                }
+                "status" => {
+                    let o = collect(it)?;
+                    o.known(&[])?;
+                    Ok(Command::Campaign(CampaignAction::Status { dir: o.dir()? }))
+                }
+                other => Err(format!("unknown campaign action {other:?}")),
+            }
         }
         other => Err(format!("unknown subcommand {other:?}")),
     }
@@ -601,5 +756,94 @@ mod tests {
             "dup flag"
         );
         assert_eq!(parse(sv(&["help"])).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn campaign_subcommands_parse() {
+        assert_eq!(
+            parse(sv(&[
+                "campaign",
+                "run",
+                "--grid",
+                "smoke",
+                "--reps",
+                "8",
+                "--seed",
+                "42",
+                "--shard-size",
+                "2",
+                "out/dir",
+            ]))
+            .unwrap(),
+            Command::Campaign(CampaignAction::Run {
+                grid: "smoke".into(),
+                dir: "out/dir".into(),
+                reps: Some(8),
+                seed: Some(42),
+                shard_size: Some(2),
+            })
+        );
+        assert_eq!(
+            parse(sv(&["campaign", "resume", "d"])).unwrap(),
+            Command::Campaign(CampaignAction::Resume { dir: "d".into() })
+        );
+        assert_eq!(
+            parse(sv(&["campaign", "status", "d"])).unwrap(),
+            Command::Campaign(CampaignAction::Status { dir: "d".into() })
+        );
+        // Usage errors: missing pieces and unknown flags/actions.
+        for bad in [
+            vec!["campaign"],
+            vec!["campaign", "frobnicate", "d"],
+            vec!["campaign", "run", "d"],
+            vec!["campaign", "run", "--grid", "smoke"],
+            vec!["campaign", "resume"],
+            vec!["campaign", "resume", "--grid", "smoke", "d"],
+            vec!["campaign", "status", "a", "b"],
+        ] {
+            let e = parse(sv(&bad)).unwrap_err();
+            assert_eq!(e.exit_code(), 2, "{bad:?} -> {e}");
+        }
+    }
+
+    #[test]
+    fn domain_errors_map_to_invalid_value() {
+        let sim = |flag: &str, value: &str| {
+            parse(sv(&[
+                "simulate",
+                "--degree",
+                "2",
+                "--topology",
+                "ring",
+                flag,
+                value,
+                "f",
+            ]))
+        };
+        let e = sim("--per", "1.5").unwrap_err();
+        assert_eq!(e.exit_code(), 3);
+        assert!(e.to_string().contains("per-link error rate"), "{e}");
+        for (flag, value) in [
+            ("--per", "NaN"),
+            ("--per", "-0.1"),
+            ("--rate", "NaN"),
+            ("--rate", "-1"),
+            ("--rate", "inf"),
+            ("--drift", "1.5"),
+            ("--drift", "NaN"),
+            ("--burst", "1.2,0.5"),
+            ("--crash-rate", "0.5,2.0"),
+        ] {
+            let e = sim(flag, value).unwrap_err();
+            assert_eq!(e.exit_code(), 3, "{flag} {value} -> {e}");
+        }
+        // In-domain values still parse.
+        assert!(sim("--per", "1.0").is_ok());
+        assert!(sim("--drift", "0.0").is_ok());
+        // Degenerate campaign overrides are invalid values, not usage errors.
+        for flag in ["--reps", "--shard-size"] {
+            let e = parse(sv(&["campaign", "run", "--grid", "smoke", flag, "0", "d"])).unwrap_err();
+            assert_eq!(e.exit_code(), 3, "{flag} -> {e}");
+        }
     }
 }

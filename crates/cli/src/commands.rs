@@ -1,9 +1,11 @@
 //! Command execution for the `ttdc` binary.
 
-use crate::args::{Command, TopologySpec, USAGE};
+use crate::args::{CampaignAction, Command, TopologySpec, USAGE};
+use crate::error::CliError;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::io::Write;
+use std::path::Path;
 use ttdc_core::analysis::optimality_ratio;
 use ttdc_core::bounds::alpha_bound;
 use ttdc_core::latency::{average_access_delay, worst_case_access_delay};
@@ -11,29 +13,33 @@ use ttdc_core::requirements::{requirement3_violation, spot_check_topology_transp
 use ttdc_core::throughput::{average_throughput, min_throughput};
 use ttdc_core::tsma::build;
 use ttdc_core::{construct, io as sched_io, Schedule};
+use ttdc_experiments::GridScenario;
+use ttdc_sim::campaign::{
+    manifest_overview, CampaignOptions, ResumeMode, MERGED_FILE, SUMMARY_FILE,
+};
 use ttdc_sim::{
     CrashModel, FaultPlan, GeometricNetwork, GilbertElliott, ScheduleMac, SimulatorBuilder,
     Topology, TrafficPattern,
 };
 
-type CmdResult = Result<(), String>;
+type CmdResult = Result<(), CliError>;
 
-fn load_schedule(path: &str) -> Result<Schedule, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    sched_io::from_text(&text).map_err(|e| format!("{path}: {e}"))
+fn load_schedule(path: &str) -> Result<Schedule, CliError> {
+    let text = std::fs::read_to_string(path).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+    sched_io::from_text(&text).map_err(|e| CliError::Schedule(format!("{path}: {e}")))
 }
 
 /// Above this many Requirement-3 configurations, fall back to sampling.
 const EXHAUSTIVE_BUDGET: f64 = 5e7;
 
-fn check_transparency(s: &Schedule, d: usize, out: &mut dyn Write) -> Result<bool, String> {
+fn check_transparency(s: &Schedule, d: usize, out: &mut dyn Write) -> bool {
     let n = s.num_nodes() as u64;
     let configs = n as f64 * ttdc_util::binomial_f64(n - 1, d as u64);
     if configs <= EXHAUSTIVE_BUDGET {
         match requirement3_violation(s, d) {
             None => {
                 writeln!(out, "topology-transparent for N_{n}^{d}: YES (exhaustive)").ok();
-                Ok(true)
+                true
             }
             Some(v) => {
                 writeln!(
@@ -43,7 +49,7 @@ fn check_transparency(s: &Schedule, d: usize, out: &mut dyn Write) -> Result<boo
                     v.x, v.y, v.interferers
                 )
                 .ok();
-                Ok(false)
+                false
             }
         }
     } else {
@@ -55,7 +61,7 @@ fn check_transparency(s: &Schedule, d: usize, out: &mut dyn Write) -> Result<boo
                      (instance too large for the exhaustive check)"
                 )
                 .ok();
-                Ok(true)
+                true
             }
             Some(v) => {
                 writeln!(
@@ -64,7 +70,7 @@ fn check_transparency(s: &Schedule, d: usize, out: &mut dyn Write) -> Result<boo
                     v.x, v.y
                 )
                 .ok();
-                Ok(false)
+                false
             }
         }
     }
@@ -86,7 +92,7 @@ pub fn execute(cmd: &Command, out: &mut dyn Write) -> CmdResult {
             strategy,
             output,
         } => {
-            let ns = build(*nodes, *degree, *source)?;
+            let ns = build(*nodes, *degree, *source).map_err(CliError::InvalidValue)?;
             let c = construct(&ns.schedule, *degree, *alpha_t, *alpha_r, *strategy);
             let text = sched_io::to_text(&c.schedule);
             writeln!(
@@ -100,7 +106,8 @@ pub fn execute(cmd: &Command, out: &mut dyn Write) -> CmdResult {
             .ok();
             match output {
                 Some(path) => {
-                    std::fs::write(path, &text).map_err(|e| format!("{path}: {e}"))?;
+                    ttdc_util::write_atomic(Path::new(path), text.as_bytes())
+                        .map_err(|e| CliError::Io(format!("{path}: {e}")))?;
                     writeln!(out, "wrote {path}").ok();
                 }
                 None => {
@@ -119,10 +126,10 @@ pub fn execute(cmd: &Command, out: &mut dyn Write) -> CmdResult {
                 100.0 * s.average_duty_cycle()
             )
             .ok();
-            if check_transparency(&s, *degree, out)? {
+            if check_transparency(&s, *degree, out) {
                 Ok(())
             } else {
-                Err("verification failed".into())
+                Err(CliError::VerificationFailed)
             }
         }
         Command::Analyze {
@@ -135,18 +142,20 @@ pub fn execute(cmd: &Command, out: &mut dyn Write) -> CmdResult {
             let n = s.num_nodes();
             writeln!(out, "schedule : n = {n}, L = {}", s.frame_length()).ok();
             writeln!(out, "duty     : {:.2}%", 100.0 * s.average_duty_cycle()).ok();
-            let transparent = check_transparency(&s, d, out)?;
+            let transparent = check_transparency(&s, d, out);
             writeln!(out, "avg thr  : {:.6}", average_throughput(&s, d)).ok();
             if n <= 40 {
                 writeln!(out, "min thr  : {:.6}", min_throughput(&s, d)).ok();
                 if transparent {
-                    writeln!(
-                        out,
-                        "latency  : worst {} slots, mean {:.1} (arrival-averaged)",
-                        worst_case_access_delay(&s, d).unwrap(),
-                        average_access_delay(&s, d).unwrap()
-                    )
-                    .ok();
+                    if let (Some(worst), Some(mean)) =
+                        (worst_case_access_delay(&s, d), average_access_delay(&s, d))
+                    {
+                        writeln!(
+                            out,
+                            "latency  : worst {worst} slots, mean {mean:.1} (arrival-averaged)"
+                        )
+                        .ok();
+                    }
                 }
             } else {
                 writeln!(out, "min thr  : skipped (n > 40; exhaustive only)").ok();
@@ -190,10 +199,10 @@ pub fn execute(cmd: &Command, out: &mut dyn Write) -> CmdResult {
                 TopologySpec::Star => Topology::star(n),
                 TopologySpec::Grid(w, h) => {
                     if w * h != n {
-                        return Err(format!(
+                        return Err(CliError::InvalidValue(format!(
                             "grid {w}x{h} has {} cells but the schedule has n = {n}",
                             w * h
-                        ));
+                        )));
                     }
                     Topology::grid(*w, *h)
                 }
@@ -228,7 +237,9 @@ pub fn execute(cmd: &Command, out: &mut dyn Write) -> CmdResult {
             if trace_out.is_some() {
                 builder = builder.trace_capacity(1 << 16);
             }
-            let mut sim = builder.build().map_err(|e| e.to_string())?;
+            let mut sim = builder
+                .build()
+                .map_err(|e| CliError::InvalidValue(e.to_string()))?;
             sim.run(&mac, *slots);
             let r = sim.report();
             writeln!(out, "slots      : {}", r.slots).ok();
@@ -270,7 +281,8 @@ pub fn execute(cmd: &Command, out: &mut dyn Write) -> CmdResult {
                 .ok();
             }
             if let Some(path) = trace_out {
-                std::fs::write(path, r.trace.to_jsonl()).map_err(|e| format!("{path}: {e}"))?;
+                ttdc_util::write_atomic(Path::new(path), r.trace.to_jsonl().as_bytes())
+                    .map_err(|e| CliError::Io(format!("{path}: {e}")))?;
                 writeln!(
                     out,
                     "trace      : wrote {} events to {path} (ring buffer keeps the last {})",
@@ -281,7 +293,146 @@ pub fn execute(cmd: &Command, out: &mut dyn Write) -> CmdResult {
             }
             Ok(())
         }
+        Command::Campaign(action) => campaign(action, out),
     }
+}
+
+/// Runs one `ttdc campaign` action through the crash-resilient runner.
+fn campaign(action: &CampaignAction, out: &mut dyn Write) -> CmdResult {
+    match action {
+        CampaignAction::Run {
+            grid,
+            dir,
+            reps,
+            seed,
+            shard_size,
+        } => {
+            let mut g = ttdc_experiments::grid(grid).ok_or_else(|| {
+                CliError::Usage(format!(
+                    "unknown grid {grid:?}; available: {}",
+                    ttdc_experiments::grid_names().join(", ")
+                ))
+            })?;
+            if let Some(r) = reps {
+                g.spec.reps = *r;
+            }
+            if let Some(s) = seed {
+                g.spec.base_seed = *s;
+            }
+            if let Some(k) = shard_size {
+                g.spec.shard_size = *k;
+            }
+            run_grid(&g, Path::new(dir), ResumeMode::Fresh, out)
+        }
+        CampaignAction::Resume { dir } => {
+            let path = Path::new(dir);
+            let (m, _, _) =
+                manifest_overview(path).map_err(|e| CliError::Campaign(e.to_string()))?;
+            let name = m
+                .header
+                .get("campaign")
+                .and_then(|v| v.as_str())
+                .ok_or_else(|| CliError::Campaign(format!("{dir}: manifest names no campaign")))?
+                .to_string();
+            let mut g = ttdc_experiments::grid(&name).ok_or_else(|| {
+                CliError::Campaign(format!(
+                    "{dir}: manifest names unknown grid {name:?}; available: {}",
+                    ttdc_experiments::grid_names().join(", ")
+                ))
+            })?;
+            // Adopt the manifest's sharding constants so a campaign started
+            // with --reps/--seed/--shard-size overrides resumes with the
+            // same work units; the fingerprint check inside the runner still
+            // rejects any real drift.
+            let h = |k: &str| m.header.get(k).and_then(|v| v.as_u64());
+            if let Some(v) = h("reps") {
+                g.spec.reps = v;
+            }
+            if let Some(v) = h("base_seed") {
+                g.spec.base_seed = v;
+            }
+            if let Some(v) = h("shard_size") {
+                g.spec.shard_size = v;
+            }
+            if let Some(v) = h("slots_hint") {
+                g.spec.slots_hint = v;
+            }
+            run_grid(&g, path, ResumeMode::Resume, out)
+        }
+        CampaignAction::Status { dir } => {
+            let path = Path::new(dir);
+            let (m, total, quarantined) =
+                manifest_overview(path).map_err(|e| CliError::Campaign(e.to_string()))?;
+            let name = m
+                .header
+                .get("campaign")
+                .and_then(|v| v.as_str())
+                .unwrap_or("?");
+            writeln!(
+                out,
+                "campaign {name:?}: {}/{} shard(s) checkpointed, {} quarantined",
+                m.len(),
+                total,
+                quarantined
+            )
+            .ok();
+            if m.len() < total {
+                writeln!(out, "resume with: ttdc campaign resume {dir}").ok();
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Executes a grid, writes the merged outputs, and reports progress.
+/// A degraded campaign (quarantined shards) still exits 0 — partial
+/// results beat none, and the merged output records the gap.
+fn run_grid(g: &GridScenario, dir: &Path, mode: ResumeMode, out: &mut dyn Write) -> CmdResult {
+    let spec = &g.spec;
+    writeln!(
+        out,
+        "campaign {:?}: {} point(s) × {} replication(s) in {} shard(s)",
+        spec.name,
+        spec.points.len(),
+        spec.reps,
+        spec.shards().len()
+    )
+    .ok();
+    let outcome = g
+        .run(Some(dir), mode, &CampaignOptions::default())
+        .map_err(|e| CliError::Campaign(e.to_string()))?;
+    outcome
+        .write_outputs(spec, dir)
+        .map_err(|e| CliError::Io(format!("{}: {e}", dir.display())))?;
+    writeln!(
+        out,
+        "executed {} shard(s), reused {} from the checkpoint",
+        outcome.executed_shards, outcome.reused_shards
+    )
+    .ok();
+    for q in &outcome.quarantined {
+        writeln!(
+            out,
+            "quarantined shard {} (point {:?}): {} — reproduce with seed {}",
+            q.shard, spec.points[q.point].label, q.message, q.seed
+        )
+        .ok();
+    }
+    if outcome.degraded {
+        writeln!(
+            out,
+            "campaign degraded: the merged output is missing the quarantined shard(s)"
+        )
+        .ok();
+    }
+    writeln!(
+        out,
+        "wrote {} and {}",
+        dir.join(MERGED_FILE).display(),
+        dir.join(SUMMARY_FILE).display()
+    )
+    .ok();
+    Ok(())
 }
 
 #[cfg(test)]
@@ -400,16 +551,26 @@ mod tests {
         )
         .unwrap();
         let (code, out) = run_str(&["verify", "--degree", "1", &file]);
-        assert_eq!(code, 1, "{out}");
+        assert_eq!(code, 6, "{out}");
         assert!(out.contains("NO"));
         std::fs::remove_file(&file).ok();
     }
 
     #[test]
-    fn missing_file_is_reported() {
+    fn missing_file_exits_4() {
         let (code, out) = run_str(&["verify", "--degree", "2", "/nonexistent/x.sched"]);
-        assert_eq!(code, 1);
+        assert_eq!(code, 4);
         assert!(out.contains("error:"));
+    }
+
+    #[test]
+    fn malformed_schedule_exits_5() {
+        let file = tmp("malformed.sched");
+        std::fs::write(&file, "this is not a schedule\n").unwrap();
+        let (code, out) = run_str(&["verify", "--degree", "2", &file]);
+        assert_eq!(code, 5, "{out}");
+        assert!(out.contains("error:"));
+        std::fs::remove_file(&file).ok();
     }
 
     #[test]
@@ -429,7 +590,7 @@ mod tests {
             &file,
         ]);
         let (code, out) = run_str(&["simulate", "--degree", "2", "--topology", "grid=4x4", &file]);
-        assert_eq!(code, 1);
+        assert_eq!(code, 3);
         assert!(out.contains("grid 4x4"));
         std::fs::remove_file(&file).ok();
     }
@@ -493,20 +654,8 @@ mod tests {
 
     #[test]
     fn invalid_fault_knobs_are_reported_not_panicked() {
-        let file = tmp("badfaults.sched");
-        run_str(&[
-            "build",
-            "--nodes",
-            "9",
-            "--degree",
-            "2",
-            "--alpha-t",
-            "1",
-            "--alpha-r",
-            "2",
-            "--output",
-            &file,
-        ]);
+        // Out-of-domain values are caught at parse time (exit 3), before
+        // any schedule is read.
         let (code, out) = run_str(&[
             "simulate",
             "--degree",
@@ -515,11 +664,22 @@ mod tests {
             "ring",
             "--per",
             "1.5",
-            &file,
+            "whatever.sched",
         ]);
-        assert_eq!(code, 1, "{out}");
+        assert_eq!(code, 3, "{out}");
         assert!(out.contains("per-link error rate"), "{out}");
-        std::fs::remove_file(&file).ok();
+        let (code, out) = run_str(&[
+            "simulate",
+            "--degree",
+            "2",
+            "--topology",
+            "ring",
+            "--rate",
+            "NaN",
+            "whatever.sched",
+        ]);
+        assert_eq!(code, 3, "{out}");
+        assert!(out.contains("--rate"), "{out}");
     }
 
     #[test]
@@ -597,5 +757,53 @@ mod tests {
         assert_eq!(code, 0, "{out}");
         assert!(out.contains("energy"));
         std::fs::remove_file(&file).ok();
+    }
+
+    #[test]
+    fn campaign_run_status_resume_round_trip() {
+        let dir = tmp("campaign-smoke");
+        std::fs::remove_dir_all(&dir).ok();
+
+        let (code, out) = run_str(&["campaign", "run", "--grid", "smoke", &dir]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("executed 8 shard(s)"), "{out}");
+        assert!(out.contains("merged.jsonl"), "{out}");
+        let merged = std::fs::read_to_string(format!("{dir}/merged.jsonl")).unwrap();
+        assert!(merged.contains("\"schema_version\""), "{merged}");
+
+        let (code, out) = run_str(&["campaign", "status", &dir]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("8/8 shard(s) checkpointed"), "{out}");
+
+        // Fresh mode refuses a directory that already holds a manifest.
+        let (code, out) = run_str(&["campaign", "run", "--grid", "smoke", &dir]);
+        assert_eq!(code, 7, "{out}");
+        assert!(out.contains("resume"), "{out}");
+
+        // Resuming a complete campaign reuses every shard and rewrites the
+        // same merged output.
+        let (code, out) = run_str(&["campaign", "resume", &dir]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("executed 0 shard(s), reused 8"), "{out}");
+        assert_eq!(
+            std::fs::read_to_string(format!("{dir}/merged.jsonl")).unwrap(),
+            merged,
+            "resume must reproduce the merged output byte-for-byte"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+
+        // Unknown grids are usage errors that list the real ones.
+        let (code, out) = run_str(&["campaign", "run", "--grid", "nope", &tmp("cx")]);
+        assert_eq!(code, 2, "{out}");
+        assert!(out.contains("smoke"), "{out}");
+
+        // Status and resume on an empty directory are campaign errors.
+        let empty = tmp("campaign-empty");
+        std::fs::create_dir_all(&empty).unwrap();
+        let (code, _) = run_str(&["campaign", "status", &empty]);
+        assert_eq!(code, 7);
+        let (code, _) = run_str(&["campaign", "resume", &empty]);
+        assert_eq!(code, 7);
+        std::fs::remove_dir_all(&empty).ok();
     }
 }

@@ -1,0 +1,76 @@
+//! Typed CLI errors with stable, documented exit codes.
+//!
+//! Scripts and the CI smoke jobs branch on these codes, so they are part
+//! of the CLI's contract: the mapping below must only ever grow.
+
+/// Everything that can go wrong running `ttdc`, by exit code.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CliError {
+    /// The command line itself is malformed (unknown subcommand or flag,
+    /// missing value, unparseable number). Exit 2.
+    Usage(String),
+    /// A flag parsed but its value is outside its domain (NaN, negative
+    /// rate, probability above 1, zero replications). Exit 3.
+    InvalidValue(String),
+    /// A filesystem operation failed. Exit 4.
+    Io(String),
+    /// A schedule file exists but is not valid `ttdc-schedule v1`. Exit 5.
+    Schedule(String),
+    /// `ttdc verify` found a Requirement-3 violation. Exit 6.
+    VerificationFailed,
+    /// A campaign could not run, resume, or report. Exit 7.
+    Campaign(String),
+    /// Any other runtime failure. Exit 1.
+    Other(String),
+}
+
+impl CliError {
+    /// The process exit code this error maps to.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::InvalidValue(_) => 3,
+            CliError::Io(_) => 4,
+            CliError::Schedule(_) => 5,
+            CliError::VerificationFailed => 6,
+            CliError::Campaign(_) => 7,
+            CliError::Other(_) => 1,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m)
+            | CliError::InvalidValue(m)
+            | CliError::Io(m)
+            | CliError::Schedule(m)
+            | CliError::Campaign(m)
+            | CliError::Other(m) => write!(f, "{m}"),
+            CliError::VerificationFailed => write!(f, "verification failed"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_are_distinct_and_stable() {
+        let all = [
+            CliError::Other("x".into()),
+            CliError::Usage("x".into()),
+            CliError::InvalidValue("x".into()),
+            CliError::Io("x".into()),
+            CliError::Schedule("x".into()),
+            CliError::VerificationFailed,
+            CliError::Campaign("x".into()),
+        ];
+        let codes: Vec<i32> = all.iter().map(CliError::exit_code).collect();
+        assert_eq!(codes, vec![1, 2, 3, 4, 5, 6, 7]);
+    }
+}

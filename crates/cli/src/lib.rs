@@ -12,24 +12,26 @@
 
 pub mod args;
 pub mod commands;
+pub mod error;
 
 pub use args::{parse, Command};
 pub use commands::execute;
+pub use error::CliError;
 
 /// Entry point shared by the binary and the tests: parse, execute, map
-/// errors to an exit code.
+/// errors to their stable exit codes (see [`CliError::exit_code`]).
 pub fn run<I: IntoIterator<Item = String>>(argv: I, out: &mut dyn std::io::Write) -> i32 {
-    match parse(argv) {
-        Ok(cmd) => match execute(&cmd, out) {
-            Ok(()) => 0,
-            Err(e) => {
-                let _ = writeln!(out, "error: {e}");
-                1
-            }
-        },
+    match parse(argv).and_then(|cmd| execute(&cmd, out)) {
+        Ok(()) => 0,
         Err(e) => {
-            let _ = writeln!(out, "error: {e}\n\n{}", args::USAGE);
-            2
+            // Only command-line mistakes earn the full usage text; runtime
+            // failures print just the error.
+            if matches!(e, CliError::Usage(_)) {
+                let _ = writeln!(out, "error: {e}\n\n{}", args::USAGE);
+            } else {
+                let _ = writeln!(out, "error: {e}");
+            }
+            e.exit_code()
         }
     }
 }

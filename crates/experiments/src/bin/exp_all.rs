@@ -5,30 +5,150 @@
 //! inner parallelism); printing and persistence then happen sequentially in
 //! registry order, so stdout and `results/` are byte-identical regardless
 //! of `RAYON_NUM_THREADS`.
+//!
+//! `--checkpoint DIR` makes the sweep crash-resilient: each experiment's
+//! tables are sealed into `DIR/exp_all.jsonl` (the same checksummed
+//! manifest format the campaign runner uses) as soon as they are computed,
+//! and a rerun replays completed experiments from the manifest instead of
+//! recomputing them. Combined with `TTDC_CAMPAIGN_DIR` (which checkpoints
+//! *within* the E10/E12/E17 sweeps) a SIGKILL at any instant costs at most
+//! one in-flight shard of work.
 
 use rayon::prelude::*;
+use serde_json::{json, Value};
+use std::path::PathBuf;
+use std::sync::Mutex;
+use ttdc_sim::campaign::Manifest;
+use ttdc_util::{fnv1a64, Table};
+
+const MANIFEST_FILE: &str = "exp_all.jsonl";
+const KIND: &str = "exp_all";
+
+fn tables_to_json(tables: &[Table]) -> Value {
+    Value::Array(
+        tables
+            .iter()
+            .map(|t| {
+                json!({
+                    "title": t.title(),
+                    "columns": t.columns(),
+                    "rows": t.rows(),
+                })
+            })
+            .collect(),
+    )
+}
+
+fn tables_from_json(v: &Value) -> Option<Vec<Table>> {
+    let strings = |v: &Value| -> Option<Vec<String>> {
+        v.as_array()?
+            .iter()
+            .map(|s| s.as_str().map(str::to_string))
+            .collect()
+    };
+    v.as_array()?
+        .iter()
+        .map(|t| {
+            let columns = strings(t.get("columns")?)?;
+            let mut table = Table::new(
+                t.get("title")?.as_str()?,
+                &columns.iter().map(String::as_str).collect::<Vec<_>>(),
+            );
+            for row in t.get("rows")?.as_array()? {
+                table.push_row(strings(row)?);
+            }
+            Some(table)
+        })
+        .collect()
+}
 
 fn main() {
-    let only: Vec<String> = std::env::args().skip(1).collect();
+    let mut checkpoint: Option<PathBuf> = None;
+    let mut only: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--checkpoint" {
+            let dir = args.next().unwrap_or_else(|| {
+                eprintln!("--checkpoint needs a directory");
+                std::process::exit(2);
+            });
+            checkpoint = Some(PathBuf::from(dir));
+        } else {
+            only.push(a);
+        }
+    }
     let selected: Vec<(&'static str, ttdc_experiments::Runner)> = ttdc_experiments::registry()
         .into_iter()
         .filter(|(id, _)| only.is_empty() || only.iter().any(|o| id.contains(o.as_str())))
         .collect();
+
+    // The manifest fingerprint covers the selection, so `exp_all e10`
+    // and a full `exp_all` never share (and never clobber) checkpoints.
+    let ids: Vec<&str> = selected.iter().map(|(id, _)| *id).collect();
+    let fingerprint = fnv1a64(ids.join("|").as_bytes());
+    let manifest_path = checkpoint.as_ref().map(|d| d.join(MANIFEST_FILE));
+    let manifest = match manifest_path.as_deref() {
+        Some(p) if p.exists() => match Manifest::load(p, KIND, Some(fingerprint)) {
+            Ok(m) => {
+                eprintln!(
+                    "=== resuming from {}: {} of {} experiment(s) already done ===",
+                    p.display(),
+                    m.len(),
+                    ids.len()
+                );
+                Some(m)
+            }
+            Err(e) => {
+                eprintln!("error: {}: {e}", p.display());
+                std::process::exit(1);
+            }
+        },
+        Some(_) => Some(Manifest::new(
+            KIND,
+            fingerprint,
+            json!({ "ids": Value::Array(ids.iter().map(|&i| json!(i)).collect()) }),
+        )),
+        None => None,
+    };
+    let manifest = Mutex::new(manifest);
+
     eprintln!(
         "=== running {} experiment(s) on {} thread(s) ===",
         selected.len(),
         rayon::current_num_threads()
     );
     let start = std::time::Instant::now();
-    let computed: Vec<(&'static str, Vec<ttdc_util::Table>)> = selected
+    let computed: Vec<(&'static str, Vec<Table>)> = selected
         .into_par_iter()
         .map(|(id, runner)| {
+            let cached = manifest
+                .lock()
+                .expect("manifest lock")
+                .as_ref()
+                .and_then(|m| m.get(id).cloned());
+            if let Some(payload) = cached {
+                let tables = tables_from_json(&payload).unwrap_or_else(|| {
+                    eprintln!("error: checkpoint record {id:?} does not decode as tables");
+                    std::process::exit(1);
+                });
+                eprintln!("=== {id} replayed from checkpoint ===");
+                return (id, tables);
+            }
             let t0 = std::time::Instant::now();
             let tables = runner();
             eprintln!(
                 "=== {id} computed in {:.1}s ===",
                 t0.elapsed().as_secs_f64()
             );
+            if let Some(path) = manifest_path.as_deref() {
+                let mut guard = manifest.lock().expect("manifest lock");
+                let m = guard.as_mut().expect("manifest exists when path does");
+                m.put(id.to_string(), tables_to_json(&tables));
+                if let Err(e) = m.save(path) {
+                    eprintln!("error: could not checkpoint {id}: {e}");
+                    std::process::exit(1);
+                }
+            }
             (id, tables)
         })
         .collect();

@@ -7,12 +7,13 @@
 //! with the same Bernoulli unicast workload; `k` for the naive scheme is
 //! chosen to match the TTDC schedule's receive duty cycle.
 
+use crate::campaign::GridScenario;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use ttdc_core::construct::PartitionStrategy;
 use ttdc_protocols::{NaiveDutyCycleMac, TtdcMac};
 use ttdc_sim::{
-    run_replications_summarized, GeometricNetwork, MacProtocol, SimulatorBuilder, TrafficPattern,
+    CampaignSpec, GeometricNetwork, MacProtocol, PointSpec, SimulatorBuilder, TrafficPattern,
 };
 use ttdc_util::Table;
 
@@ -20,6 +21,8 @@ const N: usize = 25;
 const D: usize = 4;
 const SLOTS: u64 = 30_000;
 const REPS: u64 = 8;
+const RATES: [f64; 3] = [0.001, 0.005, 0.02];
+const PROTOCOLS: [&str; 2] = ["ttdc", "naive-1-in-k"];
 
 fn scenario(mac: &dyn MacProtocol, rate: f64, seed: u64) -> ttdc_sim::SimReport {
     let mut rng = SmallRng::seed_from_u64(seed * 977 + 13);
@@ -32,8 +35,56 @@ fn scenario(mac: &dyn MacProtocol, rate: f64, seed: u64) -> ttdc_sim::SimReport 
     sim.report()
 }
 
-/// Runs E10.
+/// The MAC under test for one protocol column. The naive scheme's wake
+/// period is matched to TTDC's duty cycle (receivers-per-slot α_R/n ⇒
+/// wake one slot in ~n/α_R); construction is deterministic, so building
+/// it per replication is equivalent to sharing one instance.
+fn mac_for(protocol: usize) -> Box<dyn MacProtocol> {
+    let ttdc = TtdcMac::new(N, D, 2, 4, PartitionStrategy::RoundRobin);
+    if protocol == 0 {
+        Box::new(ttdc)
+    } else {
+        let duty = ttdc.schedule().average_duty_cycle();
+        let k = (1.0 / duty).round().max(2.0) as u64;
+        Box::new(NaiveDutyCycleMac::new(k))
+    }
+}
+
+/// E10 as a campaign grid; point order is the table's row order.
+pub fn grid() -> GridScenario {
+    let points = RATES
+        .iter()
+        .flat_map(|rate| {
+            PROTOCOLS.iter().map(move |p| {
+                PointSpec::new(format!("{p}/rate={rate}"))
+                    .param("protocol", p)
+                    .param("rate", rate)
+            })
+        })
+        .collect();
+    GridScenario {
+        spec: CampaignSpec {
+            name: "e10".into(),
+            points,
+            reps: REPS,
+            base_seed: 1,
+            shard_size: 2,
+            slots_hint: SLOTS,
+        },
+        extra_names: Vec::new(),
+        scenario: Box::new(|point, seed| {
+            let rate = RATES[point / PROTOCOLS.len()];
+            let mac = mac_for(point % PROTOCOLS.len());
+            scenario(mac.as_ref(), rate, seed)
+        }),
+        extract: None,
+    }
+}
+
+/// Runs E10 (through the crash-resilient campaign runner; the merged
+/// summaries are bit-identical to the direct replication fold).
 pub fn run() -> Vec<Table> {
+    let outcome = grid().run_default();
     let mut table = Table::new(
         "E10 — §1: naive 1-in-k duty cycling vs TTDC at matched duty cycle",
         &[
@@ -46,22 +97,11 @@ pub fn run() -> Vec<Table> {
             "energy_mJ/node",
         ],
     );
-    let ttdc = TtdcMac::new(N, D, 2, 4, PartitionStrategy::RoundRobin);
-    // Match the naive scheme's duty cycle to TTDC's (receivers-per-slot
-    // α_R/n ⇒ wake one slot in ~n/α_R).
-    let duty = ttdc.schedule().average_duty_cycle();
-    let k = (1.0 / duty).round().max(2.0) as u64;
-    let naive = NaiveDutyCycleMac::new(k);
-
-    for rate in [0.001f64, 0.005, 0.02] {
-        for (name, mac) in [
-            ("ttdc", &ttdc as &dyn MacProtocol),
-            ("naive-1-in-k", &naive),
-        ] {
-            // Streamed: each replication folds into the summary as it
-            // finishes (bit-identical to the two-step path) instead of
-            // holding every SimReport until the sweep point ends.
-            let s = run_replications_summarized(REPS, 1, |seed| scenario(mac, rate, seed));
+    let mut point = 0;
+    for rate in RATES {
+        for name in PROTOCOLS {
+            let s = &outcome.summaries[point];
+            point += 1;
             table.row(&[
                 name.to_string(),
                 format!("{rate}"),

@@ -16,6 +16,7 @@
 //! TSMA-like delivery at a fraction of the energy; the contention schemes
 //! trade energy against collisions.
 
+use crate::campaign::GridScenario;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use ttdc_core::construct::PartitionStrategy;
@@ -24,7 +25,7 @@ use ttdc_protocols::{
     TtdcMac,
 };
 use ttdc_sim::{
-    churn, run_replications_summarized, GeometricNetwork, MacProtocol, SimulatorBuilder, Topology,
+    churn, CampaignSpec, GeometricNetwork, MacProtocol, PointSpec, SimulatorBuilder, Topology,
     TrafficPattern,
 };
 use ttdc_util::Table;
@@ -97,36 +98,44 @@ fn protocols(initial: &Topology) -> Vec<(String, Box<dyn MacProtocol>)> {
     ]
 }
 
-/// E12b — TTDC convergecast at growing network sizes. The TTDC frame
-/// grows superlinearly in `n` (50k+ slots at `n = 256`), so a horizon of
-/// a few frames is hundreds of thousands of simulated slots; these rows
-/// are tractable because the sleep-sparse engine path makes per-slot cost
-/// track the awake roster instead of `n`. The workload is normalised to
-/// the frame (a quarter packet per node per frame) so the offered load
-/// per transmit opportunity stays comparable across sizes; the single
-/// convergecast sink still concentrates `n`-proportional traffic, so
-/// delivery degrading with `n` is the expected funnel effect, not noise.
-fn large_n_table() -> Table {
-    const FRAMES: u64 = 4;
-    const LARGE_REPS: u64 = 4;
-    let mut table = Table::new(
-        "E12b — large-n scaling: TTDC convergecast (sleep-sparse simulator)",
-        &[
-            "n",
-            "frame_length",
-            "slots",
-            "delivery_ratio",
-            "mean_latency_slots",
-            "energy_mJ/node",
-            "duty_cycle",
-        ],
-    );
-    for n in [64usize, 128, 256] {
-        let mac = TtdcMac::new(n, D, 2, 4, PartitionStrategy::RoundRobin);
-        let frame = mac.frame_length();
-        let slots = frame as u64 * FRAMES;
-        let rate = 0.25 / frame as f64;
-        let s = run_replications_summarized(LARGE_REPS, 1, |seed| {
+const FRAMES: u64 = 4;
+const LARGE_REPS: u64 = 4;
+const LARGE_SIZES: [usize; 3] = [64, 128, 256];
+
+/// E12b as a campaign grid (one point per network size) — TTDC
+/// convergecast at growing `n`. The TTDC frame grows superlinearly in `n`
+/// (50k+ slots at `n = 256`), so a horizon of a few frames is hundreds of
+/// thousands of simulated slots; these points are tractable because the
+/// sleep-sparse engine path makes per-slot cost track the awake roster
+/// instead of `n`. The workload is normalised to the frame (a quarter
+/// packet per node per frame) so the offered load per transmit opportunity
+/// stays comparable across sizes; the single convergecast sink still
+/// concentrates `n`-proportional traffic, so delivery degrading with `n`
+/// is the expected funnel effect, not noise.
+pub fn large_grid() -> GridScenario {
+    GridScenario {
+        spec: CampaignSpec {
+            name: "e12-large".into(),
+            points: LARGE_SIZES
+                .iter()
+                .map(|n| PointSpec::new(format!("n={n}")).param("n", n))
+                .collect(),
+            reps: LARGE_REPS,
+            base_seed: 1,
+            // One replication per checkpoint: the large-n sims are the
+            // slowest shards in the repo, so make each one resumable.
+            shard_size: 1,
+            // The n = 256 horizon (frame × FRAMES ≈ 2 × 10⁵ slots) bounds
+            // the watchdog budget for every point.
+            slots_hint: 220_000,
+        },
+        extra_names: Vec::new(),
+        scenario: Box::new(|point, seed| {
+            let n = LARGE_SIZES[point];
+            let mac = TtdcMac::new(n, D, 2, 4, PartitionStrategy::RoundRobin);
+            let frame = mac.frame_length();
+            let slots = frame as u64 * FRAMES;
+            let rate = 0.25 / frame as f64;
             let mut rng = SmallRng::seed_from_u64(seed * 7919 + n as u64);
             let topo = loop {
                 let t = GeometricNetwork::random(n, 0.35, D, &mut rng).topology();
@@ -141,7 +150,29 @@ fn large_n_table() -> Table {
                     .expect("valid configuration");
             sim.run(&mac, slots);
             sim.report()
-        });
+        }),
+        extract: None,
+    }
+}
+
+fn large_n_table() -> Table {
+    let outcome = large_grid().run_default();
+    let mut table = Table::new(
+        "E12b — large-n scaling: TTDC convergecast (sleep-sparse simulator)",
+        &[
+            "n",
+            "frame_length",
+            "slots",
+            "delivery_ratio",
+            "mean_latency_slots",
+            "energy_mJ/node",
+            "duty_cycle",
+        ],
+    );
+    for (point, n) in LARGE_SIZES.into_iter().enumerate() {
+        let frame = TtdcMac::new(n, D, 2, 4, PartitionStrategy::RoundRobin).frame_length();
+        let slots = frame as u64 * FRAMES;
+        let s = &outcome.summaries[point];
         table.row(&[
             n.to_string(),
             frame.to_string(),
@@ -155,8 +186,62 @@ fn large_n_table() -> Table {
     table
 }
 
-/// Runs E12.
+/// The protocol column labels, in [`protocols`] order (TDMA needs a
+/// topology to construct, so the names are read off a throwaway instance).
+fn protocol_names() -> Vec<String> {
+    protocols(&make_topology(1))
+        .into_iter()
+        .map(|p| p.0)
+        .collect()
+}
+
+/// E12 as a campaign grid: `static` then `churn`, each over every
+/// protocol — the table's row order.
+pub fn grid() -> GridScenario {
+    let names = protocol_names();
+    let points = [false, true]
+        .iter()
+        .flat_map(|dynamic| {
+            let scenario_name = if *dynamic { "churn" } else { "static" };
+            names.iter().map(move |name| {
+                PointSpec::new(format!("{scenario_name}/{name}"))
+                    .param("scenario", scenario_name)
+                    .param("protocol", name)
+            })
+        })
+        .collect();
+    let per_mode = names.len();
+    GridScenario {
+        spec: CampaignSpec {
+            name: "e12".into(),
+            points,
+            reps: REPS,
+            base_seed: 1,
+            shard_size: 2,
+            slots_hint: SLOTS,
+        },
+        extra_names: Vec::new(),
+        scenario: Box::new(move |point, seed| {
+            let dynamic = point >= per_mode;
+            let name = &names[point % per_mode];
+            // One protocol set per replication seed (TDMA binds to the
+            // seed's topology).
+            let initial = make_topology(seed);
+            let protos = protocols(&initial);
+            let (_, mac) = protos
+                .into_iter()
+                .find(|(n, _)| n == name)
+                .expect("protocol registered");
+            scenario(mac.as_ref(), dynamic, seed)
+        }),
+        extract: None,
+    }
+}
+
+/// Runs E12 (both tables go through the campaign runner; merged summaries
+/// are bit-identical to the direct replication folds).
 pub fn run() -> Vec<Table> {
+    let outcome = grid().run_default();
     let mut table = Table::new(
         "E12 — convergecast: delivery / latency / energy, static vs churn",
         &[
@@ -170,26 +255,12 @@ pub fn run() -> Vec<Table> {
             "duty_cycle",
         ],
     );
-    for dynamic in [false, true] {
-        let scenario_name = if dynamic { "churn" } else { "static" };
-        // One protocol set per replication seed (TDMA binds to seed's topo).
-        let names: Vec<String> = protocols(&make_topology(1))
-            .into_iter()
-            .map(|p| p.0)
-            .collect();
+    let names = protocol_names();
+    let mut point = 0;
+    for scenario_name in ["static", "churn"] {
         for name in &names {
-            // Streamed: replications fold into the summary as they finish
-            // (bit-identical to summarize(&run_replications(..))), so the
-            // sweep never holds more SimReports than in-flight workers.
-            let s = run_replications_summarized(REPS, 1, |seed| {
-                let initial = make_topology(seed);
-                let protos = protocols(&initial);
-                let (_, mac) = protos
-                    .into_iter()
-                    .find(|(n, _)| n == name)
-                    .expect("protocol registered");
-                scenario(mac.as_ref(), dynamic, seed)
-            });
+            let s = &outcome.summaries[point];
+            point += 1;
             table.row(&[
                 name.clone(),
                 scenario_name.to_string(),

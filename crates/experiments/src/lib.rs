@@ -26,6 +26,7 @@
 //! | e16 | sender-policy ablation | [`e16_sender_policy`] |
 //! | e17 | fault tolerance (loss/crash/drift) | [`e17_fault_tolerance`] |
 
+pub mod campaign;
 pub mod e01_requirements;
 pub mod e02_throughput_formula;
 pub mod e03_general_bound;
@@ -45,6 +46,7 @@ pub mod e16_sender_policy;
 pub mod e17_fault_tolerance;
 pub mod output;
 
+pub use campaign::{grid, grid_names, GridScenario, CAMPAIGN_DIR_ENV};
 pub use output::{print_and_write, run_and_write, write_tables};
 
 /// An experiment runner: produces the tables its `exp_*` binary prints.

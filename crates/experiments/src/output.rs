@@ -1,8 +1,7 @@
 //! Result persistence: aligned text to stdout, text/CSV/JSON to `results/`.
 
-use std::fs;
 use std::path::{Path, PathBuf};
-use ttdc_util::Table;
+use ttdc_util::{write_atomic, Table};
 
 /// Where experiment output lands (override with `TTDC_RESULTS_DIR`).
 pub fn results_dir() -> PathBuf {
@@ -12,20 +11,22 @@ pub fn results_dir() -> PathBuf {
 }
 
 /// Writes all tables of one experiment under `dir/<id>.{txt,csv,json}`.
+///
+/// Each file lands via [`write_atomic`], so a crash mid-write never leaves
+/// a torn result file — at worst the previous complete version survives.
 pub fn write_tables(dir: &Path, id: &str, tables: &[Table]) -> std::io::Result<()> {
-    fs::create_dir_all(dir)?;
     let txt: String = tables
         .iter()
         .map(Table::to_text)
         .collect::<Vec<_>>()
         .join("\n");
-    fs::write(dir.join(format!("{id}.txt")), &txt)?;
+    write_atomic(&dir.join(format!("{id}.txt")), txt.as_bytes())?;
     let csv: String = tables
         .iter()
         .map(|t| format!("# {}\n{}", t.title(), t.to_csv()))
         .collect::<Vec<_>>()
         .join("\n");
-    fs::write(dir.join(format!("{id}.csv")), &csv)?;
+    write_atomic(&dir.join(format!("{id}.csv")), csv.as_bytes())?;
     let json = serde_json::to_string_pretty(
         &tables
             .iter()
@@ -39,7 +40,7 @@ pub fn write_tables(dir: &Path, id: &str, tables: &[Table]) -> std::io::Result<(
             .collect::<Vec<_>>(),
     )
     .expect("tables are plain strings");
-    fs::write(dir.join(format!("{id}.json")), json)?;
+    write_atomic(&dir.join(format!("{id}.json")), json.as_bytes())?;
     Ok(())
 }
 
@@ -79,8 +80,10 @@ mod tests {
         for ext in ["txt", "csv", "json"] {
             let p = dir.join(format!("unit.{ext}"));
             assert!(p.exists(), "{p:?}");
-            assert!(!fs::read_to_string(&p).unwrap().is_empty());
+            assert!(!std::fs::read_to_string(&p).unwrap().is_empty());
         }
-        fs::remove_dir_all(&dir).unwrap();
+        // No temp files may linger after a successful write.
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 3);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

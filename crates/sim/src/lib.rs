@@ -64,6 +64,7 @@
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod campaign;
 pub mod channel;
 pub mod energy;
 pub mod engine;
@@ -80,6 +81,10 @@ pub mod trace;
 pub mod traffic;
 
 pub use builder::SimulatorBuilder;
+pub use campaign::{
+    run_campaign, CampaignError, CampaignOptions, CampaignOutcome, CampaignSpec, PointSpec,
+    ResumeMode,
+};
 pub use channel::{CaptureChannel, ChannelModel, IdealChannel, LinkFading, Reception};
 pub use energy::{EnergyLedger, EnergyModel, RadioState};
 pub use engine::{CaptureModel, SimConfig, Simulator};

@@ -40,6 +40,40 @@ pub struct McSummary {
     pub energy_fairness: OnlineStats,
 }
 
+impl McSummary {
+    /// Serializes the summary as JSON, stamped with the campaign schema
+    /// version so a future format change fails loudly on resume instead
+    /// of silently merging incompatible records.
+    ///
+    /// Means are emitted twice: as a plain number for human readers and
+    /// as the exact `f64` bit pattern (`*_bits`, hex) so byte-comparing
+    /// two merged outputs compares the underlying Welford state, not a
+    /// rounded rendering of it.
+    pub fn to_json(&self) -> serde_json::Value {
+        fn stats(s: &ttdc_util::OnlineStats) -> serde_json::Value {
+            serde_json::json!({
+                "count": s.count(),
+                "mean": s.mean(),
+                "mean_bits": format!("{:016x}", s.mean().to_bits()),
+                "variance": s.variance(),
+                "variance_bits": format!("{:016x}", s.variance().to_bits()),
+                "min": s.min(),
+                "max": s.max(),
+            })
+        }
+        serde_json::json!({
+            "schema_version": crate::campaign::CAMPAIGN_SCHEMA_VERSION,
+            "delivery_ratio": stats(&self.delivery_ratio),
+            "latency_mean": stats(&self.latency_mean),
+            "energy_mean_mj": stats(&self.energy_mean_mj),
+            "energy_per_delivery_mj": stats(&self.energy_per_delivery_mj),
+            "collisions": stats(&self.collisions),
+            "duty_cycle": stats(&self.duty_cycle),
+            "energy_fairness": stats(&self.energy_fairness),
+        })
+    }
+}
+
 /// Aggregates replication reports.
 pub fn summarize(reports: &[SimReport]) -> McSummary {
     let mut s = McSummary::default();

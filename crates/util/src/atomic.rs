@@ -1,0 +1,117 @@
+//! Torn-file-proof persistence: write-temp-then-rename plus a tiny
+//! content checksum.
+//!
+//! Every result writer in the workspace (experiment tables, benchmark
+//! trajectories, event traces, campaign manifests) goes through
+//! [`write_atomic`]: the contents land in a temporary sibling of the
+//! destination and are moved into place with `rename(2)`, which POSIX
+//! guarantees to be atomic within a filesystem. A reader — or a resumed
+//! campaign — therefore sees either the old file or the new file, never a
+//! torn prefix, even if the writer is SIGKILLed mid-write.
+//!
+//! [`fnv1a64`] is the workspace's record checksum: not cryptographic, just
+//! enough to make a corrupted or truncated manifest line fail loudly
+//! instead of merging garbage.
+
+use std::io::Write;
+use std::path::Path;
+
+/// Writes `contents` to `path` atomically: temp file in the same
+/// directory, flush + fsync, then rename over the destination.
+///
+/// The temp name embeds the process id so concurrent writers of
+/// *different* files never collide; concurrent writers of the *same* file
+/// still last-write-wins, which is the same guarantee `fs::write` gives.
+pub fn write_atomic(path: &Path, contents: &[u8]) -> std::io::Result<()> {
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    if let Some(dir) = dir {
+        std::fs::create_dir_all(dir)?;
+    }
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| std::io::Error::other(format!("no file name in {}", path.display())))?;
+    let mut tmp = path.to_path_buf();
+    tmp.set_file_name(format!(
+        ".{}.tmp.{}",
+        file_name.to_string_lossy(),
+        std::process::id()
+    ));
+    let result = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(contents)?;
+        // rename() is atomic but only orders the *directory entry*; sync
+        // the data first so a crash cannot promote an empty inode.
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        // Best effort: don't leave temp droppings behind a failed write.
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// 64-bit FNV-1a hash of `bytes` — the manifest per-record checksum.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("ttdc-atomic-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn writes_and_overwrites() {
+        let p = tmp_path("basic");
+        write_atomic(&p, b"one").unwrap();
+        assert_eq!(std::fs::read(&p).unwrap(), b"one");
+        write_atomic(&p, b"two-longer").unwrap();
+        assert_eq!(std::fs::read(&p).unwrap(), b"two-longer");
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn creates_missing_parent_directories() {
+        let dir = tmp_path("nested-dir");
+        let p = dir.join("a/b/out.txt");
+        write_atomic(&p, b"deep").unwrap();
+        assert_eq!(std::fs::read(&p).unwrap(), b"deep");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn leaves_no_temp_file_behind() {
+        let dir = tmp_path("clean-dir");
+        std::fs::create_dir_all(&dir).unwrap();
+        write_atomic(&dir.join("x"), b"x").unwrap();
+        let extras: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n != "x")
+            .collect();
+        assert!(extras.is_empty(), "leftover files: {extras:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn fnv_discriminates_permutations() {
+        assert_ne!(fnv1a64(b"ab"), fnv1a64(b"ba"));
+    }
+}

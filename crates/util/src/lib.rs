@@ -7,6 +7,7 @@
 //! by the throughput formulas, and the plain-text/CSV [`table`] renderer the
 //! experiment runners print their results with.
 
+pub mod atomic;
 pub mod binomial;
 pub mod bitset;
 pub mod cover;
@@ -15,6 +16,7 @@ pub mod stats;
 pub mod subsets;
 pub mod table;
 
+pub use atomic::{fnv1a64, write_atomic};
 pub use binomial::{binomial_exact, binomial_f64, binomial_ratio, ln_binomial, BinomialTable};
 pub use bitset::{for_each_subset, for_each_subset_of, BitSet};
 pub use cover::CoverCounter;
