@@ -19,7 +19,7 @@ USAGE:
                 [--slots N] [--rate R] [--seed S]
                 [--per P] [--burst PGB,PBG] [--crash-rate C[,R]]
                 [--drift RATE] [--max-retries N]
-                [--trace-out FILE] FILE
+                [--trace-out FILE] [--trace-perfetto FILE] FILE
   ttdc campaign run    --grid NAME [--reps N] [--seed S] [--shard-size K] DIR
   ttdc campaign resume DIR
   ttdc campaign status DIR
@@ -33,6 +33,9 @@ FAULT INJECTION (simulate):
   --drift RATE       max per-slot clock skew, in slots/slot (e.g. 0.001)
   --max-retries N    drop a packet after N failed retransmissions of a hop
   --trace-out FILE   write the per-slot event trace as JSON Lines to FILE
+  --trace-perfetto FILE
+                     write the event trace as Perfetto/Chrome trace-event
+                     JSON (one track per node; open in ui.perfetto.dev)
 
 CAMPAIGNS:
   A campaign runs a named Monte-Carlo grid (smoke, e10, e12, e12-large,
@@ -107,6 +110,8 @@ pub enum Command {
         max_retries: Option<u32>,
         /// Write the event trace as JSON Lines to this path.
         trace_out: Option<String>,
+        /// Write the event trace as Perfetto trace-event JSON to this path.
+        trace_perfetto: Option<String>,
         /// Schedule file.
         file: String,
     },
@@ -408,6 +413,7 @@ fn parse_shape<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, Strin
                 "drift",
                 "max-retries",
                 "trace-out",
+                "trace-perfetto",
             ])?;
             let burst = o
                 .flags
@@ -431,6 +437,7 @@ fn parse_shape<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, Strin
                 drift: o.opt("drift")?.unwrap_or(0.0),
                 max_retries: o.opt("max-retries")?,
                 trace_out: o.opt("trace-out")?,
+                trace_perfetto: o.opt("trace-perfetto")?,
                 file: o.file()?,
             })
         }
@@ -589,6 +596,7 @@ mod tests {
                 drift: 0.0,
                 max_retries: None,
                 trace_out: None,
+                trace_perfetto: None,
                 file: "f".into(),
             }
         );

@@ -189,6 +189,7 @@ pub fn execute(cmd: &Command, out: &mut dyn Write) -> CmdResult {
             drift,
             max_retries,
             trace_out,
+            trace_perfetto,
             file,
         } => {
             let s = load_schedule(file)?;
@@ -234,7 +235,7 @@ pub fn execute(cmd: &Command, out: &mut dyn Write) -> CmdResult {
                 SimulatorBuilder::new(topo, TrafficPattern::PoissonUnicast { rate: *rate })
                     .seed(*seed)
                     .faults(faults);
-            if trace_out.is_some() {
+            if trace_out.is_some() || trace_perfetto.is_some() {
                 builder = builder.trace_capacity(1 << 16);
             }
             let mut sim = builder
@@ -288,6 +289,17 @@ pub fn execute(cmd: &Command, out: &mut dyn Write) -> CmdResult {
                     "trace      : wrote {} events to {path} (ring buffer keeps the last {})",
                     r.trace.len(),
                     1usize << 16
+                )
+                .ok();
+            }
+            if let Some(path) = trace_perfetto {
+                let json = r.trace.to_perfetto(sim.energy_model().slot_seconds);
+                ttdc_util::write_atomic(Path::new(path), json.as_bytes())
+                    .map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+                writeln!(
+                    out,
+                    "perfetto   : wrote {} events to {path} (open in ui.perfetto.dev)",
+                    r.trace.len()
                 )
                 .ok();
             }
@@ -724,6 +736,49 @@ mod tests {
             );
         }
         assert!(body.contains("\"event\":\"generated\""), "{body}");
+        std::fs::remove_file(&file).ok();
+        std::fs::remove_file(&trace).ok();
+    }
+
+    #[test]
+    fn trace_perfetto_writes_trace_event_json() {
+        let file = tmp("perfetto.sched");
+        let trace = tmp("perfetto.json");
+        run_str(&[
+            "build",
+            "--nodes",
+            "9",
+            "--degree",
+            "2",
+            "--alpha-t",
+            "1",
+            "--alpha-r",
+            "2",
+            "--output",
+            &file,
+        ]);
+        let (code, out) = run_str(&[
+            "simulate",
+            "--degree",
+            "2",
+            "--topology",
+            "ring",
+            "--slots",
+            "500",
+            "--rate",
+            "0.05",
+            "--trace-perfetto",
+            &trace,
+            &file,
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("perfetto"), "{out}");
+        let body = std::fs::read_to_string(&trace).unwrap();
+        assert!(body.starts_with("{\"traceEvents\":["), "{body}");
+        assert!(body.trim_end().ends_with("]}"), "{body}");
+        // Node tracks plus at least one duration slice made it through.
+        assert!(body.contains("\"thread_name\""), "{body}");
+        assert!(body.contains("\"ph\":\"X\""), "{body}");
         std::fs::remove_file(&file).ok();
         std::fs::remove_file(&trace).ok();
     }

@@ -83,8 +83,8 @@ impl GridScenario {
 }
 
 /// Every named grid `ttdc campaign run --grid` accepts.
-pub fn grid_names() -> [&'static str; 5] {
-    ["smoke", "e10", "e12", "e12-large", "e17"]
+pub fn grid_names() -> [&'static str; 6] {
+    ["smoke", "e10", "e12", "e12-large", "e12c", "e17"]
 }
 
 /// Looks up a grid by name.
@@ -94,6 +94,7 @@ pub fn grid(name: &str) -> Option<GridScenario> {
         "e10" => Some(crate::e10_naive_duty_cycling::grid()),
         "e12" => Some(crate::e12_end_to_end::grid()),
         "e12-large" => Some(crate::e12_end_to_end::large_grid()),
+        "e12c" => Some(crate::e12_end_to_end::low_traffic_grid()),
         "e17" => Some(crate::e17_fault_tolerance::grid()),
         _ => None,
     }

@@ -106,6 +106,19 @@ impl EnergyLedger {
         }
     }
 
+    /// Charges `node` for `k` consecutive slots of the sleep floor in one
+    /// call, landing on exactly the `f64` that `k` individual
+    /// [`record`]`(…, Sleep)` calls would produce
+    /// ([`ttdc_util::iterate_add`] fast-forwards the repeated rounding in
+    /// O(binade crossings)). This is the time-skipping engine's bulk
+    /// charge for a node's unflushed sleep debt across a skipped span.
+    ///
+    /// [`record`]: EnergyLedger::record
+    pub fn charge_sleep_slots(&mut self, sleep_mj: f64, node: usize, k: u64) {
+        self.consumed_mj[node] = ttdc_util::iterate_add(self.consumed_mj[node], sleep_mj, k);
+        self.sleep_slots[node] += k;
+    }
+
     /// Total energy over all nodes (mJ).
     pub fn total_mj(&self) -> f64 {
         self.consumed_mj.iter().sum()

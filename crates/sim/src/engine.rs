@@ -26,8 +26,9 @@
 use crate::builder::SimulatorBuilder;
 pub use crate::channel::CaptureModel;
 use crate::channel::ChannelModel;
-use crate::energy::{EnergyLedger, EnergyModel};
+use crate::energy::{EnergyLedger, EnergyModel, RadioState};
 use crate::error::SimError;
+use crate::events::SkipState;
 use crate::faults::{FaultPlan, FaultState};
 use crate::mac::MacProtocol;
 use crate::metrics::SimReport;
@@ -131,6 +132,8 @@ pub struct Simulator {
     /// whenever the sparse path is eligible (rebuilding reuses buffers, so
     /// steady-state runs stay allocation-free).
     plan_cache: Option<SlotPlan>,
+    /// Cached time-skipping calendar state, buffer-reused like the plan.
+    skip_cache: Option<SkipState>,
 }
 
 impl Simulator {
@@ -195,6 +198,7 @@ impl Simulator {
             tx_mask: BitSet::new(n),
             perceived: vec![0; n],
             plan_cache: None,
+            skip_cache: None,
         };
         sim.rebuild_routing();
         sim
@@ -370,15 +374,75 @@ impl Simulator {
         mac.frame_periodic() && mac.frame_length() > 0 && self.faults.plan().clock_drift == 0.0
     }
 
+    /// `true` when the time-skipping engine reproduces the slot-by-slot
+    /// pipelines bit for bit. On top of sparse eligibility this requires
+    /// that *boring* slots (no scheduled transmitter with a backlog, no
+    /// traffic generation) provably consume no randomness and emit no
+    /// event, so the clock can jump over them:
+    ///
+    /// * sync-miss off — a miss roll draws per roster transmitter/listener
+    ///   even when idle;
+    /// * no crash plan — crash/recovery draws every slot and changes
+    ///   radio states off-calendar (per-link loss and bursty GE spans are
+    ///   fine: their lazily-advanced chains only draw on actual
+    ///   receptions);
+    /// * no Poisson-style traffic — only saturated broadcast (transmits
+    ///   on schedule) and CBR (a closed-form generation calendar) are
+    ///   predictable;
+    /// * no user observers — they may watch `on_slot_end` for slots the
+    ///   skip engine never announces;
+    /// * a sane energy model — bulk sleep charges fast-forward repeated
+    ///   `f64` addition, which requires finite non-negative slot costs.
+    fn skip_eligible(&self, mac: &dyn MacProtocol) -> bool {
+        let e = &self.config.energy;
+        let energies_sane = [RadioState::Transmit, RadioState::Listen, RadioState::Sleep]
+            .iter()
+            .all(|&s| {
+                let mj = e.slot_energy_mj(s);
+                mj.is_finite() && mj >= 0.0
+            });
+        self.sparse_eligible(mac)
+            && self.config.miss_probability == 0.0
+            && self.faults.plan().crash.is_none()
+            && self.extra_observers.is_empty()
+            && energies_sane
+            && matches!(
+                self.pattern,
+                TrafficPattern::SaturatedBroadcast | TrafficPattern::CbrUnicast { period: 1.. }
+            )
+    }
+
     /// Runs `slots` consecutive slots under `mac`.
     ///
-    /// Dispatches to the sleep-sparse pipeline when `mac` is
-    /// frame-periodic and clock drift is inactive, falling back to the
-    /// dense per-node scan otherwise ([`Simulator::run_dense`] forces the
-    /// latter). Both paths produce bit-identical reports and traces — the
-    /// golden fixtures and the sparse/dense equivalence proptests pin
-    /// this — so the dispatch is purely a performance decision.
+    /// Dispatches to the fastest eligible pipeline: the event-driven
+    /// time-skipping engine when the run is deterministic enough for a
+    /// slot calendar ([`Simulator::run_skipping`]) and long enough to
+    /// amortise its eager frame fill, then the sleep-sparse pipeline when
+    /// `mac` is frame-periodic and clock drift is inactive
+    /// ([`Simulator::run_sparse`]), and the dense per-node scan otherwise
+    /// ([`Simulator::run_dense`] forces the latter). All paths produce
+    /// bit-identical reports and traces — the golden fixtures and the
+    /// equivalence proptests pin this — so the dispatch is purely a
+    /// performance decision.
     pub fn run(&mut self, mac: &dyn MacProtocol, slots: u64) {
+        if slots == 0 {
+            return;
+        }
+        // Time skipping pays an eager O(L·n) frame fill up front; only
+        // worth it when the run visits at least a frame's worth of slots.
+        if slots >= mac.frame_length() as u64 && self.skip_eligible(mac) {
+            self.run_skipping(mac, slots);
+        } else {
+            self.run_sparse(mac, slots);
+        }
+    }
+
+    /// Runs `slots` consecutive slots through the sleep-sparse pipeline,
+    /// never time-skipping (falls back to the dense scan when the MAC is
+    /// not frame-periodic or clock drift is active). This is the
+    /// reference the skipping engine is measured and verified against;
+    /// [`Simulator::run`] normally picks the fastest eligible path.
+    pub fn run_sparse(&mut self, mac: &dyn MacProtocol, slots: u64) {
         if slots == 0 {
             return;
         }
@@ -415,6 +479,158 @@ impl Simulator {
         for _ in 0..slots {
             self.step(mac);
         }
+    }
+
+    /// Runs `slots` consecutive slots through the event-driven
+    /// time-skipping engine: the clock jumps between *interesting* slots
+    /// (traffic generation, scheduled transmit occurrences of backlogged
+    /// nodes — see the `events` module) and the skipped spans are settled in
+    /// bulk (listener occurrences charged from the frame summaries,
+    /// per-node sleep debt fast-forwarded bit-exactly). Produces reports
+    /// and traces bit-identical to [`Simulator::run_sparse`] /
+    /// [`Simulator::run_dense`]; falls back to them when the
+    /// configuration's randomness (drift, sync-miss, crash plans, Poisson
+    /// traffic, user observers) cannot be calendared.
+    ///
+    /// With a battery capacity configured, skipping proceeds in *epochs*:
+    /// each skip window is bounded so that no node can possibly deplete
+    /// inside it (half the minimum live headroom at the most expensive
+    /// radio state), and when a depletion is near the engine drops to the
+    /// slot-by-slot sparse pipeline for a window so deaths land on
+    /// exactly the slot they would in every other mode.
+    pub fn run_skipping(&mut self, mac: &dyn MacProtocol, slots: u64) {
+        if slots == 0 {
+            return;
+        }
+        if !self.skip_eligible(mac) {
+            self.run_sparse(mac, slots);
+            return;
+        }
+        // Below this many slots of guaranteed headroom, step instead of
+        // opening another (flush_all-bracketed) epoch.
+        const MIN_EPOCH: u64 = 16;
+        // How many slots to sparse-step when a depletion is imminent.
+        const SPARSE_WINDOW: u64 = 64;
+        let n = self.topo.num_nodes();
+        match &mut self.plan_cache {
+            Some(plan) => plan.rebuild(mac, n),
+            None => self.plan_cache = Some(SlotPlan::build(mac, n)),
+        }
+        let mut plan = self.plan_cache.take().expect("plan was just built");
+        // Eager fill: the calendar's frame summaries need every roster.
+        plan.ensure_filled(mac, plan.frame_length() - 1);
+        let mut skip = self.skip_cache.take().unwrap_or_default();
+        skip.prepare(&plan, self.slot, &self.queues, &self.dead);
+        let end = self.slot + slots;
+        while self.slot < end {
+            // Battery epoch: a window no node can deplete within. The
+            // ledger is settled here (prepare/resettle/flush_all all
+            // leave it settled), so the headroom is exact.
+            let bound = match self.config.battery_capacity_mj {
+                Some(cap) => {
+                    let h = self.battery_epoch_slots(cap);
+                    if h < MIN_EPOCH {
+                        // Depletion imminent: run the slot-by-slot sparse
+                        // pipeline so the death lands on its exact slot,
+                        // then re-sync the calendar.
+                        let w = SPARSE_WINDOW.min(end - self.slot);
+                        for _ in 0..w {
+                            self.step_sparse(mac, &plan);
+                        }
+                        skip.resettle(self.slot, &self.queues, &self.dead);
+                        continue;
+                    }
+                    end.min(self.slot.saturating_add(h))
+                }
+                None => end,
+            };
+            while self.slot < bound {
+                let next = skip
+                    .next_interesting(self.slot, &self.pattern, n, &self.queues, &self.dead)
+                    .min(bound);
+                if next > self.slot {
+                    phases::energy::advance_span(
+                        self,
+                        &plan,
+                        &skip.active.rx_busy,
+                        &mut skip.last_flush,
+                        next,
+                    );
+                    self.slot = next;
+                }
+                if self.slot >= bound {
+                    break;
+                }
+                skip.pop_due(self.slot);
+                self.step_skip(mac, &plan, &mut skip);
+                skip.rearm_after_step(
+                    &plan,
+                    self.slot - 1,
+                    &self.pattern,
+                    &self.queues,
+                    &self.dead,
+                );
+            }
+            if self.config.battery_capacity_mj.is_some() {
+                // Settle at the epoch boundary so the next headroom (and
+                // any imminent-death window) computes on real numbers.
+                phases::energy::flush_all(self, &mut skip.last_flush);
+            }
+        }
+        phases::energy::flush_all(self, &mut skip.last_flush);
+        self.skip_cache = Some(skip);
+        self.plan_cache = Some(plan);
+    }
+
+    /// How many slots are *guaranteed* death-free from a settled ledger:
+    /// half the minimum live headroom at the most expensive radio state.
+    /// `0` means a depletion is imminent (or the capacity is unreachable
+    /// nonsense like NaN) and the caller must step slot by slot;
+    /// `u64::MAX` means nobody can ever die (all dead, or a free energy
+    /// model).
+    fn battery_epoch_slots(&self, cap: f64) -> u64 {
+        let e = &self.config.energy;
+        let max_slot_mj = e
+            .slot_energy_mj(RadioState::Transmit)
+            .max(e.slot_energy_mj(RadioState::Listen))
+            .max(e.slot_energy_mj(RadioState::Sleep));
+        let mut min_head = f64::INFINITY;
+        for (v, &c) in self.energy.consumed_mj.iter().enumerate() {
+            if !self.dead[v] {
+                min_head = min_head.min(cap - c);
+            }
+        }
+        if min_head == f64::INFINITY {
+            return u64::MAX; // everyone is already dead
+        }
+        if min_head <= 0.0 || min_head.is_nan() {
+            return 0; // imminent (or NaN capacity): step it out
+        }
+        if max_slot_mj == 0.0 {
+            return u64::MAX; // free radios: nobody can ever deplete
+        }
+        let h = (0.5 * min_head / max_slot_mj).floor();
+        if h >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            h as u64
+        }
+    }
+
+    /// Advances one *interesting* slot inside the skipping engine. The
+    /// fault phase is elided outright: skip eligibility guarantees no
+    /// crash plan and zero drift, under which it draws nothing and
+    /// changes nothing. Traffic runs the calendar-aware pass, energy the
+    /// debt-settling one; the middle of the pipeline is exactly the
+    /// sleep-sparse step.
+    fn step_skip(&mut self, mac: &dyn MacProtocol, plan: &SlotPlan, skip: &mut SkipState) {
+        phases::traffic::run_skip(self);
+        phases::election::run_sparse(self, mac, plan);
+        phases::channel::run_sparse(self, plan);
+        phases::delivery::run(self);
+        phases::arq::run_sparse(self);
+        phases::energy::run_skip(self, plan, &mut skip.last_flush);
+        self.close_slot();
     }
 
     /// Snapshot of the metrics so far: the metrics observer's counters

@@ -69,6 +69,7 @@ pub mod channel;
 pub mod energy;
 pub mod engine;
 pub mod error;
+mod events;
 pub mod faults;
 pub mod mac;
 pub mod metrics;

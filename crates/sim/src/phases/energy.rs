@@ -118,3 +118,105 @@ pub(crate) fn run_sparse(sim: &mut Simulator, plan: &SlotPlan) {
         charge_battery(sim, v);
     }
 }
+
+/// The time-skipping energy pass for a *stepped* slot: touches only the
+/// awake roster. Each awake node first settles its unflushed sleep debt —
+/// every uncharged slot of a live node in skip mode is a guaranteed sleep
+/// — via the bit-exact bulk charge, then records this slot's actual radio
+/// state. Per node the resulting `f64` addition sequence is exactly what
+/// the dense scan would have produced, in the same order; sleeping
+/// non-roster nodes are left to their debt counters. No battery checks:
+/// the engine's epoch bounds guarantee nobody can deplete inside a skip
+/// window.
+pub(crate) fn run_skip(sim: &mut Simulator, plan: &SlotPlan, last_flush: &mut [u64]) {
+    let si = plan.slot_index(sim.slot);
+    let sleep_mj = sim.config.energy.slot_energy_mj(RadioState::Sleep);
+    for &a in plan.awake(si) {
+        let a = a as usize;
+        if sim.dead[a] {
+            continue;
+        }
+        let debt = sim.slot - last_flush[a];
+        if debt > 0 {
+            sim.energy.charge_sleep_slots(sleep_mj, a, debt);
+        }
+        let state = if sim.transmitting[a] {
+            RadioState::Transmit
+        } else if sim.listening[a] {
+            RadioState::Listen
+        } else {
+            RadioState::Sleep
+        };
+        sim.energy.record(&sim.config.energy, a, state);
+        last_flush[a] = sim.slot + 1;
+    }
+}
+
+/// Charges every listener occurrence in the *skipped* span
+/// `[sim.slot, to)`: slots there have no transmitters and no traffic (the
+/// calendar said so), so scheduled listeners idle-listen and everyone
+/// else sleeps. Walks the frame-periodic `rx_busy` occurrence list
+/// (frame indices with a nonempty listener roster) across the span; a
+/// schedule with no listeners at all makes the whole span O(1). Each
+/// listener settles its sleep debt before the listen charge, preserving
+/// the per-node chronological addition order the bit-identity contract
+/// requires.
+pub(crate) fn advance_span(
+    sim: &mut Simulator,
+    plan: &SlotPlan,
+    rx_busy: &[u32],
+    last_flush: &mut [u64],
+    to: u64,
+) {
+    let from = sim.slot;
+    debug_assert!(to >= from);
+    if rx_busy.is_empty() {
+        return;
+    }
+    let l = plan.frame_length() as u64;
+    let sleep_mj = sim.config.energy.slot_energy_mj(RadioState::Sleep);
+    let mut base = from - from % l;
+    let mut idx = rx_busy.partition_point(|&fs| base + (fs as u64) < from);
+    loop {
+        if idx == rx_busy.len() {
+            base += l;
+            idx = 0;
+        }
+        let s = base + rx_busy[idx] as u64;
+        if s >= to {
+            break;
+        }
+        for &y in plan.listeners(rx_busy[idx] as usize) {
+            let y = y as usize;
+            if sim.dead[y] {
+                continue;
+            }
+            let debt = s - last_flush[y];
+            if debt > 0 {
+                sim.energy.charge_sleep_slots(sleep_mj, y, debt);
+            }
+            sim.energy.record(&sim.config.energy, y, RadioState::Listen);
+            last_flush[y] = s + 1;
+        }
+        idx += 1;
+    }
+}
+
+/// Settles every live node's outstanding sleep debt up to `sim.slot` and
+/// re-anchors the flush marks there. Called at battery-epoch boundaries
+/// (so depletion headroom is computed on real numbers) and at the end of
+/// a skipping run (so the ledger matches the slot-by-slot engines
+/// exactly).
+pub(crate) fn flush_all(sim: &mut Simulator, last_flush: &mut [u64]) {
+    let now = sim.slot;
+    let sleep_mj = sim.config.energy.slot_energy_mj(RadioState::Sleep);
+    for (v, mark) in last_flush.iter_mut().enumerate() {
+        if !sim.dead[v] {
+            let debt = now - *mark;
+            if debt > 0 {
+                sim.energy.charge_sleep_slots(sleep_mj, v, debt);
+            }
+        }
+        *mark = now;
+    }
+}

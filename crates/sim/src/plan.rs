@@ -261,6 +261,63 @@ impl SlotPlan {
         );
         &self.slots[i].rx_mask
     }
+
+    /// `true` once every frame slot is filled (the time-skipping engine
+    /// fills eagerly so its inverted summaries can cover the whole frame).
+    #[inline]
+    pub fn fully_filled(&self) -> bool {
+        self.valid == self.frame_len
+    }
+}
+
+/// Inverted per-frame "active slot" summaries over a fully-filled
+/// [`SlotPlan`]: where the plan answers "who is awake in frame slot `i`?",
+/// these answer the time-skipping engine's questions — "which frame slots
+/// have any listener at all?" (every occurrence costs a bulk energy
+/// flush), "which have any scheduled transmitter?" (saturated traffic
+/// transmits in all of them), and "in which frame slots may node `v`
+/// transmit?" (the calendar queue arms a backlogged node at its next
+/// occurrence). All lists are ascending, so the next occurrence of any of
+/// them from an absolute slot is one binary search plus a wrap-around.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct ActiveSlots {
+    /// Frame slots with a nonempty listener roster, ascending.
+    pub(crate) rx_busy: Vec<u32>,
+    /// Frame slots with a nonempty transmitter roster, ascending.
+    pub(crate) tx_busy: Vec<u32>,
+    /// Per node, the ascending frame slots where it may transmit.
+    pub(crate) tx_slots_by_node: Vec<Vec<u32>>,
+}
+
+impl ActiveSlots {
+    /// Recomputes the summaries from `plan` (which must be fully filled),
+    /// reusing every buffer — rebuilding for an unchanged MAC allocates
+    /// nothing once capacities have grown.
+    pub(crate) fn rebuild(&mut self, plan: &SlotPlan) {
+        assert!(plan.fully_filled(), "ActiveSlots needs a fully-filled plan");
+        let n = plan.num_nodes();
+        self.rx_busy.clear();
+        self.tx_busy.clear();
+        self.tx_slots_by_node.truncate(n);
+        for list in &mut self.tx_slots_by_node {
+            list.clear();
+        }
+        while self.tx_slots_by_node.len() < n {
+            self.tx_slots_by_node.push(Vec::new());
+        }
+        for i in 0..plan.frame_length() {
+            if !plan.listeners(i).is_empty() {
+                self.rx_busy.push(i as u32);
+            }
+            let tx = plan.transmitters(i);
+            if !tx.is_empty() {
+                self.tx_busy.push(i as u32);
+                for &v in tx {
+                    self.tx_slots_by_node[v as usize].push(i as u32);
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]

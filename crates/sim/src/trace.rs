@@ -178,6 +178,151 @@ impl Trace {
         }
         out
     }
+    /// Renders the retained events as a Perfetto / Chrome trace-event
+    /// JSON document (`{"traceEvents":[…]}`), loadable in
+    /// [ui.perfetto.dev](https://ui.perfetto.dev) or `chrome://tracing`.
+    ///
+    /// Each node becomes one named track (`pid` 0, `tid` = node index,
+    /// with a `thread_name` metadata record). Radio activity renders as
+    /// duration slices (`ph:"X"`): one slot wide for transmissions
+    /// (`tx → hop`), successful receptions (`rx ← from`), collisions, and
+    /// faded links; crash outages render as one slice spanning the whole
+    /// `NodeCrashed → NodeRecovered` interval (an outage still open at
+    /// the end of the trace is closed at the last retained slot).
+    /// Generations, ARQ exhaustions, and battery deaths are instants
+    /// (`ph:"i"`). Timestamps are microseconds: `slot × slot_seconds ×
+    /// 10⁶`, so the viewer's timeline is real time, not slot counts.
+    pub fn to_perfetto(&self, slot_seconds: f64) -> String {
+        use std::fmt::Write as _;
+        let us = slot_seconds * 1e6;
+        let ts = |slot: u64| slot as f64 * us;
+        let mut out = String::from("{\"traceEvents\":[");
+        let mut first = true;
+        let emit = |line: String, out: &mut String, first: &mut bool| {
+            if !*first {
+                out.push(',');
+            }
+            *first = false;
+            out.push('\n');
+            out.push_str(&line);
+        };
+        // One named track per node that appears anywhere in the trace.
+        let mut nodes = std::collections::BTreeSet::new();
+        for &(_, event) in &self.events {
+            match event {
+                TraceEvent::Generated { node, .. }
+                | TraceEvent::Transmitted { node, .. }
+                | TraceEvent::NodeDied { node }
+                | TraceEvent::NodeCrashed { node }
+                | TraceEvent::NodeRecovered { node }
+                | TraceEvent::RetryExhausted { node } => {
+                    nodes.insert(node);
+                }
+                TraceEvent::HopDelivered { from, to } | TraceEvent::LinkDropped { from, to } => {
+                    nodes.insert(from);
+                    nodes.insert(to);
+                }
+                TraceEvent::Collision { at } => {
+                    nodes.insert(at);
+                }
+            }
+        }
+        for &v in &nodes {
+            emit(
+                format!(
+                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{v},\
+                     \"args\":{{\"name\":\"node {v}\"}}}}"
+                ),
+                &mut out,
+                &mut first,
+            );
+        }
+        let slice = |slot: u64, tid: usize, name: &str, dur_slots: u64| {
+            format!(
+                "{{\"name\":\"{name}\",\"ph\":\"X\",\"pid\":0,\"tid\":{tid},\
+                 \"ts\":{},\"dur\":{}}}",
+                ts(slot),
+                dur_slots as f64 * us
+            )
+        };
+        let instant = |slot: u64, tid: usize, name: &str| {
+            format!(
+                "{{\"name\":\"{name}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":{tid},\
+                 \"ts\":{}}}",
+                ts(slot)
+            )
+        };
+        // Open crash outages: node → slot the crash began.
+        let mut down: std::collections::BTreeMap<usize, u64> = std::collections::BTreeMap::new();
+        let mut last_slot = 0u64;
+        for &(slot, event) in &self.events {
+            last_slot = slot;
+            match event {
+                TraceEvent::Generated { node, final_dst } => {
+                    let name = if final_dst == usize::MAX {
+                        "generated (unrouted)".to_string()
+                    } else {
+                        format!("generated \u{2192} {final_dst}")
+                    };
+                    emit(instant(slot, node, &name), &mut out, &mut first);
+                }
+                TraceEvent::Transmitted { node, next_hop } => {
+                    let name = if next_hop == usize::MAX {
+                        "tx (broadcast)".to_string()
+                    } else {
+                        format!("tx \u{2192} {next_hop}")
+                    };
+                    emit(slice(slot, node, &name, 1), &mut out, &mut first);
+                }
+                TraceEvent::HopDelivered { from, to } => {
+                    emit(
+                        slice(slot, to, &format!("rx \u{2190} {from}"), 1),
+                        &mut out,
+                        &mut first,
+                    );
+                }
+                TraceEvent::Collision { at } => {
+                    emit(slice(slot, at, "collision", 1), &mut out, &mut first);
+                }
+                TraceEvent::LinkDropped { from, to } => {
+                    emit(
+                        slice(slot, to, &format!("faded \u{2190} {from}"), 1),
+                        &mut out,
+                        &mut first,
+                    );
+                }
+                TraceEvent::NodeCrashed { node } => {
+                    down.entry(node).or_insert(slot);
+                }
+                TraceEvent::NodeRecovered { node } => {
+                    if let Some(start) = down.remove(&node) {
+                        emit(
+                            slice(start, node, "crashed", slot - start),
+                            &mut out,
+                            &mut first,
+                        );
+                    }
+                }
+                TraceEvent::NodeDied { node } => {
+                    emit(instant(slot, node, "battery dead"), &mut out, &mut first);
+                }
+                TraceEvent::RetryExhausted { node } => {
+                    emit(instant(slot, node, "retry exhausted"), &mut out, &mut first);
+                }
+            }
+        }
+        // Outages still open when the ring ends: close them at the last
+        // retained slot so the span is visible at all.
+        for (node, start) in down {
+            emit(
+                slice(start, node, "crashed", (last_slot - start).max(1)),
+                &mut out,
+                &mut first,
+            );
+        }
+        let _ = write!(out, "\n]}}");
+        out
+    }
 }
 
 #[cfg(test)]
@@ -257,6 +402,68 @@ mod tests {
         for line in lines {
             assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
         }
+    }
+
+    #[test]
+    fn perfetto_export_tracks_slices_and_crash_spans() {
+        let mut t = Trace::new(32);
+        t.record(
+            0,
+            TraceEvent::Generated {
+                node: 0,
+                final_dst: 1,
+            },
+        );
+        t.record(
+            2,
+            TraceEvent::Transmitted {
+                node: 0,
+                next_hop: 1,
+            },
+        );
+        t.record(2, TraceEvent::HopDelivered { from: 0, to: 1 });
+        t.record(3, TraceEvent::Collision { at: 1 });
+        t.record(4, TraceEvent::NodeCrashed { node: 2 });
+        t.record(9, TraceEvent::NodeRecovered { node: 2 });
+        t.record(5, TraceEvent::NodeCrashed { node: 3 }); // never recovers
+        t.record(10, TraceEvent::NodeDied { node: 0 });
+        let json = t.to_perfetto(0.01); // 10 ms slots
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.trim_end().ends_with("]}"));
+        // One named track per participating node.
+        for v in 0..4 {
+            assert!(
+                json.contains(&format!(
+                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{v},\
+                     \"args\":{{\"name\":\"node {v}\"}}}}"
+                )),
+                "missing thread_name for node {v}"
+            );
+        }
+        // Slot 2 at 10 ms slots = 20000 µs, one slot = 10000 µs.
+        assert!(json.contains(
+            "{\"name\":\"tx \u{2192} 1\",\"ph\":\"X\",\"pid\":0,\"tid\":0,\
+             \"ts\":20000,\"dur\":10000}"
+        ));
+        assert!(json.contains(
+            "{\"name\":\"rx \u{2190} 0\",\"ph\":\"X\",\"pid\":0,\"tid\":1,\
+             \"ts\":20000,\"dur\":10000}"
+        ));
+        // The crash span covers slots 4..9 (5 slots = 50000 µs).
+        assert!(json.contains(
+            "{\"name\":\"crashed\",\"ph\":\"X\",\"pid\":0,\"tid\":2,\
+             \"ts\":40000,\"dur\":50000}"
+        ));
+        // The unrecovered crash closes at the last retained slot (10).
+        assert!(json.contains(
+            "{\"name\":\"crashed\",\"ph\":\"X\",\"pid\":0,\"tid\":3,\
+             \"ts\":50000,\"dur\":50000}"
+        ));
+        // Instants for generation and battery death.
+        assert!(json.contains("\"name\":\"generated \u{2192} 1\",\"ph\":\"i\""));
+        assert!(json.contains("\"name\":\"battery dead\",\"ph\":\"i\""));
+        // Event lines are comma-separated: n events + 4 metadata lines.
+        assert_eq!(json.matches("\"ph\":").count(), 4 + 7);
     }
 
     #[test]

@@ -11,6 +11,7 @@ pub mod atomic;
 pub mod binomial;
 pub mod bitset;
 pub mod cover;
+pub mod fpfold;
 pub mod histogram;
 pub mod stats;
 pub mod subsets;
@@ -20,6 +21,7 @@ pub use atomic::{fnv1a64, write_atomic};
 pub use binomial::{binomial_exact, binomial_f64, binomial_ratio, ln_binomial, BinomialTable};
 pub use bitset::{for_each_subset, for_each_subset_of, BitSet};
 pub use cover::CoverCounter;
+pub use fpfold::iterate_add;
 pub use histogram::Histogram;
 pub use stats::{ConfidenceInterval, OnlineStats};
 pub use subsets::{for_each_subset_delta, for_each_subset_delta_lex, SubsetEvent};
