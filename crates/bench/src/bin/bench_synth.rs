@@ -1,0 +1,142 @@
+//! Branch-and-bound synthesizer trajectory: admissible pruning + root
+//! symmetry reduction vs the same search with both disabled (depth-bounded
+//! exhaustive enumeration), at small parameter points where the exhaustive
+//! run is still checkable. Every row asserts the two searches agree on the
+//! optimum frame length and that the pruned winner passes the naive
+//! Requirement-3 oracle, then reports nodes/sec, prune rate, and the
+//! pruned-vs-exhaustive speedup. Writes `BENCH_synth.json` at the repo
+//! root, same shape as `BENCH_verify.json`.
+//!
+//! Run with `cargo run --release -p ttdc-bench --bin bench_synth`.
+//! Pass `--smoke` (CI) for a single timing iteration: the identity
+//! assertions still run in full, only the timing fidelity drops, and the
+//! JSON is not rewritten.
+
+use serde_json::{json, to_string_pretty, Value};
+use std::time::Instant;
+use ttdc_core::requirements::requirement3_violation_naive;
+use ttdc_core::synth::demands::{CandidateSpace, DemandSpace};
+use ttdc_core::synth::search::{minimum_cover, SearchOptions, SearchStats};
+use ttdc_core::synth::SynthProblem;
+
+/// Small exhaustively-checkable parameter points.
+const POINTS: &[(usize, usize, usize, usize)] = &[
+    (5, 1, 1, 2),
+    (5, 2, 1, 2),
+    (5, 1, 2, 2),
+    (5, 3, 1, 2),
+    (5, 2, 2, 2),
+];
+
+/// Median wall time of `iters` calls (after one warm-up), plus the result.
+fn measure<D>(iters: usize, work: impl Fn() -> D) -> (f64, D) {
+    let result = work();
+    let mut times: Vec<f64> = (0..iters)
+        .map(|_| {
+            let t0 = Instant::now();
+            work();
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    (times[iters / 2], result)
+}
+
+fn run_point(n: usize, d: usize, at: usize, ar: usize, iters: usize) -> Value {
+    let name = format!("synth/n{n}_d{d}_at{at}_ar{ar}");
+    eprintln!("sweep {name}:");
+    let p = SynthProblem::new(n, d, at, ar);
+    let space = DemandSpace::new(p.n, p.d);
+    let cands = CandidateSpace::new(&space, p.alpha_t, p.alpha_r);
+    let pruned_opts = SearchOptions::default();
+    let exhaustive_opts = SearchOptions {
+        prune: false,
+        symmetry: false,
+        ..SearchOptions::default()
+    };
+    // A 1-thread pool isolates the algorithmic win from parallel fan-out.
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .expect("pool construction cannot fail");
+    let run = |opts: &SearchOptions| pool.install(|| minimum_cover(&space, &cands, opts));
+    let (pruned_ms, (pruned_sol, pruned_stats)): (f64, (_, SearchStats)) =
+        measure(iters, || run(&pruned_opts));
+    let (exhaustive_ms, (exhaustive_sol, exhaustive_stats)) =
+        measure(iters, || run(&exhaustive_opts));
+    assert!(
+        pruned_stats.exact && exhaustive_stats.exact,
+        "{name}: both searches must run to completion"
+    );
+    assert_eq!(
+        pruned_sol.slots.len(),
+        exhaustive_sol.slots.len(),
+        "{name}: pruned and exhaustive optima differ"
+    );
+    let schedule = cands.schedule(p.n, &pruned_sol.slots);
+    assert!(
+        requirement3_violation_naive(&schedule, p.d).is_none(),
+        "{name}: pruned optimum fails the naive Requirement-3 oracle"
+    );
+    let speedup_time = exhaustive_ms / pruned_ms;
+    let speedup_nodes = exhaustive_stats.nodes as f64 / pruned_stats.nodes as f64;
+    let prune_rate = pruned_stats.pruned as f64 / pruned_stats.nodes as f64;
+    let nodes_per_sec = pruned_stats.nodes as f64 / (pruned_ms / 1e3);
+    eprintln!(
+        "  optimum L={}: pruned {} nodes / {pruned_ms:.3} ms, exhaustive {} nodes / \
+         {exhaustive_ms:.3} ms  ({speedup_time:.1}x time, {speedup_nodes:.1}x nodes)",
+        pruned_sol.slots.len(),
+        pruned_stats.nodes,
+        exhaustive_stats.nodes,
+    );
+    json!({
+        "name": name,
+        "iterations": iters,
+        "optimum_frame_length": pruned_sol.slots.len() as u64,
+        "results_identical": true,
+        "pruned_nodes": pruned_stats.nodes,
+        "exhaustive_nodes": exhaustive_stats.nodes,
+        "pruned_median_ms": pruned_ms,
+        "exhaustive_median_ms": exhaustive_ms,
+        "prune_rate": prune_rate,
+        "nodes_per_sec": nodes_per_sec,
+        "speedup_single_thread": speedup_time,
+        "speedup_nodes": speedup_nodes,
+        "root_branches_after_symmetry": pruned_stats.root_branches,
+        "root_branches_total": pruned_stats.root_branches_total,
+    })
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let iters = if smoke { 1 } else { 7 };
+
+    let sweeps: Vec<Value> = POINTS
+        .iter()
+        .map(|&(n, d, at, ar)| run_point(n, d, at, ar, iters))
+        .collect();
+
+    let min_speedup = sweeps
+        .iter()
+        .filter_map(|s| s.get("speedup_single_thread")?.as_f64())
+        .fold(f64::INFINITY, f64::min);
+    eprintln!("minimum pruned-vs-exhaustive speedup across points: {min_speedup:.1}x");
+
+    if smoke {
+        eprintln!("smoke mode: identity checks passed on every point; JSON not rewritten");
+        return;
+    }
+
+    let host_threads = std::thread::available_parallelism().map_or(0, |p| p.get());
+    let doc = json!({
+        "description": "branch-and-bound schedule synthesis: admissible deficit pruning + root symmetry reduction vs depth-bounded exhaustive enumeration, by (n, D, alpha_T, alpha_R)",
+        "host_available_parallelism": host_threads as u64,
+        "note": "both searches run on a 1-thread pool and are asserted to find the same optimum frame length; the pruned winner is re-verified by the naive Requirement-3 oracle",
+        "sweeps": sweeps,
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_synth.json");
+    let body = to_string_pretty(&doc).expect("serialization cannot fail");
+    ttdc_util::write_atomic(std::path::Path::new(path), (body + "\n").as_bytes())
+        .expect("write BENCH_synth.json");
+    eprintln!("wrote {path}");
+}

@@ -15,6 +15,7 @@
 
 use serde_json::{json, to_string_pretty, Value};
 use std::time::Instant;
+use ttdc_combinatorics::{greedy_cff, greedy_cff_reference, GreedyConfig};
 use ttdc_core::requirements::{requirement1_violation, requirement1_violation_naive, Violation};
 use ttdc_core::tsma::build_polynomial;
 use ttdc_core::Schedule;
@@ -99,14 +100,47 @@ fn run_sweep(name: &str, s: &Schedule, d: usize, iters: usize) -> Value {
     })
 }
 
+/// Times the whole greedy-CFF run with the engine-backed acceptance test
+/// against the from-scratch reference, asserting the families produced are
+/// bit-identical (single-threaded on both sides — the greedy is sequential).
+fn run_greedy_sweep(ground: usize, n: usize, d: usize, iters: usize) -> Value {
+    let name = format!("greedy_cff/g{ground}_n{n}_d{d}");
+    eprintln!("sweep {name}:");
+    let cfg = GreedyConfig::new(ground, n, d);
+    let (ref_ms, reference) = measure(iters, || greedy_cff_reference(&cfg));
+    let (eng_ms, engine) = measure(iters, || greedy_cff(&cfg));
+    let (reference, engine) = (
+        reference.expect("reference greedy must succeed at sweep points"),
+        engine.expect("engine greedy must succeed at sweep points"),
+    );
+    assert_eq!(
+        reference.blocks(),
+        engine.blocks(),
+        "{name}: engine-backed greedy diverged from reference"
+    );
+    let speedup = ref_ms / eng_ms;
+    eprintln!("  engine: {eng_ms:.3} ms  ({speedup:.2}x vs reference {ref_ms:.3} ms)");
+    json!({
+        "name": name,
+        "iterations": iters,
+        "blocks_identical": true,
+        "reference_median_ms": ref_ms,
+        "engine_median_ms": eng_ms,
+        "speedup_single_thread": speedup,
+    })
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let iters = if smoke { 1 } else { 7 };
 
-    let sweeps: Vec<Value> = sweep_points()
+    let mut sweeps: Vec<Value> = sweep_points()
         .iter()
         .map(|(name, s, d)| run_sweep(name, s, *d, iters))
         .collect();
+    for (ground, n, d) in [(40usize, 12usize, 3usize), (60, 20, 4), (130, 24, 4)] {
+        sweeps.push(run_greedy_sweep(ground, n, d, iters));
+    }
 
     if smoke {
         eprintln!("smoke mode: identity checks passed on every sweep point; JSON not rewritten");

@@ -12,7 +12,11 @@ USAGE:
   ttdc build    --nodes N --degree D --alpha-t A --alpha-r B
                 [--source polynomial|steiner|identity]
                 [--strategy contiguous|roundrobin|randomized]
-                [--output FILE]
+                [--catalog DIR] [--output FILE]
+  ttdc synth run    --nodes N --degree D --alpha-t A --alpha-r B
+                    [--catalog DIR] [--max-nodes K] [--polish I]
+                    [--threads T]
+  ttdc synth status [--catalog DIR]
   ttdc verify   --degree D FILE
   ttdc analyze  --degree D [--alpha-t A --alpha-r B] FILE
   ttdc simulate --degree D --topology ring|line|star|grid=WxH|geometric=SEED
@@ -37,6 +41,18 @@ FAULT INJECTION (simulate):
                      write the event trace as Perfetto/Chrome trace-event
                      JSON (one track per node; open in ui.perfetto.dev)
 
+SCHEDULE SYNTHESIS (synth):
+  `ttdc synth run` searches for a minimum-length (α_T, α_R)-schedule by
+  branch-and-bound and records the winner in the best-known-schedule
+  catalog (default DIR: results/catalog). Re-running the same point
+  resumes from the catalog: the stored frame length seeds the incumbent,
+  so only strictly better schedules are ever written. --max-nodes K
+  bounds the search (the result is then marked inexact and polished with
+  I local-search iterations); --threads T fixes the worker count (the
+  winning schedule is bit-identical at any thread count). `ttdc build`
+  consults the same catalog before falling back to the Figure 2
+  construction, and reports the chosen source on stderr.
+
 CAMPAIGNS:
   A campaign runs a named Monte-Carlo grid (smoke, e10, e12, e12-large,
   e17) sharded over the thread pool, checkpointing every completed shard
@@ -49,6 +65,10 @@ EXIT CODES:
   4 I/O error      5 bad schedule     6 verify failed    7 campaign error
 
 FILE is a schedule in the `ttdc-schedule v1` text format (see `ttdc build`).";
+
+/// Where `ttdc build` and `ttdc synth` look for the best-known-schedule
+/// catalog when `--catalog` is not given.
+pub const DEFAULT_CATALOG_DIR: &str = "results/catalog";
 
 /// A parsed CLI invocation.
 #[derive(Clone, Debug, PartialEq)]
@@ -67,9 +87,14 @@ pub enum Command {
         source: SourceKind,
         /// Figure-2 division strategy.
         strategy: PartitionStrategy,
+        /// Best-known-schedule catalog to consult (`None` = the default
+        /// `results/catalog`, consulted only when it exists).
+        catalog: Option<String>,
         /// Output path (stdout if `None`).
         output: Option<String>,
     },
+    /// Search for minimum-length schedules and maintain the catalog.
+    Synth(SynthAction),
     /// Verify a schedule file's topology transparency.
     Verify {
         /// Degree bound to verify against.
@@ -119,6 +144,35 @@ pub enum Command {
     Campaign(CampaignAction),
     /// Print usage.
     Help,
+}
+
+/// The `ttdc synth` subcommands.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SynthAction {
+    /// Run (or resume, via the catalog incumbent) one parameter point.
+    Run {
+        /// Max nodes `n`.
+        nodes: usize,
+        /// Max degree `D`.
+        degree: usize,
+        /// Transmitter budget `α_T`.
+        alpha_t: usize,
+        /// Receiver budget `α_R`.
+        alpha_r: usize,
+        /// Catalog directory (default `results/catalog`).
+        catalog: String,
+        /// Search-node budget (`None` = run to proven optimality).
+        max_nodes: Option<u64>,
+        /// Local-search iterations polishing an inexact result.
+        polish: Option<u64>,
+        /// Worker-thread count (`None` = the rayon default).
+        threads: Option<usize>,
+    },
+    /// Report every catalog entry without searching.
+    Status {
+        /// Catalog directory (default `results/catalog`).
+        catalog: String,
+    },
 }
 
 /// The `ttdc campaign` subcommands.
@@ -321,6 +375,37 @@ fn validate(cmd: &Command) -> Result<(), CliError> {
             }
             Ok(())
         }
+        Command::Synth(SynthAction::Run {
+            nodes,
+            degree,
+            alpha_t,
+            alpha_r,
+            max_nodes,
+            threads,
+            ..
+        }) => {
+            if *degree == 0 || degree >= nodes {
+                return Err(CliError::InvalidValue(format!(
+                    "synthesis needs 1 ≤ D < n, got n = {nodes}, D = {degree}"
+                )));
+            }
+            if *alpha_t == 0 || *alpha_r == 0 {
+                return Err(CliError::InvalidValue(
+                    "synthesis needs α_T ≥ 1 and α_R ≥ 1".into(),
+                ));
+            }
+            if *max_nodes == Some(0) {
+                return Err(CliError::InvalidValue(
+                    "--max-nodes: the search needs at least one node".into(),
+                ));
+            }
+            if *threads == Some(0) {
+                return Err(CliError::InvalidValue(
+                    "--threads: need at least one worker".into(),
+                ));
+            }
+            Ok(())
+        }
         Command::Campaign(CampaignAction::Run {
             reps, shard_size, ..
         }) => {
@@ -348,7 +433,7 @@ fn parse_shape<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, Strin
         "build" => {
             let o = collect(it)?;
             o.known(&[
-                "nodes", "degree", "alpha-t", "alpha-r", "source", "strategy", "output",
+                "nodes", "degree", "alpha-t", "alpha-r", "source", "strategy", "catalog", "output",
             ])?;
             if !o.positional.is_empty() {
                 return Err(format!("unexpected arguments: {:?}", o.positional));
@@ -372,8 +457,55 @@ fn parse_shape<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, Strin
                 alpha_r: o.req("alpha-r")?,
                 source,
                 strategy,
+                catalog: o.opt("catalog")?,
                 output: o.opt("output")?,
             })
+        }
+        "synth" => {
+            let action = it.next().ok_or("synth needs an action: run or status")?;
+            match action.as_str() {
+                "run" => {
+                    let o = collect(it)?;
+                    o.known(&[
+                        "nodes",
+                        "degree",
+                        "alpha-t",
+                        "alpha-r",
+                        "catalog",
+                        "max-nodes",
+                        "polish",
+                        "threads",
+                    ])?;
+                    if !o.positional.is_empty() {
+                        return Err(format!("unexpected arguments: {:?}", o.positional));
+                    }
+                    Ok(Command::Synth(SynthAction::Run {
+                        nodes: o.req("nodes")?,
+                        degree: o.req("degree")?,
+                        alpha_t: o.req("alpha-t")?,
+                        alpha_r: o.req("alpha-r")?,
+                        catalog: o
+                            .opt("catalog")?
+                            .unwrap_or_else(|| DEFAULT_CATALOG_DIR.to_string()),
+                        max_nodes: o.opt("max-nodes")?,
+                        polish: o.opt("polish")?,
+                        threads: o.opt("threads")?,
+                    }))
+                }
+                "status" => {
+                    let o = collect(it)?;
+                    o.known(&["catalog"])?;
+                    if !o.positional.is_empty() {
+                        return Err(format!("unexpected arguments: {:?}", o.positional));
+                    }
+                    Ok(Command::Synth(SynthAction::Status {
+                        catalog: o
+                            .opt("catalog")?
+                            .unwrap_or_else(|| DEFAULT_CATALOG_DIR.to_string()),
+                    }))
+                }
+                other => Err(format!("unknown synth action {other:?}")),
+            }
         }
         "verify" => {
             let o = collect(it)?;
@@ -511,6 +643,7 @@ mod tests {
                 alpha_r: 4,
                 source: SourceKind::Steiner,
                 strategy: PartitionStrategy::Contiguous,
+                catalog: None,
                 output: Some("x.sched".into()),
             }
         );
@@ -534,15 +667,138 @@ mod tests {
             Command::Build {
                 source,
                 strategy,
+                catalog,
                 output,
                 ..
             } => {
                 assert_eq!(source, SourceKind::Polynomial);
                 assert_eq!(strategy, PartitionStrategy::RoundRobin);
+                assert_eq!(catalog, None);
                 assert_eq!(output, None);
             }
             _ => panic!(),
         }
+    }
+
+    #[test]
+    fn synth_subcommands_parse() {
+        assert_eq!(
+            parse(sv(&[
+                "synth",
+                "run",
+                "--nodes",
+                "6",
+                "--degree",
+                "2",
+                "--alpha-t",
+                "1",
+                "--alpha-r",
+                "2",
+                "--catalog",
+                "cat",
+                "--max-nodes",
+                "5000",
+                "--polish",
+                "50",
+                "--threads",
+                "4",
+            ]))
+            .unwrap(),
+            Command::Synth(SynthAction::Run {
+                nodes: 6,
+                degree: 2,
+                alpha_t: 1,
+                alpha_r: 2,
+                catalog: "cat".into(),
+                max_nodes: Some(5000),
+                polish: Some(50),
+                threads: Some(4),
+            })
+        );
+        // Defaults: the shared catalog directory, unbounded exact search.
+        match parse(sv(&[
+            "synth",
+            "run",
+            "--nodes",
+            "5",
+            "--degree",
+            "1",
+            "--alpha-t",
+            "1",
+            "--alpha-r",
+            "2",
+        ]))
+        .unwrap()
+        {
+            Command::Synth(SynthAction::Run {
+                catalog,
+                max_nodes,
+                polish,
+                threads,
+                ..
+            }) => {
+                assert_eq!(catalog, DEFAULT_CATALOG_DIR);
+                assert_eq!(max_nodes, None);
+                assert_eq!(polish, None);
+                assert_eq!(threads, None);
+            }
+            _ => panic!(),
+        }
+        assert_eq!(
+            parse(sv(&["synth", "status"])).unwrap(),
+            Command::Synth(SynthAction::Status {
+                catalog: DEFAULT_CATALOG_DIR.into()
+            })
+        );
+        // Usage errors.
+        for bad in [
+            vec!["synth"],
+            vec!["synth", "frobnicate"],
+            vec!["synth", "run", "--nodes", "5"],
+            vec!["synth", "status", "extra"],
+        ] {
+            let e = parse(sv(&bad)).unwrap_err();
+            assert_eq!(e.exit_code(), 2, "{bad:?} -> {e}");
+        }
+        // Domain errors.
+        let point = |n: &str, d: &str, at: &str, ar: &str| {
+            parse(sv(&[
+                "synth",
+                "run",
+                "--nodes",
+                n,
+                "--degree",
+                d,
+                "--alpha-t",
+                at,
+                "--alpha-r",
+                ar,
+            ]))
+        };
+        for (n, d, at, ar) in [
+            ("5", "5", "1", "1"),
+            ("5", "0", "1", "1"),
+            ("5", "2", "0", "1"),
+        ] {
+            let e = point(n, d, at, ar).unwrap_err();
+            assert_eq!(e.exit_code(), 3, "({n},{d},{at},{ar}) -> {e}");
+        }
+        let e = parse(sv(&[
+            "synth",
+            "run",
+            "--nodes",
+            "5",
+            "--degree",
+            "1",
+            "--alpha-t",
+            "1",
+            "--alpha-r",
+            "1",
+            "--threads",
+            "0",
+        ]))
+        .unwrap_err();
+        assert_eq!(e.exit_code(), 3);
     }
 
     #[test]

@@ -1,18 +1,20 @@
 //! Command execution for the `ttdc` binary.
 
-use crate::args::{CampaignAction, Command, TopologySpec, USAGE};
+use crate::args::{CampaignAction, Command, SynthAction, TopologySpec, DEFAULT_CATALOG_DIR, USAGE};
 use crate::error::CliError;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::io::Write;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use ttdc_core::analysis::optimality_ratio;
 use ttdc_core::bounds::alpha_bound;
 use ttdc_core::latency::{average_access_delay, worst_case_access_delay};
 use ttdc_core::requirements::{requirement3_violation, spot_check_topology_transparent};
+use ttdc_core::synth::search::SearchOptions;
+use ttdc_core::synth::{catalog, synthesize, SynthOptions, SynthProblem, VerifyCache};
 use ttdc_core::throughput::{average_throughput, min_throughput};
-use ttdc_core::tsma::build;
-use ttdc_core::{construct, io as sched_io, Schedule};
+use ttdc_core::tsma::{build, build_duty_cycled, SourceKind};
+use ttdc_core::{construct, io as sched_io, PartitionStrategy, Schedule};
 use ttdc_experiments::GridScenario;
 use ttdc_sim::campaign::{
     manifest_overview, CampaignOptions, ResumeMode, MERGED_FILE, SUMMARY_FILE,
@@ -76,8 +78,9 @@ fn check_transparency(s: &Schedule, d: usize, out: &mut dyn Write) -> bool {
     }
 }
 
-/// Executes a parsed command, writing human-readable output to `out`.
-pub fn execute(cmd: &Command, out: &mut dyn Write) -> CmdResult {
+/// Executes a parsed command, writing human-readable output to `out` and
+/// diagnostics (build provenance) to `err`.
+pub fn execute(cmd: &Command, out: &mut dyn Write, err: &mut dyn Write) -> CmdResult {
     match cmd {
         Command::Help => {
             writeln!(out, "{USAGE}").ok();
@@ -90,20 +93,103 @@ pub fn execute(cmd: &Command, out: &mut dyn Write) -> CmdResult {
             alpha_r,
             source,
             strategy,
+            catalog: catalog_flag,
             output,
         } => {
-            let ns = build(*nodes, *degree, *source).map_err(CliError::InvalidValue)?;
-            let c = construct(&ns.schedule, *degree, *alpha_t, *alpha_r, *strategy);
-            let text = sched_io::to_text(&c.schedule);
-            writeln!(
-                out,
-                "built ({alpha_t}, {alpha_r})-schedule for N_{nodes}^{degree}: \
-                 {} slots, duty cycle {:.1}%, α_T* = {}",
-                c.schedule.frame_length(),
-                100.0 * c.schedule.average_duty_cycle(),
-                c.alpha_t_star
-            )
-            .ok();
+            // Consult the best-known-schedule catalog first: an explicit
+            // --catalog DIR always, the default location only if it exists.
+            let catalog_dir = match catalog_flag {
+                Some(p) => Some(PathBuf::from(p)),
+                None => {
+                    let p = PathBuf::from(DEFAULT_CATALOG_DIR);
+                    p.is_dir().then_some(p)
+                }
+            };
+            let mut from_catalog = None;
+            if let Some(dir) = &catalog_dir {
+                if *degree >= 1 && degree < nodes && *alpha_t >= 1 && *alpha_r >= 1 {
+                    let p = SynthProblem::new(*nodes, *degree, *alpha_t, *alpha_r);
+                    match catalog::load_entry(dir, &p).map_err(CliError::Schedule)? {
+                        Some(entry) => {
+                            let mut cache = VerifyCache::new();
+                            catalog::validate_entry(&entry, &mut cache).map_err(|e| {
+                                CliError::Schedule(format!(
+                                    "{}: {e}",
+                                    catalog::entry_path(dir, &p).display()
+                                ))
+                            })?;
+                            from_catalog = Some(entry);
+                        }
+                        None => {
+                            writeln!(
+                                err,
+                                "catalog  : no entry for n={nodes} D={degree} \
+                                 alpha_t={alpha_t} alpha_r={alpha_r} in {} \
+                                 (falling back to the Figure 2 construction)",
+                                dir.display()
+                            )
+                            .ok();
+                        }
+                    }
+                }
+            }
+            let (schedule, headline) = match &from_catalog {
+                Some(entry) => {
+                    let dir = catalog_dir.as_ref().unwrap();
+                    writeln!(
+                        err,
+                        "source   : catalog ({}; {}, produced by {}, {} search nodes)",
+                        catalog::entry_path(dir, &entry.problem).display(),
+                        if entry.exact {
+                            "proven optimal"
+                        } else {
+                            "best known"
+                        },
+                        entry.source,
+                        entry.nodes
+                    )
+                    .ok();
+                    writeln!(
+                        err,
+                        "verified : n={nodes} D={degree} alpha_t={alpha_t} alpha_r={alpha_r} \
+                         re-checked by the naive Requirement 1/2/3 + CFF oracles"
+                    )
+                    .ok();
+                    let headline = format!(
+                        "built ({alpha_t}, {alpha_r})-schedule for N_{nodes}^{degree}: \
+                         {} slots, duty cycle {:.1}% (catalog)",
+                        entry.schedule.frame_length(),
+                        100.0 * entry.schedule.average_duty_cycle(),
+                    );
+                    (entry.schedule.clone(), headline)
+                }
+                None => {
+                    let ns = build(*nodes, *degree, *source).map_err(CliError::InvalidValue)?;
+                    let c = construct(&ns.schedule, *degree, *alpha_t, *alpha_r, *strategy);
+                    let substrate = match ns.kind {
+                        SourceKind::Polynomial => "polynomial (orthogonal-array CFF)",
+                        SourceKind::Steiner => "steiner (Steiner-triple-system CFF)",
+                        SourceKind::Identity => "identity (TDMA)",
+                    };
+                    writeln!(err, "source   : figure2/{substrate}").ok();
+                    writeln!(
+                        err,
+                        "verified : n={nodes} D={degree} alpha_t={alpha_t} alpha_r={alpha_r} \
+                         by construction (Figure 2 over a {degree}-cover-free substrate)"
+                    )
+                    .ok();
+                    let headline = format!(
+                        "built ({alpha_t}, {alpha_r})-schedule for N_{nodes}^{degree}: \
+                         {} slots, duty cycle {:.1}%, α_T* = {}",
+                        c.schedule.frame_length(),
+                        100.0 * c.schedule.average_duty_cycle(),
+                        c.alpha_t_star
+                    );
+                    (c.schedule, headline)
+                }
+            };
+            let text = sched_io::to_text(&schedule);
+            writeln!(out, "{headline}").ok();
             match output {
                 Some(path) => {
                     ttdc_util::write_atomic(Path::new(path), text.as_bytes())
@@ -116,6 +202,7 @@ pub fn execute(cmd: &Command, out: &mut dyn Write) -> CmdResult {
             }
             Ok(())
         }
+        Command::Synth(action) => synth(action, out),
         Command::Verify { degree, file } => {
             let s = load_schedule(file)?;
             writeln!(
@@ -309,6 +396,195 @@ pub fn execute(cmd: &Command, out: &mut dyn Write) -> CmdResult {
     }
 }
 
+/// Runs one `ttdc synth` action against the best-known-schedule catalog.
+fn synth(action: &SynthAction, out: &mut dyn Write) -> CmdResult {
+    match action {
+        SynthAction::Run {
+            nodes,
+            degree,
+            alpha_t,
+            alpha_r,
+            catalog: dir,
+            max_nodes,
+            polish,
+            threads,
+        } => {
+            let p = SynthProblem::new(*nodes, *degree, *alpha_t, *alpha_r);
+            let dir = Path::new(dir);
+            let existing = catalog::load_entry(dir, &p).map_err(CliError::Schedule)?;
+            if let Some(e) = &existing {
+                writeln!(
+                    out,
+                    "resuming : catalog holds L = {} ({}) — seeding the incumbent",
+                    e.schedule.frame_length(),
+                    if e.exact {
+                        "proven optimal"
+                    } else {
+                        "best known"
+                    }
+                )
+                .ok();
+            }
+            let opts = SynthOptions {
+                search: SearchOptions {
+                    max_nodes: *max_nodes,
+                    incumbent_len: existing.as_ref().map(|e| e.schedule.frame_length()),
+                    ..SearchOptions::default()
+                },
+                polish_iters: polish.unwrap_or(200),
+                ..SynthOptions::default()
+            };
+            let outcome = match threads {
+                Some(t) => rayon::ThreadPoolBuilder::new()
+                    .num_threads(*t)
+                    .build()
+                    .map_err(|e| CliError::Other(e.to_string()))?
+                    .install(|| synthesize(&p, &opts)),
+                None => synthesize(&p, &opts),
+            };
+            let fig2 = build_duty_cycled(
+                *nodes,
+                *degree,
+                *alpha_t,
+                *alpha_r,
+                PartitionStrategy::RoundRobin,
+            )
+            .schedule
+            .frame_length();
+            let l = outcome.schedule.frame_length();
+            writeln!(
+                out,
+                "synth    : L = {l} ({}), {} nodes expanded, {} pruned{}",
+                if outcome.stats.exact {
+                    "proven optimal"
+                } else {
+                    "search budget hit — best known"
+                },
+                outcome.stats.nodes,
+                outcome.stats.pruned,
+                if outcome.polish_improved {
+                    ", improved by local search"
+                } else {
+                    ""
+                }
+            )
+            .ok();
+            writeln!(
+                out,
+                "figure2  : L = {fig2} ({})",
+                if l < fig2 {
+                    format!("synth saves {} slots", fig2 - l)
+                } else {
+                    "no improvement over the construction".to_string()
+                }
+            )
+            .ok();
+            let keep = matches!(&existing, Some(e) if e.schedule.frame_length() <= l);
+            if keep {
+                writeln!(out, "catalog  : kept the existing entry (not beaten)").ok();
+            } else if l > fig2 {
+                // A catalog entry longer than the Figure 2 construction
+                // would be a frame-length regression for `ttdc build`.
+                writeln!(
+                    out,
+                    "catalog  : not written (figure2 L = {fig2} is still the best known)"
+                )
+                .ok();
+            } else {
+                let entry = catalog::CatalogEntry {
+                    problem: p,
+                    fingerprint: outcome.fingerprint,
+                    schedule: outcome.schedule,
+                    exact: outcome.stats.exact,
+                    nodes: outcome.stats.nodes,
+                    source: if outcome.polish_improved {
+                        "synth+polish".to_string()
+                    } else {
+                        "synth".to_string()
+                    },
+                };
+                let mut cache = VerifyCache::new();
+                catalog::validate_entry(&entry, &mut cache).map_err(|e| {
+                    CliError::Other(format!("refusing to write catalog entry: {e}"))
+                })?;
+                let path = catalog::write_entry(dir, &entry)
+                    .map_err(|e| CliError::Io(format!("{}: {e}", dir.display())))?;
+                writeln!(out, "catalog  : wrote {}", path.display()).ok();
+            }
+            Ok(())
+        }
+        SynthAction::Status { catalog: dir } => {
+            let dir = Path::new(dir);
+            let entries = catalog::load_all(dir);
+            if entries.is_empty() {
+                writeln!(out, "catalog {}: empty", dir.display()).ok();
+                return Ok(());
+            }
+            let mut cache = VerifyCache::new();
+            let mut failures = 0usize;
+            for (path, parsed) in &entries {
+                let name = path
+                    .file_name()
+                    .map(|f| f.to_string_lossy().into_owned())
+                    .unwrap_or_else(|| path.display().to_string());
+                match parsed {
+                    Err(e) => {
+                        failures += 1;
+                        writeln!(out, "{name}: UNREADABLE — {e}").ok();
+                    }
+                    Ok(entry) => {
+                        let p = &entry.problem;
+                        let l = entry.schedule.frame_length();
+                        let fig2 = build_duty_cycled(
+                            p.n,
+                            p.d,
+                            p.alpha_t,
+                            p.alpha_r,
+                            PartitionStrategy::RoundRobin,
+                        )
+                        .schedule
+                        .frame_length();
+                        let verdict = match catalog::validate_entry(entry, &mut cache) {
+                            // A catalog entry that is *worse* than the
+                            // Figure 2 construction is a frame-length
+                            // regression: `ttdc build` would prefer it and
+                            // get a longer frame.
+                            Ok(()) if l > fig2 => {
+                                failures += 1;
+                                format!("REGRESSION — longer than figure2 (L = {fig2})")
+                            }
+                            Ok(()) => "verify OK".to_string(),
+                            Err(e) => {
+                                failures += 1;
+                                format!("INVALID — {e}")
+                            }
+                        };
+                        writeln!(
+                            out,
+                            "{name}: n={} D={} alpha=({},{}) L={l} vs figure2 L={fig2} \
+                             ({}, source={}, {} nodes) — {verdict}",
+                            p.n,
+                            p.d,
+                            p.alpha_t,
+                            p.alpha_r,
+                            if entry.exact { "exact" } else { "best-known" },
+                            entry.source,
+                            entry.nodes
+                        )
+                        .ok();
+                    }
+                }
+            }
+            if failures > 0 {
+                writeln!(out, "{failures} catalog entr(y/ies) failed validation").ok();
+                return Err(CliError::VerificationFailed);
+            }
+            writeln!(out, "{} entr(y/ies), all verified", entries.len()).ok();
+            Ok(())
+        }
+    }
+}
+
 /// Runs one `ttdc campaign` action through the crash-resilient runner.
 fn campaign(action: &CampaignAction, out: &mut dyn Write) -> CmdResult {
     match action {
@@ -455,6 +731,17 @@ mod tests {
         let mut buf = Vec::new();
         let code = run(args.iter().map(|s| s.to_string()), &mut buf);
         (code, String::from_utf8(buf).unwrap())
+    }
+
+    fn run_streams(args: &[&str]) -> (i32, String, String) {
+        let mut out = Vec::new();
+        let mut err = Vec::new();
+        let code = crate::run_with_streams(args.iter().map(|s| s.to_string()), &mut out, &mut err);
+        (
+            code,
+            String::from_utf8(out).unwrap(),
+            String::from_utf8(err).unwrap(),
+        )
     }
 
     fn tmp(name: &str) -> String {
@@ -812,6 +1099,136 @@ mod tests {
         assert_eq!(code, 0, "{out}");
         assert!(out.contains("energy"));
         std::fs::remove_file(&file).ok();
+    }
+
+    #[test]
+    fn build_reports_source_and_parameters_on_stderr() {
+        let (code, out, err) = run_streams(&[
+            "build",
+            "--nodes",
+            "16",
+            "--degree",
+            "2",
+            "--alpha-t",
+            "2",
+            "--alpha-r",
+            "3",
+        ]);
+        assert_eq!(code, 0, "{err}");
+        // The schedule goes to stdout, the provenance to stderr.
+        assert!(out.contains("ttdc-schedule v1"), "{out}");
+        assert!(!out.contains("source   :"), "{out}");
+        assert!(
+            err.contains("source   : figure2/polynomial (orthogonal-array CFF)"),
+            "{err}"
+        );
+        assert!(
+            err.contains("verified : n=16 D=2 alpha_t=2 alpha_r=3"),
+            "{err}"
+        );
+        // Runtime errors also land on stderr, not stdout.
+        let (code, out, err) = run_streams(&["verify", "--degree", "2", "/nonexistent/x.sched"]);
+        assert_eq!(code, 4);
+        assert!(!out.contains("error:"), "{out}");
+        assert!(err.contains("error:"), "{err}");
+    }
+
+    #[test]
+    fn synth_run_status_and_catalog_build_round_trip() {
+        let dir = tmp("catalog");
+        std::fs::remove_dir_all(&dir).ok();
+
+        // An empty catalog reports as such.
+        let (code, out) = run_str(&["synth", "status", "--catalog", &dir]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("empty"), "{out}");
+
+        // First run: exact search, entry written.
+        let point = [
+            "--nodes",
+            "5",
+            "--degree",
+            "1",
+            "--alpha-t",
+            "1",
+            "--alpha-r",
+            "2",
+        ];
+        let mut argv = vec!["synth", "run"];
+        argv.extend_from_slice(&point);
+        argv.extend_from_slice(&["--catalog", &dir, "--threads", "2"]);
+        let (code, out) = run_str(&argv);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("proven optimal"), "{out}");
+        assert!(out.contains("catalog  : wrote"), "{out}");
+
+        // Second run resumes from the catalog and cannot beat the optimum.
+        let (code, out) = run_str(&argv);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("resuming : catalog holds"), "{out}");
+        assert!(out.contains("kept the existing entry"), "{out}");
+
+        // Status re-verifies the committed entry.
+        let (code, out) = run_str(&["synth", "status", "--catalog", &dir]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("verify OK"), "{out}");
+        assert!(out.contains("all verified"), "{out}");
+
+        // `ttdc build --catalog` consults the entry and says so on stderr.
+        let mut argv = vec!["build"];
+        argv.extend_from_slice(&point);
+        argv.extend_from_slice(&["--catalog", &dir]);
+        let (code, out, err) = run_streams(&argv);
+        assert_eq!(code, 0, "{err}");
+        assert!(err.contains("source   : catalog ("), "{err}");
+        assert!(err.contains("re-checked by the naive"), "{err}");
+        assert!(out.contains("(catalog)"), "{out}");
+        assert!(out.contains("ttdc-schedule v1"), "{out}");
+
+        // A point the catalog does not hold falls back, with a note.
+        let (code, _, err) = run_streams(&[
+            "build",
+            "--nodes",
+            "6",
+            "--degree",
+            "1",
+            "--alpha-t",
+            "1",
+            "--alpha-r",
+            "2",
+            "--catalog",
+            &dir,
+        ]);
+        assert_eq!(code, 0, "{err}");
+        assert!(err.contains("catalog  : no entry"), "{err}");
+        assert!(err.contains("source   : figure2/"), "{err}");
+
+        // A tampered entry fails status (exit 6) and fails build (exit 5).
+        let entry_path = format!("{dir}/n005_d1_at1_ar2.sched");
+        let good = std::fs::read_to_string(&entry_path).unwrap();
+        let tampered: String = good
+            .lines()
+            .map(|l| {
+                if let Some(hex) = l.strip_prefix("# fingerprint=0x") {
+                    let flipped = if hex.ends_with('0') { "1" } else { "0" };
+                    format!("# fingerprint=0x{}{flipped}\n", &hex[..hex.len() - 1])
+                } else {
+                    format!("{l}\n")
+                }
+            })
+            .collect();
+        std::fs::write(&entry_path, tampered).unwrap();
+        let (code, out) = run_str(&["synth", "status", "--catalog", &dir]);
+        assert_eq!(code, 6, "{out}");
+        assert!(out.contains("INVALID"), "{out}");
+        let mut argv = vec!["build"];
+        argv.extend_from_slice(&point);
+        argv.extend_from_slice(&["--catalog", &dir]);
+        let (code, _, err) = run_streams(&argv);
+        assert_eq!(code, 5, "{err}");
+        assert!(err.contains("fingerprint"), "{err}");
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

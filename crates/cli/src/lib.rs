@@ -1,7 +1,7 @@
 //! # ttdc-cli — schedules from the command line
 //!
 //! ```text
-//! ttdc build    --nodes 30 --degree 3 --alpha-t 2 --alpha-r 4 -o field.schedule
+//! ttdc build    --nodes 30 --degree 3 --alpha-t 2 --alpha-r 4 --output field.schedule
 //! ttdc verify   --degree 3 field.schedule
 //! ttdc analyze  --degree 3 --alpha-t 2 --alpha-r 4 field.schedule
 //! ttdc simulate --degree 3 --topology ring --slots 20000 --rate 0.002 field.schedule
@@ -20,18 +20,35 @@ pub use error::CliError;
 
 /// Entry point shared by the binary and the tests: parse, execute, map
 /// errors to their stable exit codes (see [`CliError::exit_code`]).
-pub fn run<I: IntoIterator<Item = String>>(argv: I, out: &mut dyn std::io::Write) -> i32 {
-    match parse(argv).and_then(|cmd| execute(&cmd, out)) {
+/// Results go to `out`; diagnostics — errors and the `ttdc build`
+/// provenance lines — go to `err`, so `ttdc build` can be piped while the
+/// provenance stays visible.
+pub fn run_with_streams<I: IntoIterator<Item = String>>(
+    argv: I,
+    out: &mut dyn std::io::Write,
+    err: &mut dyn std::io::Write,
+) -> i32 {
+    match parse(argv).and_then(|cmd| execute(&cmd, out, err)) {
         Ok(()) => 0,
         Err(e) => {
             // Only command-line mistakes earn the full usage text; runtime
             // failures print just the error.
             if matches!(e, CliError::Usage(_)) {
-                let _ = writeln!(out, "error: {e}\n\n{}", args::USAGE);
+                let _ = writeln!(err, "error: {e}\n\n{}", args::USAGE);
             } else {
-                let _ = writeln!(out, "error: {e}");
+                let _ = writeln!(err, "error: {e}");
             }
             e.exit_code()
         }
     }
+}
+
+/// Single-stream convenience wrapper: diagnostics are appended to `out`
+/// after the results, preserving the historical one-buffer behaviour the
+/// in-process tests rely on.
+pub fn run<I: IntoIterator<Item = String>>(argv: I, out: &mut dyn std::io::Write) -> i32 {
+    let mut err = Vec::new();
+    let code = run_with_streams(argv, out, &mut err);
+    let _ = out.write_all(&err);
+    code
 }

@@ -1,6 +1,10 @@
 //! The `ttdc` command-line binary — a thin shim over `ttdc_cli::run`.
 
 fn main() {
-    let code = ttdc_cli::run(std::env::args().skip(1), &mut std::io::stdout());
+    let code = ttdc_cli::run_with_streams(
+        std::env::args().skip(1),
+        &mut std::io::stdout(),
+        &mut std::io::stderr(),
+    );
     std::process::exit(code);
 }

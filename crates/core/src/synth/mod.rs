@@ -1,0 +1,322 @@
+//! Schedule synthesis: exact branch-and-bound search for minimum-length
+//! `(α_T, α_R)`-schedules, with a randomized local-search polish for
+//! budget-limited runs and a best-known-schedule catalog as output.
+//!
+//! The pipeline (see DESIGN.md "Schedule synthesis"):
+//!
+//! 1. [`demands`] reduces Requirement 3 to set cover: demand triples
+//!    `(x, Y, y)` vs candidate slots `(T, R)` with per-slot α caps.
+//! 2. [`search`] runs parallel branch-and-bound over that space with
+//!    incremental `CoverCounter` deficits, admissible pruning, root
+//!    symmetry reduction, and a deterministic incumbent rule (bit-identical
+//!    winner at any thread count).
+//! 3. [`polish`](fn@polish) ruin-and-recreate local search improves
+//!    inexact (budgeted) incumbents, deterministically in its seed.
+//! 4. [`catalog`] persists winners with provenance; `ttdc build` consults
+//!    it before falling back to the Figure 2 construction.
+//!
+//! Every schedule leaving this module is re-checked against the *naive*
+//! Requirement-3 oracle (via [`VerifyCache`]) before anyone trusts it.
+
+pub mod catalog;
+pub mod demands;
+pub mod search;
+
+use crate::requirements::requirement3_violation_naive;
+use crate::schedule::Schedule;
+use demands::{CandidateSpace, DemandSpace};
+use search::{greedy_cover, minimum_cover, CoverSolution, SearchOptions, SearchStats};
+use std::collections::HashMap;
+use ttdc_util::{BitSet, CoverCounter};
+
+/// A synthesis target: the four paper parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SynthProblem {
+    /// Number of nodes.
+    pub n: usize,
+    /// Maximum degree to be transparent for.
+    pub d: usize,
+    /// Per-slot transmitter cap.
+    pub alpha_t: usize,
+    /// Per-slot receiver cap.
+    pub alpha_r: usize,
+}
+
+impl SynthProblem {
+    /// Validated constructor (`1 ≤ D < n`, `α_T, α_R ≥ 1`).
+    pub fn new(n: usize, d: usize, alpha_t: usize, alpha_r: usize) -> SynthProblem {
+        assert!(d >= 1 && n > d, "need 1 ≤ D < n");
+        assert!(alpha_t >= 1 && alpha_r >= 1, "need α_T, α_R ≥ 1");
+        SynthProblem {
+            n,
+            d,
+            alpha_t,
+            alpha_r,
+        }
+    }
+}
+
+/// Synthesis knobs: the search options plus the local-search budget.
+#[derive(Clone, Copy, Debug)]
+pub struct SynthOptions {
+    /// Branch-and-bound configuration.
+    pub search: SearchOptions,
+    /// Ruin-and-recreate iterations applied to a budget-limited result
+    /// (exact results are already optimal and skip the polish).
+    pub polish_iters: u64,
+    /// Seed for the polish's move generator.
+    pub seed: u64,
+}
+
+impl Default for SynthOptions {
+    fn default() -> Self {
+        SynthOptions {
+            search: SearchOptions::default(),
+            polish_iters: 200,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// What a synthesis run produced.
+#[derive(Clone, Debug)]
+pub struct SynthOutcome {
+    /// The best schedule found (slots in canonical candidate-id order).
+    pub schedule: Schedule,
+    /// Search effort and exactness.
+    pub stats: SearchStats,
+    /// Whether the local search improved on the branch-and-bound result.
+    pub polish_improved: bool,
+    /// `schedule.canonical_fingerprint()`, the catalog key.
+    pub fingerprint: u64,
+}
+
+/// Runs the synthesizer for one parameter point. Deterministic at any
+/// rayon thread count; call inside `pool.install` to control parallelism.
+pub fn synthesize(p: &SynthProblem, o: &SynthOptions) -> SynthOutcome {
+    let space = DemandSpace::new(p.n, p.d);
+    let cands = CandidateSpace::new(&space, p.alpha_t, p.alpha_r);
+    let (mut sol, stats) = minimum_cover(&space, &cands, &o.search);
+    let mut polish_improved = false;
+    if !stats.exact && o.polish_iters > 0 {
+        let polished = polish(&space, &cands, &sol, o.seed, o.polish_iters);
+        if polished.slots.len() < sol.slots.len() {
+            sol = polished;
+            polish_improved = true;
+        }
+    }
+    let schedule = cands.schedule(p.n, &sol.slots);
+    debug_assert!(
+        requirement3_violation_naive(&schedule, p.d).is_none(),
+        "synthesized schedule fails the naive Requirement-3 oracle"
+    );
+    SynthOutcome {
+        fingerprint: schedule.canonical_fingerprint(),
+        schedule,
+        stats,
+        polish_improved,
+    }
+}
+
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Drops every redundant slot (all of its demands have another supplier,
+/// per `CoverCounter` multiplicities), scanning from the highest candidate
+/// id down so the surviving set is deterministic.
+fn eliminate_redundant(cands: &CandidateSpace, counter: &mut CoverCounter, slots: &mut Vec<u32>) {
+    let mut i = slots.len();
+    while i > 0 {
+        i -= 1;
+        let cov = &cands.cands[slots[i] as usize].coverage;
+        if counter.is_redundant(cov) {
+            counter.remove(cov);
+            slots.remove(i);
+        }
+    }
+}
+
+/// Randomized ruin-and-recreate local search: remove one random slot,
+/// greedily re-cover, strip redundancy, keep the result if strictly
+/// shorter. Deterministic in `seed`; never returns a longer cover than
+/// `start`.
+pub fn polish(
+    space: &DemandSpace,
+    cands: &CandidateSpace,
+    start: &CoverSolution,
+    seed: u64,
+    iters: u64,
+) -> CoverSolution {
+    let target = BitSet::from_iter(space.len(), 0..space.len());
+    let mut rng = SplitMix(seed);
+    let mut current = start.slots.clone();
+    let mut counter = CoverCounter::new(space.len());
+    for _ in 0..iters {
+        if current.len() <= 1 {
+            break;
+        }
+        let drop_at = (rng.next() % current.len() as u64) as usize;
+        let mut trial: Vec<u32> = current
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != drop_at)
+            .map(|(_, &c)| c)
+            .collect();
+        counter.set_target(&target);
+        for &c in &trial {
+            counter.add(&cands.cands[c as usize].coverage);
+        }
+        // Greedy re-cover (max gain, tie lowest id), skipping the slot we
+        // just ruined so the move can actually change the structure.
+        let banned = current[drop_at];
+        while !counter.is_covered() {
+            let mut best = usize::MAX;
+            let mut best_gain = 0;
+            for (c, cand) in cands.cands.iter().enumerate() {
+                if c as u32 == banned {
+                    continue;
+                }
+                let gain = cand.coverage.intersection_len(counter.uncovered());
+                if gain > best_gain {
+                    best_gain = gain;
+                    best = c;
+                }
+            }
+            if best == usize::MAX {
+                // Only the banned slot can cover the rest: revert.
+                trial.clear();
+                break;
+            }
+            counter.add(&cands.cands[best].coverage);
+            trial.push(best as u32);
+        }
+        if trial.is_empty() {
+            continue;
+        }
+        eliminate_redundant(cands, &mut counter, &mut trial);
+        if trial.len() < current.len() {
+            trial.sort_unstable();
+            current = trial;
+        }
+    }
+    CoverSolution { slots: current }
+}
+
+/// Memoized naive-oracle verification keyed by canonical fingerprint and
+/// degree: relabel-equivalent schedules share one oracle run. Used by the
+/// catalog validator and `ttdc build`'s catalog consult, where the same
+/// design may be checked repeatedly in one process.
+#[derive(Default)]
+pub struct VerifyCache {
+    map: HashMap<(u64, usize), bool>,
+}
+
+impl VerifyCache {
+    /// An empty cache.
+    pub fn new() -> VerifyCache {
+        VerifyCache::default()
+    }
+
+    /// Number of distinct `(fingerprint, D)` pairs verified so far.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when nothing has been verified yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Naive-oracle Requirement-3 check, memoized on
+    /// `(canonical_fingerprint, d)`. The oracle is the *reference*
+    /// verifier — a cache hit is as trustworthy as the original run
+    /// (fingerprint collisions aside, see [`crate::fingerprint`]).
+    pub fn is_topology_transparent(&mut self, s: &Schedule, d: usize) -> bool {
+        let key = (s.canonical_fingerprint(), d);
+        *self
+            .map
+            .entry(key)
+            .or_insert_with(|| requirement3_violation_naive(s, d).is_none())
+    }
+}
+
+/// Greedy cover re-exported for callers that want the seed solution alone
+/// (bench baselines).
+pub fn greedy_solution(p: &SynthProblem) -> (usize, SynthOutcome) {
+    let space = DemandSpace::new(p.n, p.d);
+    let cands = CandidateSpace::new(&space, p.alpha_t, p.alpha_r);
+    let sol = greedy_cover(&space, &cands);
+    let schedule = cands.schedule(p.n, &sol.slots);
+    let len = sol.slots.len();
+    (
+        len,
+        SynthOutcome {
+            fingerprint: schedule.canonical_fingerprint(),
+            schedule,
+            stats: SearchStats::default(),
+            polish_improved: false,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthesize_small_point_is_transparent_and_exact() {
+        let p = SynthProblem::new(5, 2, 1, 2);
+        let out = synthesize(&p, &SynthOptions::default());
+        assert!(out.stats.exact);
+        assert!(requirement3_violation_naive(&out.schedule, 2).is_none());
+        assert!(out.schedule.is_alpha_schedule(1, 2));
+        assert_eq!(out.fingerprint, out.schedule.canonical_fingerprint());
+    }
+
+    #[test]
+    fn verify_cache_memoizes_by_fingerprint() {
+        let p = SynthProblem::new(5, 1, 1, 2);
+        let out = synthesize(&p, &SynthOptions::default());
+        let mut cache = VerifyCache::new();
+        assert!(cache.is_empty());
+        assert!(cache.is_topology_transparent(&out.schedule, 1));
+        assert_eq!(cache.len(), 1);
+        // Same schedule again: still one entry.
+        assert!(cache.is_topology_transparent(&out.schedule, 1));
+        assert_eq!(cache.len(), 1);
+        // Different degree is a different key, and the cached verdict
+        // matches a fresh oracle run. (At α_T = 1 every slot has a lone
+        // transmitter, so the D=1 optimum happens to stay transparent at
+        // D=4 — the value itself is not the point, the keying is.)
+        let transparent_at_4 = cache.is_topology_transparent(&out.schedule, 4);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(
+            transparent_at_4,
+            requirement3_violation_naive(&out.schedule, 4).is_none()
+        );
+    }
+
+    #[test]
+    fn polish_never_lengthens_and_stays_valid() {
+        let p = SynthProblem::new(6, 2, 1, 2);
+        let space = DemandSpace::new(p.n, p.d);
+        let cands = CandidateSpace::new(&space, p.alpha_t, p.alpha_r);
+        let start = greedy_cover(&space, &cands);
+        let polished = polish(&space, &cands, &start, 7, 100);
+        assert!(polished.slots.len() <= start.slots.len());
+        let s = cands.schedule(p.n, &polished.slots);
+        assert!(requirement3_violation_naive(&s, p.d).is_none());
+        // Deterministic in the seed.
+        let again = polish(&space, &cands, &start, 7, 100);
+        assert_eq!(polished, again);
+    }
+}

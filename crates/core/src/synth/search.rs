@@ -1,0 +1,420 @@
+//! Parallel branch-and-bound minimum set cover over candidate slots.
+//!
+//! The search state is a partial schedule (a set of chosen candidate ids)
+//! whose demand coverage lives in a [`CoverCounter`]: descending adds a
+//! candidate's coverage with [`CoverCounter::add_tracked`], backtracking
+//! unwinds it through the O(1)-mark undo trail — no rescan of the partial
+//! solution. Branching picks the uncovered demand with the fewest
+//! remaining suppliers (a zero-supplier demand refutes the subtree), and
+//! sibling branches ban earlier-tried candidates so no slot set is visited
+//! twice.
+//!
+//! **Pruning.** The admissible bound `⌈deficit / max_gain⌉` lower-bounds
+//! the slots any completion still needs; a subtree is cut only when
+//! `depth + bound` *strictly* exceeds the best known length, so every
+//! optimum-length solution survives pruning regardless of incumbent
+//! timing — the keystone of cross-thread determinism.
+//!
+//! **Symmetry.** At the root, candidates covering the branch demand are
+//! deduplicated by their class signature under the demand's stabilizer
+//! (node classes `{x}`, `{y}`, `Y∖{y}`, rest): two candidates with equal
+//! per-class transmit/receive counts are images of each other under a
+//! node relabeling that maps the demand space onto itself, so their
+//! subtrees contain covers of exactly the same lengths.
+//!
+//! **Deterministic incumbent.** A solution is the *sorted* vector of its
+//! candidate ids; solutions compare by `(length, lex order of ids)`. Each
+//! root branch reports its branch-local minimum (found in canonical DFS
+//! order), and the ordered reduction over branches takes the global
+//! minimum — a rule with no dependence on thread count or completion
+//! order. The shared atomic incumbent length only tightens pruning of
+//! strictly-worse subtrees, so it can accelerate the search but never
+//! change its answer.
+
+use super::demands::{CandidateSpace, DemandSpace};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use ttdc_util::{BitSet, CoverCounter};
+
+/// Knobs for [`minimum_cover`]. Defaults give the full pruned,
+/// symmetry-reduced, exact search.
+#[derive(Clone, Copy, Debug)]
+pub struct SearchOptions {
+    /// Apply the `⌈deficit / max_gain⌉` lower bound (off = the exhaustive
+    /// baseline `bench_synth` compares against).
+    pub prune: bool,
+    /// Collapse root branches that are node-relabelings of each other.
+    pub symmetry: bool,
+    /// Per-root-branch node budget; `None` = run to exactness. When set,
+    /// branches ignore the shared incumbent (budget cutoffs must not
+    /// depend on cross-thread timing), so results stay deterministic.
+    pub max_nodes: Option<u64>,
+    /// Known upper bound on the optimum (e.g. a catalog entry being
+    /// resumed): seeds the incumbent length, tightening pruning from the
+    /// start. The bound itself is not returned as a solution.
+    pub incumbent_len: Option<usize>,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        SearchOptions {
+            prune: true,
+            symmetry: true,
+            max_nodes: None,
+            incumbent_len: None,
+        }
+    }
+}
+
+/// Search effort counters. `nodes`/`pruned` are totals over all branches
+/// (they may vary run-to-run at >1 thread — incumbent timing changes what
+/// gets pruned — but the winning solution never does).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SearchStats {
+    /// Search-tree nodes expanded.
+    pub nodes: u64,
+    /// Subtrees cut by the lower bound.
+    pub pruned: u64,
+    /// `false` when some branch hit its node budget: the result is the
+    /// best found, not a proven optimum.
+    pub exact: bool,
+    /// Root branches explored (after symmetry deduplication).
+    pub root_branches: usize,
+    /// Root branches before symmetry deduplication.
+    pub root_branches_total: usize,
+}
+
+/// A cover: sorted candidate ids. Compares by `(len, lex)` — the
+/// deterministic incumbent rule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CoverSolution {
+    /// Candidate ids, ascending.
+    pub slots: Vec<u32>,
+}
+
+impl CoverSolution {
+    fn better_than(&self, other: &CoverSolution) -> bool {
+        (self.slots.len(), &self.slots) < (other.slots.len(), &other.slots)
+    }
+}
+
+/// Greedy max-marginal-gain cover (tie: lowest candidate id). Always
+/// succeeds — every demand has at least one supplier — and seeds the
+/// incumbent so pruning bites from the first branch.
+pub fn greedy_cover(space: &DemandSpace, cands: &CandidateSpace) -> CoverSolution {
+    let target = BitSet::from_iter(space.len(), 0..space.len());
+    let mut counter = CoverCounter::new(space.len());
+    counter.set_target(&target);
+    let mut slots = Vec::new();
+    while !counter.is_covered() {
+        let mut best = usize::MAX;
+        let mut best_gain = 0;
+        for (c, cand) in cands.cands.iter().enumerate() {
+            let gain = cand.coverage.intersection_len(counter.uncovered());
+            if gain > best_gain {
+                best_gain = gain;
+                best = c;
+            }
+        }
+        assert!(best != usize::MAX, "uncoverable demand (no supplier)");
+        counter.add(&cands.cands[best].coverage);
+        slots.push(best as u32);
+    }
+    slots.sort_unstable();
+    CoverSolution { slots }
+}
+
+/// Class signature of a candidate under the root demand's stabilizer:
+/// per-class (`x`, `y`, `Y∖{y}`, rest) transmit and receive counts.
+fn root_signature(space: &DemandSpace, cands: &CandidateSpace, root: usize, c: u32) -> [usize; 8] {
+    let dem = &space.demands()[root];
+    let cand = &cands.cands[c as usize];
+    let n = space.num_nodes();
+    let mut sig = [0usize; 8];
+    for v in 0..n {
+        let class = if v == dem.x {
+            0
+        } else if v == dem.y {
+            1
+        } else if dem.group.contains(v) {
+            2
+        } else {
+            3
+        };
+        if cand.t.contains(v) {
+            sig[class] += 1;
+        }
+        if cand.r.contains(v) {
+            sig[4 + class] += 1;
+        }
+    }
+    sig
+}
+
+struct Worker<'a> {
+    cands: &'a CandidateSpace,
+    opts: &'a SearchOptions,
+    shared_len: &'a AtomicUsize,
+    counter: CoverCounter,
+    banned: Vec<bool>,
+    chosen: Vec<u32>,
+    best: Option<CoverSolution>,
+    /// Numeric incumbent the branch started from (greedy / resume seed).
+    seed_len: usize,
+    nodes: u64,
+    pruned: u64,
+    exhausted: bool,
+}
+
+impl Worker<'_> {
+    fn bound_len(&self) -> usize {
+        let local = self
+            .best
+            .as_ref()
+            .map_or(self.seed_len, |b| b.slots.len().min(self.seed_len));
+        if self.opts.max_nodes.is_some() {
+            local
+        } else {
+            local.min(self.shared_len.load(Ordering::Relaxed))
+        }
+    }
+
+    fn dfs(&mut self) {
+        self.nodes += 1;
+        if let Some(budget) = self.opts.max_nodes {
+            if self.nodes > budget {
+                self.exhausted = true;
+                return;
+            }
+        }
+        if self.counter.is_covered() {
+            let mut slots = self.chosen.clone();
+            slots.sort_unstable();
+            let sol = CoverSolution { slots };
+            let better = match &self.best {
+                Some(b) => sol.better_than(b),
+                None => sol.slots.len() <= self.seed_len,
+            };
+            if better {
+                self.shared_len
+                    .fetch_min(sol.slots.len(), Ordering::Relaxed);
+                self.best = Some(sol);
+            }
+            return;
+        }
+        let depth = self.chosen.len();
+        let lower = if self.opts.prune {
+            self.counter.deficit().div_ceil(self.cands.max_gain)
+        } else {
+            1 // not covered ⇒ at least one more slot; keeps ties exact
+        };
+        if depth + lower > self.bound_len() {
+            self.pruned += 1;
+            return;
+        }
+        // Branch demand: uncovered, fewest unbanned suppliers, tie lowest.
+        let mut branch = usize::MAX;
+        let mut branch_count = usize::MAX;
+        for i in self.counter.uncovered().iter() {
+            let count = self.cands.suppliers[i]
+                .iter()
+                .filter(|&&c| !self.banned[c as usize])
+                .count();
+            if count < branch_count {
+                branch_count = count;
+                branch = i;
+                if count == 0 {
+                    break;
+                }
+            }
+        }
+        if branch_count == 0 {
+            return; // dead end: demand lost all suppliers to bans
+        }
+        let sups: Vec<u32> = self.cands.suppliers[branch]
+            .iter()
+            .copied()
+            .filter(|&c| !self.banned[c as usize])
+            .collect();
+        let cands = self.cands;
+        for &c in &sups {
+            if self.exhausted {
+                break;
+            }
+            let mark = self.counter.mark();
+            // Coverage is over the full demand set — already a subset of
+            // the target, no masking needed.
+            self.counter.add_tracked(&cands.cands[c as usize].coverage);
+            self.chosen.push(c);
+            self.dfs();
+            self.chosen.pop();
+            self.counter.undo_to(mark);
+            self.banned[c as usize] = true;
+        }
+        for &c in &sups {
+            self.banned[c as usize] = false;
+        }
+    }
+}
+
+/// Exact (or budgeted) minimum set cover. See the module docs for the
+/// determinism argument. Returns the best cover found plus effort stats.
+pub fn minimum_cover(
+    space: &DemandSpace,
+    cands: &CandidateSpace,
+    opts: &SearchOptions,
+) -> (CoverSolution, SearchStats) {
+    let greedy = greedy_cover(space, cands);
+    let seed_len = greedy
+        .slots
+        .len()
+        .min(opts.incumbent_len.unwrap_or(usize::MAX));
+    let target = BitSet::from_iter(space.len(), 0..space.len());
+
+    // Root branch demand: globally fewest suppliers, tie lowest id.
+    let root = (0..space.len())
+        .min_by_key(|&i| (cands.suppliers[i].len(), i))
+        .expect("demand space is never empty");
+    let all_sups = &cands.suppliers[root];
+    let branch_cands: Vec<u32> = if opts.symmetry {
+        let mut seen: Vec<[usize; 8]> = Vec::new();
+        let mut kept = Vec::new();
+        for &c in all_sups {
+            let sig = root_signature(space, cands, root, c);
+            if !seen.contains(&sig) {
+                seen.push(sig);
+                kept.push(c);
+            }
+        }
+        kept
+    } else {
+        all_sups.clone()
+    };
+
+    let shared_len = AtomicUsize::new(seed_len);
+    let total_nodes = AtomicU64::new(0);
+    let total_pruned = AtomicU64::new(0);
+    let any_exhausted = AtomicUsize::new(0);
+
+    // One task per root branch; branch i bans the candidates of branches
+    // 0..i (they were fully explored — any cover through them was found
+    // there). Ordered collect keeps the reduction deterministic.
+    let branch_bests: Vec<Option<CoverSolution>> = (0..branch_cands.len())
+        .collect::<Vec<_>>()
+        .into_par_iter()
+        .with_min_len(1)
+        .map(|i| {
+            let mut counter = CoverCounter::new(space.len());
+            counter.set_target(&target);
+            let mut banned = vec![false; cands.cands.len()];
+            for &prev in &branch_cands[..i] {
+                banned[prev as usize] = true;
+            }
+            let c = branch_cands[i];
+            counter.add(&cands.cands[c as usize].coverage);
+            let mut w = Worker {
+                cands,
+                opts,
+                shared_len: &shared_len,
+                counter,
+                banned,
+                chosen: vec![c],
+                best: None,
+                seed_len,
+                nodes: 0,
+                pruned: 0,
+                exhausted: false,
+            };
+            w.dfs();
+            total_nodes.fetch_add(w.nodes, Ordering::Relaxed);
+            total_pruned.fetch_add(w.pruned, Ordering::Relaxed);
+            if w.exhausted {
+                any_exhausted.fetch_add(1, Ordering::Relaxed);
+            }
+            w.best
+        })
+        .collect();
+
+    let mut best = greedy;
+    for sol in branch_bests.into_iter().flatten() {
+        if sol.better_than(&best) {
+            best = sol;
+        }
+    }
+    let stats = SearchStats {
+        nodes: total_nodes.load(Ordering::Relaxed),
+        pruned: total_pruned.load(Ordering::Relaxed),
+        exact: any_exhausted.load(Ordering::Relaxed) == 0,
+        root_branches: branch_cands.len(),
+        root_branches_total: all_sups.len(),
+    };
+    (best, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solve(n: usize, d: usize, at: usize, ar: usize, opts: &SearchOptions) -> (usize, Vec<u32>) {
+        let space = DemandSpace::new(n, d);
+        let cands = CandidateSpace::new(&space, at, ar);
+        let (sol, stats) = minimum_cover(&space, &cands, opts);
+        assert!(stats.exact);
+        (sol.slots.len(), sol.slots)
+    }
+
+    #[test]
+    fn pruned_and_exhaustive_agree_on_optimum_length() {
+        for (n, d, at, ar) in [(4, 1, 1, 1), (5, 1, 1, 2), (5, 2, 1, 2)] {
+            let full = SearchOptions::default();
+            let bare = SearchOptions {
+                prune: false,
+                symmetry: false,
+                ..SearchOptions::default()
+            };
+            let (l1, _) = solve(n, d, at, ar, &full);
+            let (l2, _) = solve(n, d, at, ar, &bare);
+            assert_eq!(l1, l2, "({n},{d},{at},{ar})");
+        }
+    }
+
+    #[test]
+    fn solution_covers_every_demand() {
+        let space = DemandSpace::new(5, 2);
+        let cands = CandidateSpace::new(&space, 1, 2);
+        let (sol, _) = minimum_cover(&space, &cands, &SearchOptions::default());
+        let mut covered = BitSet::new(space.len());
+        for &c in &sol.slots {
+            covered.union_with(&cands.cands[c as usize].coverage);
+        }
+        assert_eq!(covered.len(), space.len());
+    }
+
+    #[test]
+    fn incumbent_seed_never_changes_the_answer() {
+        let space = DemandSpace::new(5, 1);
+        let cands = CandidateSpace::new(&space, 1, 2);
+        let (a, _) = minimum_cover(&space, &cands, &SearchOptions::default());
+        let seeded = SearchOptions {
+            incumbent_len: Some(a.slots.len()),
+            ..SearchOptions::default()
+        };
+        let (b, _) = minimum_cover(&space, &cands, &seeded);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn budgeted_search_is_marked_inexact() {
+        let space = DemandSpace::new(6, 2);
+        let cands = CandidateSpace::new(&space, 1, 2);
+        let opts = SearchOptions {
+            max_nodes: Some(5),
+            ..SearchOptions::default()
+        };
+        let (sol, stats) = minimum_cover(&space, &cands, &opts);
+        // The greedy seed guarantees a valid cover even when every branch
+        // runs out of budget.
+        assert!(!sol.slots.is_empty());
+        assert!(!stats.exact || stats.nodes <= 5 * stats.root_branches as u64);
+    }
+}

@@ -54,6 +54,24 @@ fn arb_non_sleeping() -> impl Strategy<Value = Schedule> {
         })
 }
 
+/// A seed-deterministic permutation of `0..n` (Fisher–Yates over splitmix).
+fn shuffled(n: usize, seed: u64) -> Vec<usize> {
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let mut p: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        p.swap(i, j);
+    }
+    p
+}
+
 proptest! {
     /// Theorem 1: Requirements 2 and 3 accept and reject exactly the same
     /// schedules, for every degree bound.
@@ -188,6 +206,74 @@ proptest! {
         let text = io::to_text(&s);
         let back = io::from_text(&text).unwrap();
         prop_assert_eq!(s, back);
+    }
+
+    /// Canonical fingerprints are invariant under node and slot
+    /// relabeling: every permuted copy of a schedule hashes identically.
+    #[test]
+    fn fingerprint_invariant_under_relabeling(
+        s in arb_schedule(),
+        pseed in any::<u64>(),
+        qseed in any::<u64>(),
+    ) {
+        let n = s.num_nodes();
+        let l = s.frame_length();
+        let p = shuffled(n, pseed);
+        let q = shuffled(l, qseed);
+        let mut t = vec![BitSet::new(n); l];
+        let mut r = vec![BitSet::new(n); l];
+        for i in 0..l {
+            for x in s.transmitters(i).iter() {
+                t[q[i]].insert(p[x]);
+            }
+            for x in s.receivers(i).iter() {
+                r[q[i]].insert(p[x]);
+            }
+        }
+        let relabeled = Schedule::new(n, t, r);
+        prop_assert_eq!(s.canonical_fingerprint(), relabeled.canonical_fingerprint());
+    }
+
+    /// Structurally distinct schedules get distinct fingerprints: mutating
+    /// one slot's transmitter set into a different valid set changes the
+    /// hash (WL refinement plus 64-bit mixing; a collision here would mean
+    /// either WL-indistinguishability or a hash clash, neither of which
+    /// random irregular schedules should exhibit).
+    #[test]
+    fn fingerprint_separates_mutated_schedules(
+        s in arb_schedule(),
+        slot_pick in any::<u64>(),
+        node_pick in any::<u64>(),
+    ) {
+        let n = s.num_nodes();
+        let l = s.frame_length();
+        let i = (slot_pick % l as u64) as usize;
+        let x = (node_pick % n as u64) as usize;
+        let mut t: Vec<BitSet> = (0..l).map(|j| s.transmitters(j).clone()).collect();
+        let mut r: Vec<BitSet> = (0..l).map(|j| s.receivers(j).clone()).collect();
+        // Toggle node x's transmit role in slot i (dropping it from R to
+        // keep T ∩ R empty); skip degenerate outcomes (empty T).
+        if t[i].contains(x) {
+            t[i].remove(x);
+        } else {
+            t[i].insert(x);
+            r[i].remove(x);
+        }
+        prop_assume!(!t[i].is_empty());
+        let mutated = Schedule::new(n, t, r);
+        // The mutation can land on a relabel-equivalent schedule (toggling
+        // between symmetric positions), where colliding is *correct*. Only
+        // assert when the sorted per-slot (|T|, |R|) sequences differ — a
+        // sufficient condition for genuine non-equivalence.
+        let degs = |sch: &Schedule| {
+            let mut v: Vec<(usize, usize)> = (0..sch.frame_length())
+                .map(|j| (sch.transmitters(j).len(), sch.receivers(j).len()))
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        prop_assume!(degs(&mutated) != degs(&s));
+        prop_assert_ne!(s.canonical_fingerprint(), mutated.canonical_fingerprint());
     }
 
     /// r(x) sanity: r(α_T*) = 1 and r is non-negative on [0, α_T*].

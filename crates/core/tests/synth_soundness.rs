@@ -1,0 +1,167 @@
+//! Soundness and determinism suite for the schedule synthesizer.
+//!
+//! Three independent trust anchors:
+//!
+//! 1. **Naive oracles.** Every synthesized schedule is re-verified by the
+//!    exhaustive Requirement 1/2/3 verifiers and the cover-free-family
+//!    check on its transmit sets — none of which share code with the
+//!    search.
+//! 2. **Catalog round trips.** Entries serialize and re-parse
+//!    byte-identically, and the validator rejects tampering.
+//! 3. **Thread-count determinism.** The winning schedule is bit-identical
+//!    whether the branch-and-bound fans out over 1 thread or 4, for both
+//!    exact and budget-limited searches.
+
+use proptest::proptest;
+use ttdc_combinatorics::CoverFreeFamily;
+use ttdc_core::requirements::{
+    requirement1_violation_naive, requirement2_violation_naive, requirement3_violation_naive,
+};
+use ttdc_core::synth::search::SearchOptions;
+use ttdc_core::synth::{catalog, synthesize, SynthOptions, SynthProblem};
+
+/// Small parameter points the exact search finishes quickly on.
+const POINTS: &[(usize, usize, usize, usize)] = &[
+    (4, 1, 1, 1),
+    (5, 1, 1, 2),
+    (5, 2, 1, 2),
+    (4, 2, 2, 2),
+    (5, 1, 2, 2),
+    (5, 3, 1, 2),
+];
+
+fn synth_and_check(n: usize, d: usize, at: usize, ar: usize, opts: &SynthOptions) {
+    let p = SynthProblem::new(n, d, at, ar);
+    let out = synthesize(&p, opts);
+    let s = &out.schedule;
+    assert!(
+        s.is_alpha_schedule(at, ar),
+        "({n},{d},{at},{ar}): α caps violated"
+    );
+    assert!(
+        requirement1_violation_naive(s, d).is_none(),
+        "({n},{d},{at},{ar}): Requirement 1 violated"
+    );
+    assert!(
+        requirement2_violation_naive(s, d).is_none(),
+        "({n},{d},{at},{ar}): Requirement 2 violated"
+    );
+    assert!(
+        requirement3_violation_naive(s, d).is_none(),
+        "({n},{d},{at},{ar}): Requirement 3 violated"
+    );
+    let blocks: Vec<_> = (0..n).map(|x| s.tran(x).clone()).collect();
+    let fam = CoverFreeFamily::from_blocks(s.frame_length(), blocks);
+    assert!(
+        fam.is_d_cover_free(d),
+        "({n},{d},{at},{ar}): transmit sets not {d}-cover-free"
+    );
+}
+
+#[test]
+fn synthesized_schedules_pass_every_naive_oracle() {
+    for &(n, d, at, ar) in POINTS {
+        synth_and_check(n, d, at, ar, &SynthOptions::default());
+    }
+}
+
+#[test]
+fn budgeted_synthesis_is_still_sound() {
+    // A starved search budget forces the greedy/polish path; the result
+    // must still pass every oracle.
+    let opts = SynthOptions {
+        search: SearchOptions {
+            max_nodes: Some(3),
+            ..SearchOptions::default()
+        },
+        ..SynthOptions::default()
+    };
+    for &(n, d, at, ar) in POINTS {
+        synth_and_check(n, d, at, ar, &opts);
+    }
+}
+
+#[test]
+fn catalog_entries_round_trip_byte_identically_for_every_point() {
+    for &(n, d, at, ar) in POINTS {
+        let p = SynthProblem::new(n, d, at, ar);
+        let out = synthesize(&p, &SynthOptions::default());
+        let entry = catalog::CatalogEntry {
+            problem: p,
+            fingerprint: out.fingerprint,
+            schedule: out.schedule,
+            exact: out.stats.exact,
+            nodes: out.stats.nodes,
+            source: "synth".to_string(),
+        };
+        let text = catalog::entry_to_text(&entry);
+        let back = catalog::entry_from_text(&text).unwrap();
+        assert_eq!(entry, back, "({n},{d},{at},{ar})");
+        assert_eq!(
+            text,
+            catalog::entry_to_text(&back),
+            "({n},{d},{at},{ar}): bytes drifted through a round trip"
+        );
+    }
+}
+
+fn run_with_threads(p: &SynthProblem, opts: &SynthOptions, threads: usize) -> (u64, usize) {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .unwrap();
+    let out = pool.install(|| synthesize(p, opts));
+    (out.fingerprint, out.schedule.frame_length())
+}
+
+proptest! {
+    #![proptest_config(proptest::ProptestConfig::with_cases(12))]
+
+    /// The winning schedule is bit-identical at 1 and 4 worker threads —
+    /// the ordered-reduction incumbent rule removes all timing dependence.
+    #[test]
+    fn determinism_one_thread_vs_four(
+        point_idx in 0usize..6,
+        budget_raw in 0u64..4,
+    ) {
+        let (n, d, at, ar) = POINTS[point_idx];
+        let p = SynthProblem::new(n, d, at, ar);
+        // budget_raw == 0: exact search; otherwise a node budget, which
+        // exercises the timing-independent budget cutoff.
+        let opts = SynthOptions {
+            search: SearchOptions {
+                max_nodes: (budget_raw > 0).then_some(budget_raw * 50),
+                ..SearchOptions::default()
+            },
+            ..SynthOptions::default()
+        };
+        let single = run_with_threads(&p, &opts, 1);
+        let parallel = run_with_threads(&p, &opts, 4);
+        assert_eq!(single, parallel, "({n},{d},{at},{ar}) budget {budget_raw}");
+        // Fingerprint equality is necessary; require the stronger
+        // bit-identical slot sequence too.
+        let a = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap()
+            .install(|| synthesize(&p, &opts));
+        let b = rayon::ThreadPoolBuilder::new().num_threads(4).build().unwrap()
+            .install(|| synthesize(&p, &opts));
+        assert_eq!(a.schedule, b.schedule, "({n},{d},{at},{ar}) budget {budget_raw}");
+        assert_eq!(a.stats.exact, b.stats.exact);
+    }
+}
+
+#[test]
+fn exact_search_matches_known_trivial_optima() {
+    // At α_T = α_R = 1 and D = n−1 every slot carries exactly one
+    // (transmitter, receiver) pair and every ordered pair must appear:
+    // the optimum is exactly n·(n−1).
+    for n in [3usize, 4] {
+        let p = SynthProblem::new(n, n - 1, 1, 1);
+        let out = synthesize(&p, &SynthOptions::default());
+        assert!(out.stats.exact);
+        assert_eq!(
+            out.schedule.frame_length(),
+            n * (n - 1),
+            "n = {n}: ordered-pair lower bound"
+        );
+    }
+}

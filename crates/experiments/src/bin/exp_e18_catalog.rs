@@ -1,0 +1,4 @@
+//! Runner for experiment e18_catalog — see `ttdc_experiments::e18_catalog`.
+fn main() {
+    ttdc_experiments::run_and_write("e18_catalog", ttdc_experiments::e18_catalog::run);
+}

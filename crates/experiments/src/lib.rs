@@ -25,6 +25,7 @@
 //! | e15 | CFF construction trade study | [`e15_cff_constructions`] |
 //! | e16 | sender-policy ablation | [`e16_sender_policy`] |
 //! | e17 | fault tolerance (loss/crash/drift) | [`e17_fault_tolerance`] |
+//! | e18 | synthesized catalog vs Figure 2 | [`e18_catalog`] |
 
 pub mod campaign;
 pub mod e01_requirements;
@@ -44,6 +45,7 @@ pub mod e14_lifetime;
 pub mod e15_cff_constructions;
 pub mod e16_sender_policy;
 pub mod e17_fault_tolerance;
+pub mod e18_catalog;
 pub mod output;
 
 pub use campaign::{grid, grid_names, GridScenario, CAMPAIGN_DIR_ENV};
@@ -75,5 +77,6 @@ pub fn registry() -> Vec<(&'static str, Runner)> {
         ("e15_cff_constructions", e15_cff_constructions::run),
         ("e16_sender_policy", e16_sender_policy::run),
         ("e17_fault_tolerance", e17_fault_tolerance::run),
+        ("e18_catalog", e18_catalog::run),
     ]
 }

@@ -24,13 +24,30 @@ use crate::bitset::BitSet;
 /// intersect in at most `k` slots, so a swap costs `O(k)` instead of
 /// `O(L)`). The restriction lets `add`/`remove` skip any membership test
 /// against the target.
+///
+/// # Backtracking
+///
+/// Search consumers (the schedule synthesizer's branch-and-bound) need to
+/// *undo* a prefix of additions without remembering which sets were added:
+/// [`add_tracked`](Self::add_tracked) journals every slot it increments on a
+/// trail, [`mark`](Self::mark) snapshots the trail position in O(1), and
+/// [`undo_to`](Self::undo_to) pops the trail back to a mark — each popped
+/// entry is a single decrement, so a backtrack costs exactly the increments
+/// it unwinds, never a rescan of the added sets or the target.
 #[derive(Clone, Debug)]
 pub struct CoverCounter {
     counts: Vec<u16>,
     target: BitSet,
     uncovered: BitSet,
     deficit: usize,
+    /// Journal of slots incremented by `add_tracked`, for `undo_to`.
+    trail: Vec<u32>,
 }
+
+/// An O(1) snapshot of a [`CoverCounter`] trail position, taken by
+/// [`CoverCounter::mark`] and consumed by [`CoverCounter::undo_to`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CoverMark(usize);
 
 impl CoverCounter {
     /// Creates a counter over `universe` slots with an empty target.
@@ -40,6 +57,7 @@ impl CoverCounter {
             target: BitSet::new(universe),
             uncovered: BitSet::new(universe),
             deficit: 0,
+            trail: Vec::new(),
         }
     }
 
@@ -50,6 +68,7 @@ impl CoverCounter {
         self.target.clone_from(target);
         self.uncovered.clone_from(target);
         self.deficit = target.len();
+        self.trail.clear();
     }
 
     /// Adds one member set (must be ⊆ the current target).
@@ -82,6 +101,49 @@ impl CoverCounter {
         }
     }
 
+    /// Like [`add`](Self::add), but journals every incremented slot on the
+    /// undo trail so [`undo_to`](Self::undo_to) can unwind it. Returns the
+    /// number of target slots this set newly covered (its marginal gain).
+    pub fn add_tracked(&mut self, set: &BitSet) -> usize {
+        debug_assert!(
+            set.is_subset(&self.target),
+            "CoverCounter::add_tracked requires sets masked to the target"
+        );
+        let before = self.deficit;
+        for s in set.iter() {
+            self.counts[s] += 1;
+            self.trail.push(s as u32);
+            if self.counts[s] == 1 {
+                self.uncovered.remove(s);
+                self.deficit -= 1;
+            }
+        }
+        before - self.deficit
+    }
+
+    /// Snapshots the current undo-trail position in O(1).
+    #[inline]
+    pub fn mark(&self) -> CoverMark {
+        CoverMark(self.trail.len())
+    }
+
+    /// Unwinds every [`add_tracked`](Self::add_tracked) since `mark` was
+    /// taken: each journaled slot is decremented once (constant work per
+    /// entry — no rescan of sets or target). The mark must come from this
+    /// counter's current `set_target` epoch.
+    pub fn undo_to(&mut self, mark: CoverMark) {
+        debug_assert!(mark.0 <= self.trail.len(), "mark from a future epoch");
+        while self.trail.len() > mark.0 {
+            let s = self.trail.pop().expect("trail length checked") as usize;
+            debug_assert!(self.counts[s] > 0, "trail decrement of a zero count");
+            self.counts[s] -= 1;
+            if self.counts[s] == 0 {
+                self.uncovered.insert(s);
+                self.deficit += 1;
+            }
+        }
+    }
+
     /// `true` iff the union of the added sets equals the target.
     #[inline]
     pub fn is_covered(&self) -> bool {
@@ -104,6 +166,20 @@ impl CoverCounter {
     #[inline]
     pub fn universe(&self) -> usize {
         self.counts.len()
+    }
+
+    /// Multiplicity of slot `s` in the current union.
+    #[inline]
+    pub fn multiplicity(&self, s: usize) -> u16 {
+        self.counts[s]
+    }
+
+    /// `true` iff removing one copy of `set` would leave the union's
+    /// coverage unchanged — every slot of `set` has another supplier. The
+    /// local-search redundancy test: a slot of the schedule whose demand
+    /// set is redundant can be dropped.
+    pub fn is_redundant(&self, set: &BitSet) -> bool {
+        set.iter().all(|s| self.counts[s] >= 2)
     }
 }
 
@@ -164,5 +240,67 @@ mod tests {
         let mut c = CoverCounter::new(4);
         c.set_target(&BitSet::new(4));
         assert!(c.is_covered());
+    }
+
+    #[test]
+    fn tracked_adds_unwind_to_marks() {
+        let mut c = CoverCounter::new(10);
+        c.set_target(&bs(10, &[1, 3, 5, 7]));
+        let m0 = c.mark();
+        assert_eq!(c.add_tracked(&bs(10, &[1, 3])), 2);
+        let m1 = c.mark();
+        assert_eq!(c.add_tracked(&bs(10, &[3, 5])), 1, "3 already covered");
+        assert_eq!(c.add_tracked(&bs(10, &[7])), 1);
+        assert!(c.is_covered());
+
+        // Unwind the last two adds: back to {1, 3} covered.
+        c.undo_to(m1);
+        assert_eq!(c.deficit(), 2);
+        assert_eq!(c.uncovered().iter().collect::<Vec<_>>(), vec![5, 7]);
+        assert_eq!(c.multiplicity(3), 1);
+
+        // Re-add after an undo, then unwind everything.
+        c.add_tracked(&bs(10, &[5, 7]));
+        assert!(c.is_covered());
+        c.undo_to(m0);
+        assert_eq!(c.deficit(), 4);
+        assert_eq!(c.multiplicity(1), 0);
+
+        // undo_to a mark equal to the current trail is a no-op.
+        let m = c.mark();
+        c.undo_to(m);
+        assert_eq!(c.deficit(), 4);
+    }
+
+    #[test]
+    fn tracked_and_untracked_adds_interoperate_with_redundancy() {
+        let mut c = CoverCounter::new(6);
+        c.set_target(&bs(6, &[0, 1, 2]));
+        let a = bs(6, &[0, 1]);
+        let b = bs(6, &[1, 2]);
+        c.add_tracked(&a);
+        c.add_tracked(&b);
+        assert!(c.is_covered());
+        // Slot 0 and 2 have a single supplier: neither set is redundant.
+        assert!(!c.is_redundant(&a));
+        assert!(!c.is_redundant(&b));
+        let overlap = bs(6, &[1]);
+        c.add_tracked(&overlap);
+        assert!(c.is_redundant(&overlap), "slot 1 has three suppliers");
+    }
+
+    #[test]
+    fn set_target_resets_the_trail() {
+        let mut c = CoverCounter::new(4);
+        c.set_target(&bs(4, &[0, 1]));
+        c.add_tracked(&bs(4, &[0]));
+        c.set_target(&bs(4, &[2, 3]));
+        // A fresh epoch: the old trail must not leak into new marks.
+        let m = c.mark();
+        assert_eq!(m, CoverMark(0));
+        c.add_tracked(&bs(4, &[2, 3]));
+        assert!(c.is_covered());
+        c.undo_to(m);
+        assert_eq!(c.deficit(), 2);
     }
 }
