@@ -1,11 +1,15 @@
-//! Branch-and-bound synthesizer trajectory: admissible pruning + root
-//! symmetry reduction vs the same search with both disabled (depth-bounded
-//! exhaustive enumeration), at small parameter points where the exhaustive
-//! run is still checkable. Every row asserts the two searches agree on the
-//! optimum frame length and that the pruned winner passes the naive
-//! Requirement-3 oracle, then reports nodes/sec, prune rate, and the
-//! pruned-vs-exhaustive speedup. Writes `BENCH_synth.json` at the repo
-//! root, same shape as `BENCH_verify.json`.
+//! Branch-and-bound synthesizer trajectory: a bound/pruning ablation
+//! ladder (ceiling-only → +matching → +dominance → full default search)
+//! against the same search with everything disabled (depth-bounded
+//! exhaustive enumeration), at small parameter points where the
+//! exhaustive run is still checkable. Every rung of the ladder is
+//! asserted to return the *identical* `(len, lex)` winner — not just the
+//! same optimum length — and the full-search winner additionally passes
+//! the naive Requirement-3 oracle. Each row reports nodes/sec, prune
+//! rate, the pruned-vs-exhaustive speedup, and the node-count reduction
+//! of the full search relative to the ceiling-only baseline (the PR 9
+//! search). Writes `BENCH_synth.json` at the repo root, same shape as
+//! `BENCH_verify.json`.
 //!
 //! Run with `cargo run --release -p ttdc-bench --bin bench_synth`.
 //! Pass `--smoke` (CI) for a single timing iteration: the identity
@@ -16,7 +20,7 @@ use serde_json::{json, to_string_pretty, Value};
 use std::time::Instant;
 use ttdc_core::requirements::requirement3_violation_naive;
 use ttdc_core::synth::demands::{CandidateSpace, DemandSpace};
-use ttdc_core::synth::search::{minimum_cover, SearchOptions, SearchStats};
+use ttdc_core::synth::search::{minimum_cover, BoundKind, SearchOptions, SearchStats};
 use ttdc_core::synth::SynthProblem;
 
 /// Small exhaustively-checkable parameter points.
@@ -27,6 +31,37 @@ const POINTS: &[(usize, usize, usize, usize)] = &[
     (5, 3, 1, 2),
     (5, 2, 2, 2),
 ];
+
+/// The ablation ladder, weakest first. The first rung reproduces the
+/// PR 9 search (ceiling bound, no dominance, no lex pruning); the last
+/// is `SearchOptions::default()`.
+fn ladder() -> Vec<(&'static str, SearchOptions)> {
+    let ceiling = SearchOptions {
+        bound: BoundKind::Ceiling,
+        dominance: false,
+        lex_prune: false,
+        ..SearchOptions::default()
+    };
+    vec![
+        ("ceiling", ceiling),
+        (
+            "+matching",
+            SearchOptions {
+                bound: BoundKind::Matching,
+                ..ceiling
+            },
+        ),
+        (
+            "+dominance",
+            SearchOptions {
+                bound: BoundKind::Matching,
+                dominance: true,
+                ..ceiling
+            },
+        ),
+        ("full", SearchOptions::default()),
+    ]
+}
 
 /// Median wall time of `iters` calls (after one warm-up), plus the result.
 fn measure<D>(iters: usize, work: impl Fn() -> D) -> (f64, D) {
@@ -48,10 +83,12 @@ fn run_point(n: usize, d: usize, at: usize, ar: usize, iters: usize) -> Value {
     let p = SynthProblem::new(n, d, at, ar);
     let space = DemandSpace::new(p.n, p.d);
     let cands = CandidateSpace::new(&space, p.alpha_t, p.alpha_r);
-    let pruned_opts = SearchOptions::default();
     let exhaustive_opts = SearchOptions {
         prune: false,
+        dominance: false,
+        lex_prune: false,
         symmetry: false,
+        sub_symmetry: false,
         ..SearchOptions::default()
     };
     // A 1-thread pool isolates the algorithmic win from parallel fan-out.
@@ -60,39 +97,69 @@ fn run_point(n: usize, d: usize, at: usize, ar: usize, iters: usize) -> Value {
         .build()
         .expect("pool construction cannot fail");
     let run = |opts: &SearchOptions| pool.install(|| minimum_cover(&space, &cands, opts));
-    let (pruned_ms, (pruned_sol, pruned_stats)): (f64, (_, SearchStats)) =
-        measure(iters, || run(&pruned_opts));
-    let (exhaustive_ms, (exhaustive_sol, exhaustive_stats)) =
+
+    let (exhaustive_ms, (exhaustive_sol, exhaustive_stats)): (f64, (_, SearchStats)) =
         measure(iters, || run(&exhaustive_opts));
     assert!(
-        pruned_stats.exact && exhaustive_stats.exact,
-        "{name}: both searches must run to completion"
+        exhaustive_stats.exact,
+        "{name}: exhaustive search must run to completion"
     );
-    assert_eq!(
-        pruned_sol.slots.len(),
-        exhaustive_sol.slots.len(),
-        "{name}: pruned and exhaustive optima differ"
-    );
-    let schedule = cands.schedule(p.n, &pruned_sol.slots);
+
+    let mut ablation: Vec<Value> = Vec::new();
+    let mut ceiling_nodes = 0u64;
+    let mut full: Option<(f64, SearchStats)> = None;
+    for (label, opts) in ladder() {
+        let (ms, (sol, stats)) = measure(iters, || run(&opts));
+        assert!(stats.exact, "{name}/{label}: search must run to completion");
+        assert_eq!(
+            sol.slots, exhaustive_sol.slots,
+            "{name}/{label}: winner differs from the exhaustive search"
+        );
+        if label == "ceiling" {
+            ceiling_nodes = stats.nodes;
+        }
+        eprintln!(
+            "  {label:<10} {:>9} nodes / {ms:>9.3} ms  ({})",
+            stats.nodes,
+            opts.config_string(),
+        );
+        ablation.push(json!({
+            "config": label,
+            "search": opts.config_string(),
+            "nodes": stats.nodes,
+            "pruned": stats.pruned,
+            "median_ms": ms,
+            "results_identical": true,
+            "node_reduction_vs_ceiling": ceiling_nodes as f64 / stats.nodes as f64,
+        }));
+        if label == "full" {
+            full = Some((ms, stats));
+        }
+    }
+    let (pruned_ms, pruned_stats) = full.expect("ladder ends with the full search");
+
+    let schedule = cands.schedule(p.n, &exhaustive_sol.slots);
     assert!(
         requirement3_violation_naive(&schedule, p.d).is_none(),
-        "{name}: pruned optimum fails the naive Requirement-3 oracle"
+        "{name}: optimum fails the naive Requirement-3 oracle"
     );
     let speedup_time = exhaustive_ms / pruned_ms;
     let speedup_nodes = exhaustive_stats.nodes as f64 / pruned_stats.nodes as f64;
     let prune_rate = pruned_stats.pruned as f64 / pruned_stats.nodes as f64;
     let nodes_per_sec = pruned_stats.nodes as f64 / (pruned_ms / 1e3);
+    let reduction = ceiling_nodes as f64 / pruned_stats.nodes as f64;
     eprintln!(
-        "  optimum L={}: pruned {} nodes / {pruned_ms:.3} ms, exhaustive {} nodes / \
-         {exhaustive_ms:.3} ms  ({speedup_time:.1}x time, {speedup_nodes:.1}x nodes)",
-        pruned_sol.slots.len(),
+        "  optimum L={}: full {} nodes / {pruned_ms:.3} ms, exhaustive {} nodes / \
+         {exhaustive_ms:.3} ms  ({speedup_time:.1}x time, {speedup_nodes:.1}x nodes, \
+         {reduction:.1}x vs ceiling)",
+        exhaustive_sol.slots.len(),
         pruned_stats.nodes,
         exhaustive_stats.nodes,
     );
     json!({
         "name": name,
         "iterations": iters,
-        "optimum_frame_length": pruned_sol.slots.len() as u64,
+        "optimum_frame_length": exhaustive_sol.slots.len() as u64,
         "results_identical": true,
         "pruned_nodes": pruned_stats.nodes,
         "exhaustive_nodes": exhaustive_stats.nodes,
@@ -102,8 +169,10 @@ fn run_point(n: usize, d: usize, at: usize, ar: usize, iters: usize) -> Value {
         "nodes_per_sec": nodes_per_sec,
         "speedup_single_thread": speedup_time,
         "speedup_nodes": speedup_nodes,
+        "node_reduction_vs_ceiling": reduction,
         "root_branches_after_symmetry": pruned_stats.root_branches,
         "root_branches_total": pruned_stats.root_branches_total,
+        "ablation": ablation,
     })
 }
 
@@ -116,11 +185,11 @@ fn main() {
         .map(|&(n, d, at, ar)| run_point(n, d, at, ar, iters))
         .collect();
 
-    let min_speedup = sweeps
+    let min_reduction = sweeps
         .iter()
-        .filter_map(|s| s.get("speedup_single_thread")?.as_f64())
+        .filter_map(|s| s.get("node_reduction_vs_ceiling")?.as_f64())
         .fold(f64::INFINITY, f64::min);
-    eprintln!("minimum pruned-vs-exhaustive speedup across points: {min_speedup:.1}x");
+    eprintln!("minimum full-vs-ceiling node reduction across points: {min_reduction:.1}x");
 
     if smoke {
         eprintln!("smoke mode: identity checks passed on every point; JSON not rewritten");
@@ -129,9 +198,9 @@ fn main() {
 
     let host_threads = std::thread::available_parallelism().map_or(0, |p| p.get());
     let doc = json!({
-        "description": "branch-and-bound schedule synthesis: admissible deficit pruning + root symmetry reduction vs depth-bounded exhaustive enumeration, by (n, D, alpha_T, alpha_R)",
+        "description": "branch-and-bound schedule synthesis: bound/pruning ablation ladder (ceiling -> +matching -> +dominance -> full) vs depth-bounded exhaustive enumeration, by (n, D, alpha_T, alpha_R)",
         "host_available_parallelism": host_threads as u64,
-        "note": "both searches run on a 1-thread pool and are asserted to find the same optimum frame length; the pruned winner is re-verified by the naive Requirement-3 oracle",
+        "note": "all searches run on a 1-thread pool; every ladder rung is asserted to return the identical (len, lex) winner as the exhaustive search, which is re-verified by the naive Requirement-3 oracle",
         "sweeps": sweeps,
     });
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_synth.json");

@@ -16,7 +16,9 @@ USAGE:
   ttdc synth run    --nodes N --degree D --alpha-t A --alpha-r B
                     [--catalog DIR] [--max-nodes K] [--polish I]
                     [--threads T]
-  ttdc synth status [--catalog DIR]
+  ttdc synth campaign --nodes N --degree D --alpha-t A --alpha-r B
+                      [--catalog DIR] [--budget K] [--polish I] DIR
+  ttdc synth status [--catalog DIR] [--json FILE]
   ttdc verify   --degree D FILE
   ttdc analyze  --degree D [--alpha-t A --alpha-r B] FILE
   ttdc simulate --degree D --topology ring|line|star|grid=WxH|geometric=SEED
@@ -52,6 +54,15 @@ SCHEDULE SYNTHESIS (synth):
   winning schedule is bit-identical at any thread count). `ttdc build`
   consults the same catalog before falling back to the Figure 2
   construction, and reports the chosen source on stderr.
+
+  `ttdc synth campaign` runs one point as a long, kill-resilient search:
+  every root branch is searched independently (--budget K nodes each,
+  default 2000000) and checkpointed to DIR/manifest.jsonl, so a killed
+  campaign re-run with the same arguments resumes where it died and the
+  final schedule is identical to an uninterrupted run. The winner is
+  polished (--polish I iterations when inexact) and recorded in the
+  catalog with source=campaign. `ttdc synth status --json FILE` writes a
+  machine-readable catalog report alongside the human table.
 
 CAMPAIGNS:
   A campaign runs a named Monte-Carlo grid (smoke, e10, e12, e12-large,
@@ -168,10 +179,31 @@ pub enum SynthAction {
         /// Worker-thread count (`None` = the rayon default).
         threads: Option<usize>,
     },
+    /// Run one point as a checkpointed, kill-resumable campaign.
+    Campaign {
+        /// Max nodes `n`.
+        nodes: usize,
+        /// Max degree `D`.
+        degree: usize,
+        /// Transmitter budget `α_T`.
+        alpha_t: usize,
+        /// Receiver budget `α_R`.
+        alpha_r: usize,
+        /// Catalog directory (default `results/catalog`).
+        catalog: String,
+        /// Per-root-branch search-node budget (`None` = the default).
+        budget: Option<u64>,
+        /// Local-search iterations polishing an inexact result.
+        polish: Option<u64>,
+        /// Checkpoint directory (holds `manifest.jsonl`).
+        dir: String,
+    },
     /// Report every catalog entry without searching.
     Status {
         /// Catalog directory (default `results/catalog`).
         catalog: String,
+        /// Also write a machine-readable JSON report to this path.
+        json: Option<String>,
     },
 }
 
@@ -406,6 +438,31 @@ fn validate(cmd: &Command) -> Result<(), CliError> {
             }
             Ok(())
         }
+        Command::Synth(SynthAction::Campaign {
+            nodes,
+            degree,
+            alpha_t,
+            alpha_r,
+            budget,
+            ..
+        }) => {
+            if *degree == 0 || degree >= nodes {
+                return Err(CliError::InvalidValue(format!(
+                    "synthesis needs 1 ≤ D < n, got n = {nodes}, D = {degree}"
+                )));
+            }
+            if *alpha_t == 0 || *alpha_r == 0 {
+                return Err(CliError::InvalidValue(
+                    "synthesis needs α_T ≥ 1 and α_R ≥ 1".into(),
+                ));
+            }
+            if *budget == Some(0) {
+                return Err(CliError::InvalidValue(
+                    "--budget: each branch needs at least one search node".into(),
+                ));
+            }
+            Ok(())
+        }
         Command::Campaign(CampaignAction::Run {
             reps, shard_size, ..
         }) => {
@@ -492,9 +549,27 @@ fn parse_shape<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, Strin
                         threads: o.opt("threads")?,
                     }))
                 }
+                "campaign" => {
+                    let o = collect(it)?;
+                    o.known(&[
+                        "nodes", "degree", "alpha-t", "alpha-r", "catalog", "budget", "polish",
+                    ])?;
+                    Ok(Command::Synth(SynthAction::Campaign {
+                        nodes: o.req("nodes")?,
+                        degree: o.req("degree")?,
+                        alpha_t: o.req("alpha-t")?,
+                        alpha_r: o.req("alpha-r")?,
+                        catalog: o
+                            .opt("catalog")?
+                            .unwrap_or_else(|| DEFAULT_CATALOG_DIR.to_string()),
+                        budget: o.opt("budget")?,
+                        polish: o.opt("polish")?,
+                        dir: o.dir()?,
+                    }))
+                }
                 "status" => {
                     let o = collect(it)?;
-                    o.known(&["catalog"])?;
+                    o.known(&["catalog", "json"])?;
                     if !o.positional.is_empty() {
                         return Err(format!("unexpected arguments: {:?}", o.positional));
                     }
@@ -502,6 +577,7 @@ fn parse_shape<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, Strin
                         catalog: o
                             .opt("catalog")?
                             .unwrap_or_else(|| DEFAULT_CATALOG_DIR.to_string()),
+                        json: o.opt("json")?,
                     }))
                 }
                 other => Err(format!("unknown synth action {other:?}")),
@@ -747,9 +823,95 @@ mod tests {
         assert_eq!(
             parse(sv(&["synth", "status"])).unwrap(),
             Command::Synth(SynthAction::Status {
-                catalog: DEFAULT_CATALOG_DIR.into()
+                catalog: DEFAULT_CATALOG_DIR.into(),
+                json: None,
             })
         );
+        assert_eq!(
+            parse(sv(&["synth", "status", "--json", "report.json"])).unwrap(),
+            Command::Synth(SynthAction::Status {
+                catalog: DEFAULT_CATALOG_DIR.into(),
+                json: Some("report.json".into()),
+            })
+        );
+        assert_eq!(
+            parse(sv(&[
+                "synth",
+                "campaign",
+                "--nodes",
+                "8",
+                "--degree",
+                "1",
+                "--alpha-t",
+                "1",
+                "--alpha-r",
+                "2",
+                "--budget",
+                "50000",
+                "--polish",
+                "100",
+                "camp/dir",
+            ]))
+            .unwrap(),
+            Command::Synth(SynthAction::Campaign {
+                nodes: 8,
+                degree: 1,
+                alpha_t: 1,
+                alpha_r: 2,
+                catalog: DEFAULT_CATALOG_DIR.into(),
+                budget: Some(50000),
+                polish: Some(100),
+                dir: "camp/dir".into(),
+            })
+        );
+        // Campaign usage/domain errors: missing DIR is usage, bad point or
+        // zero budget is an invalid value.
+        let e = parse(sv(&[
+            "synth",
+            "campaign",
+            "--nodes",
+            "8",
+            "--degree",
+            "1",
+            "--alpha-t",
+            "1",
+            "--alpha-r",
+            "2",
+        ]))
+        .unwrap_err();
+        assert_eq!(e.exit_code(), 2, "{e}");
+        let e = parse(sv(&[
+            "synth",
+            "campaign",
+            "--nodes",
+            "8",
+            "--degree",
+            "8",
+            "--alpha-t",
+            "1",
+            "--alpha-r",
+            "2",
+            "d",
+        ]))
+        .unwrap_err();
+        assert_eq!(e.exit_code(), 3, "{e}");
+        let e = parse(sv(&[
+            "synth",
+            "campaign",
+            "--nodes",
+            "8",
+            "--degree",
+            "1",
+            "--alpha-t",
+            "1",
+            "--alpha-r",
+            "2",
+            "--budget",
+            "0",
+            "d",
+        ]))
+        .unwrap_err();
+        assert_eq!(e.exit_code(), 3, "{e}");
         // Usage errors.
         for bad in [
             vec!["synth"],

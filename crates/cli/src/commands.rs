@@ -502,6 +502,7 @@ fn synth(action: &SynthAction, out: &mut dyn Write) -> CmdResult {
                     } else {
                         "synth".to_string()
                     },
+                    config: Some(opts.search.config_string()),
                 };
                 let mut cache = VerifyCache::new();
                 catalog::validate_entry(&entry, &mut cache).map_err(|e| {
@@ -513,15 +514,44 @@ fn synth(action: &SynthAction, out: &mut dyn Write) -> CmdResult {
             }
             Ok(())
         }
-        SynthAction::Status { catalog: dir } => {
+        SynthAction::Campaign {
+            nodes,
+            degree,
+            alpha_t,
+            alpha_r,
+            catalog: cat_dir,
+            budget,
+            polish: polish_iters,
+            dir,
+        } => synth_campaign(
+            &SynthProblem::new(*nodes, *degree, *alpha_t, *alpha_r),
+            Path::new(cat_dir),
+            budget.unwrap_or(DEFAULT_CAMPAIGN_BUDGET),
+            polish_iters.unwrap_or(200),
+            Path::new(dir),
+            out,
+        ),
+        SynthAction::Status { catalog: dir, json } => {
             let dir = Path::new(dir);
             let entries = catalog::load_all(dir);
             if entries.is_empty() {
                 writeln!(out, "catalog {}: empty", dir.display()).ok();
+                if let Some(path) = json {
+                    let empty = serde_json::json!({"catalog": dir.display().to_string(),
+                        "entries": Vec::<serde_json::Value>::new(), "failures": 0});
+                    ttdc_util::write_atomic(
+                        Path::new(path),
+                        serde_json::to_string_pretty(&empty)
+                            .expect("infallible")
+                            .as_bytes(),
+                    )
+                    .map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+                }
                 return Ok(());
             }
             let mut cache = VerifyCache::new();
             let mut failures = 0usize;
+            let mut report = Vec::new();
             for (path, parsed) in &entries {
                 let name = path
                     .file_name()
@@ -531,6 +561,9 @@ fn synth(action: &SynthAction, out: &mut dyn Write) -> CmdResult {
                     Err(e) => {
                         failures += 1;
                         writeln!(out, "{name}: UNREADABLE — {e}").ok();
+                        report.push(serde_json::json!({
+                            "file": name, "status": "unreadable", "error": e,
+                        }));
                     }
                     Ok(entry) => {
                         let p = &entry.problem;
@@ -544,19 +577,22 @@ fn synth(action: &SynthAction, out: &mut dyn Write) -> CmdResult {
                         )
                         .schedule
                         .frame_length();
-                        let verdict = match catalog::validate_entry(entry, &mut cache) {
+                        let (status, verdict) = match catalog::validate_entry(entry, &mut cache) {
                             // A catalog entry that is *worse* than the
                             // Figure 2 construction is a frame-length
                             // regression: `ttdc build` would prefer it and
                             // get a longer frame.
                             Ok(()) if l > fig2 => {
                                 failures += 1;
-                                format!("REGRESSION — longer than figure2 (L = {fig2})")
+                                (
+                                    "regression",
+                                    format!("REGRESSION — longer than figure2 (L = {fig2})"),
+                                )
                             }
-                            Ok(()) => "verify OK".to_string(),
+                            Ok(()) => ("ok", "verify OK".to_string()),
                             Err(e) => {
                                 failures += 1;
-                                format!("INVALID — {e}")
+                                ("invalid", format!("INVALID — {e}"))
                             }
                         };
                         writeln!(
@@ -572,8 +608,39 @@ fn synth(action: &SynthAction, out: &mut dyn Write) -> CmdResult {
                             entry.nodes
                         )
                         .ok();
+                        report.push(serde_json::json!({
+                            "file": name,
+                            "status": status,
+                            "n": p.n, "degree": p.d,
+                            "alpha_t": p.alpha_t, "alpha_r": p.alpha_r,
+                            "frame_length": l,
+                            "figure2_frame_length": fig2,
+                            "exact": entry.exact,
+                            "source": entry.source.clone(),
+                            "search_nodes": entry.nodes,
+                            "search_config": entry
+                                .config
+                                .clone()
+                                .map_or(serde_json::Value::Null, serde_json::Value::String),
+                            "fingerprint": format!("0x{:016x}", entry.fingerprint),
+                        }));
                     }
                 }
+            }
+            if let Some(path) = json {
+                let doc = serde_json::json!({
+                    "catalog": dir.display().to_string(),
+                    "entries": report,
+                    "failures": failures,
+                });
+                ttdc_util::write_atomic(
+                    Path::new(path),
+                    serde_json::to_string_pretty(&doc)
+                        .expect("infallible")
+                        .as_bytes(),
+                )
+                .map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+                writeln!(out, "json     : wrote {path}").ok();
             }
             if failures > 0 {
                 writeln!(out, "{failures} catalog entr(y/ies) failed validation").ok();
@@ -583,6 +650,251 @@ fn synth(action: &SynthAction, out: &mut dyn Write) -> CmdResult {
             Ok(())
         }
     }
+}
+
+/// Default per-root-branch node budget for `ttdc synth campaign`.
+const DEFAULT_CAMPAIGN_BUDGET: u64 = 2_000_000;
+
+/// Manifest `kind` for synthesis campaigns.
+const SYNTH_CAMPAIGN_KIND: &str = "synth-campaign";
+
+/// Env var: abort the process after this many branch checkpoints (test/CI
+/// hook that simulates a SIGKILL at a fixed point in the campaign).
+pub const SYNTH_KILL_AFTER_ENV: &str = "TTDC_SYNTH_KILL_AFTER";
+
+/// Runs one parameter point as a checkpointed, kill-resumable search
+/// campaign: each root branch is searched under its own node budget with a
+/// *fresh* incumbent (so its result is independent of execution order and
+/// kill history), checkpointed to `dir/manifest.jsonl`, and the surviving
+/// branches reduce to the same winner an uninterrupted run would find.
+fn synth_campaign(
+    p: &SynthProblem,
+    cat_dir: &Path,
+    budget: u64,
+    polish_iters: u64,
+    dir: &Path,
+    out: &mut dyn Write,
+) -> CmdResult {
+    use std::sync::atomic::AtomicUsize;
+    use ttdc_core::synth::demands::{CandidateSpace, DemandSpace};
+    use ttdc_core::synth::search::{plan_root, search_root_branch, CoverSolution};
+    use ttdc_sim::campaign::Manifest;
+
+    let existing = catalog::load_entry(cat_dir, p).map_err(CliError::Schedule)?;
+    let space = DemandSpace::new(p.n, p.d);
+    let cands = CandidateSpace::new(&space, p.alpha_t, p.alpha_r);
+    let opts = SearchOptions {
+        max_nodes: Some(budget),
+        incumbent_len: existing.as_ref().map(|e| e.schedule.frame_length()),
+        ..SearchOptions::default()
+    };
+    let plan = plan_root(&space, &cands, &opts);
+    writeln!(
+        out,
+        "campaign : n={} D={} alpha=({},{}) — {} root branch(es) ({} before symmetry), \
+         budget {budget} nodes each, seed L = {}",
+        p.n,
+        p.d,
+        p.alpha_t,
+        p.alpha_r,
+        plan.branch_cands.len(),
+        plan.root_branches_total,
+        plan.seed_len,
+    )
+    .ok();
+
+    // The fingerprint binds everything that shapes a branch result; a
+    // manifest from different parameters, budget, seed or search config
+    // must not be resumed into.
+    let config = opts.config_string();
+    let fp = ttdc_util::fnv1a64(
+        format!(
+            "synth-campaign n={} d={} at={} ar={} budget={} seed_len={} branches={} {config}",
+            p.n,
+            p.d,
+            p.alpha_t,
+            p.alpha_r,
+            budget,
+            plan.seed_len,
+            plan.branch_cands.len(),
+        )
+        .as_bytes(),
+    );
+    let manifest_path = dir.join("manifest.jsonl");
+    let mut manifest = if manifest_path.exists() {
+        let m = Manifest::load(&manifest_path, SYNTH_CAMPAIGN_KIND, Some(fp))
+            .map_err(|e| CliError::Campaign(e.to_string()))?;
+        writeln!(
+            out,
+            "resuming : {}/{} branch(es) already checkpointed",
+            m.len(),
+            plan.branch_cands.len()
+        )
+        .ok();
+        m
+    } else {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| CliError::Io(format!("{}: {e}", dir.display())))?;
+        Manifest::new(
+            SYNTH_CAMPAIGN_KIND,
+            fp,
+            serde_json::json!({
+                "n": p.n, "degree": p.d, "alpha_t": p.alpha_t, "alpha_r": p.alpha_r,
+                "budget": budget, "seed_len": plan.seed_len, "config": config.clone(),
+            }),
+        )
+    };
+
+    let kill_after: Option<usize> = std::env::var(SYNTH_KILL_AFTER_ENV)
+        .ok()
+        .and_then(|v| v.parse().ok());
+    let mut checkpoints_this_run = 0usize;
+    for index in 0..plan.branch_cands.len() {
+        let id = format!("b{index}");
+        if manifest.get(&id).is_some() {
+            continue;
+        }
+        // A fresh incumbent per branch: the checkpointed result must not
+        // depend on which other branches happened to finish first.
+        let shared = AtomicUsize::new(plan.seed_len);
+        let r = search_root_branch(&space, &cands, &opts, &plan, index, &shared);
+        manifest.put(
+            &id,
+            serde_json::json!({
+                "best": r.best.as_ref().map_or(serde_json::Value::Null, |b| {
+                    serde_json::Value::Array(
+                        b.slots.iter().map(|&c| serde_json::Value::from(c)).collect(),
+                    )
+                }),
+                "nodes": r.nodes,
+                "pruned": r.pruned,
+                "exhausted": r.exhausted,
+            }),
+        );
+        manifest
+            .save(&manifest_path)
+            .map_err(|e| CliError::Campaign(e.to_string()))?;
+        checkpoints_this_run += 1;
+        if let Some(limit) = kill_after {
+            if checkpoints_this_run >= limit {
+                eprintln!(
+                    "synth campaign: {SYNTH_KILL_AFTER_ENV}={limit} reached after \
+                     {checkpoints_this_run} checkpoint(s); aborting"
+                );
+                std::process::abort();
+            }
+        }
+    }
+
+    // Ordered reduce over the checkpointed branches, identical to
+    // `minimum_cover`'s: start from the greedy seed, adopt any branch best
+    // that wins under the (len, lex) rule, tally effort.
+    let mut best = plan.greedy.clone();
+    let mut total_nodes = 0u64;
+    let mut total_pruned = 0u64;
+    let mut any_budget_hit = false;
+    for index in 0..plan.branch_cands.len() {
+        let id = format!("b{index}");
+        let payload = manifest
+            .get(&id)
+            .ok_or_else(|| CliError::Campaign(format!("manifest lost branch {id}")))?;
+        let field = |k: &str| payload.get(k).and_then(|v| v.as_u64()).unwrap_or(0);
+        total_nodes += field("nodes");
+        total_pruned += field("pruned");
+        any_budget_hit |= payload
+            .get("exhausted")
+            .and_then(|v| v.as_bool())
+            .unwrap_or(false);
+        if let Some(slots) = payload.get("best").and_then(|v| v.as_array()) {
+            let slots: Option<Vec<u32>> =
+                slots.iter().map(|v| v.as_u64().map(|x| x as u32)).collect();
+            let sol = CoverSolution {
+                slots: slots
+                    .ok_or_else(|| CliError::Campaign(format!("branch {id}: bad slot ids")))?,
+            };
+            if sol.better_than(&best) {
+                best = sol;
+            }
+        }
+    }
+    let exact = !any_budget_hit;
+    let mut sol = best;
+    let mut polish_improved = false;
+    if !exact && polish_iters > 0 {
+        let polished = ttdc_core::synth::polish(&space, &cands, &sol, 0x5EED, polish_iters);
+        if polished.slots.len() < sol.slots.len() {
+            sol = polished;
+            polish_improved = true;
+        }
+    }
+    let schedule = cands.schedule(p.n, &sol.slots);
+    let l = schedule.frame_length();
+    writeln!(
+        out,
+        "campaign : L = {l} ({}), {total_nodes} nodes expanded, {total_pruned} pruned{}",
+        if exact {
+            "proven optimal"
+        } else {
+            "branch budgets hit — best known"
+        },
+        if polish_improved {
+            ", improved by local search"
+        } else {
+            ""
+        }
+    )
+    .ok();
+
+    let fig2 = build_duty_cycled(
+        p.n,
+        p.d,
+        p.alpha_t,
+        p.alpha_r,
+        PartitionStrategy::RoundRobin,
+    )
+    .schedule
+    .frame_length();
+    writeln!(
+        out,
+        "figure2  : L = {fig2} ({})",
+        if l < fig2 {
+            format!("campaign saves {} slots", fig2 - l)
+        } else {
+            "no improvement over the construction".to_string()
+        }
+    )
+    .ok();
+    let keep = matches!(&existing, Some(e) if e.schedule.frame_length() <= l);
+    if keep {
+        writeln!(out, "catalog  : kept the existing entry (not beaten)").ok();
+    } else if l > fig2 {
+        writeln!(
+            out,
+            "catalog  : not written (figure2 L = {fig2} is still the best known)"
+        )
+        .ok();
+    } else {
+        let entry = catalog::CatalogEntry {
+            problem: *p,
+            fingerprint: schedule.canonical_fingerprint(),
+            schedule,
+            exact,
+            nodes: total_nodes,
+            source: if polish_improved {
+                "campaign+polish".to_string()
+            } else {
+                "campaign".to_string()
+            },
+            config: Some(config),
+        };
+        let mut cache = VerifyCache::new();
+        catalog::validate_entry(&entry, &mut cache)
+            .map_err(|e| CliError::Other(format!("refusing to write catalog entry: {e}")))?;
+        let path = catalog::write_entry(cat_dir, &entry)
+            .map_err(|e| CliError::Io(format!("{}: {e}", cat_dir.display())))?;
+        writeln!(out, "catalog  : wrote {}", path.display()).ok();
+    }
+    Ok(())
 }
 
 /// Runs one `ttdc campaign` action through the crash-resilient runner.

@@ -10,12 +10,17 @@
 //! # ttdc-catalog v1
 //! # n=6 D=2 alpha_t=1 alpha_r=2
 //! # L=15 exact=true nodes=1234 source=synth
+//! # search bound=lp lp_depth=64 lp_passes=1 dominance=true sub_symmetry=false
 //! # fingerprint=0x0123456789abcdef
 //! ttdc-schedule v1
 //! n=6 L=15
 //! T=0 R=1,2
 //! ...
 //! ```
+//!
+//! The `# search …` line records the bound/pruning configuration that
+//! produced the entry ([`super::search::SearchOptions::config_string`]);
+//! it is optional so headers written before it existed still parse.
 //!
 //! Entries are written atomically and byte-round-trip through
 //! [`entry_to_text`]/[`entry_from_text`]. Nothing is trusted on read:
@@ -41,8 +46,12 @@ pub struct CatalogEntry {
     pub exact: bool,
     /// Search-tree nodes the producing run expanded.
     pub nodes: u64,
-    /// Producer tag: `synth`, `synth+polish`, `greedy`, …
+    /// Producer tag: `synth`, `synth+polish`, `campaign`, `greedy`, …
     pub source: String,
+    /// Bound/pruning configuration of the producing search
+    /// ([`super::search::SearchOptions::config_string`]); `None` for
+    /// entries written before this field existed.
+    pub config: Option<String>,
     /// `schedule.canonical_fingerprint()`, pinned at write time.
     pub fingerprint: u64,
 }
@@ -55,10 +64,15 @@ pub fn entry_file_name(p: &SynthProblem) -> String {
 /// Serializes an entry (provenance header + schedule text).
 pub fn entry_to_text(e: &CatalogEntry) -> String {
     let p = &e.problem;
+    let search_line = match &e.config {
+        Some(cfg) => format!("# search {cfg}\n"),
+        None => String::new(),
+    };
     format!(
         "# ttdc-catalog v1\n\
          # n={} D={} alpha_t={} alpha_r={}\n\
          # L={} exact={} nodes={} source={}\n\
+         {search_line}\
          # fingerprint=0x{:016x}\n{}",
         p.n,
         p.d,
@@ -90,7 +104,16 @@ pub fn entry_from_text(text: &str) -> Result<CatalogEntry, String> {
     }
     let params = comments.next().ok_or("missing parameter line")?;
     let claims = comments.next().ok_or("missing provenance line")?;
-    let fp_line = comments.next().ok_or("missing fingerprint line")?;
+    // Optional `# search <config>` line (absent in pre-PR-10 headers).
+    let mut fp_line = comments.next().ok_or("missing fingerprint line")?;
+    let config = match fp_line.trim_start().strip_prefix("# search ") {
+        Some(cfg) => {
+            let cfg = cfg.trim().to_string();
+            fp_line = comments.next().ok_or("missing fingerprint line")?;
+            Some(cfg)
+        }
+        None => None,
+    };
     let parse = |s: &str| -> Result<usize, String> {
         s.parse::<usize>().map_err(|_| format!("bad number {s:?}"))
     };
@@ -130,6 +153,7 @@ pub fn entry_from_text(text: &str) -> Result<CatalogEntry, String> {
         exact,
         nodes,
         source,
+        config,
         fingerprint,
     })
 }
@@ -228,7 +252,8 @@ mod tests {
 
     fn sample_entry() -> CatalogEntry {
         let p = SynthProblem::new(5, 1, 1, 2);
-        let out = synthesize(&p, &SynthOptions::default());
+        let opts = SynthOptions::default();
+        let out = synthesize(&p, &opts);
         CatalogEntry {
             problem: p,
             fingerprint: out.fingerprint,
@@ -236,6 +261,7 @@ mod tests {
             exact: out.stats.exact,
             nodes: out.stats.nodes,
             source: "synth".to_string(),
+            config: Some(opts.search.config_string()),
         }
     }
 
@@ -243,9 +269,32 @@ mod tests {
     fn entries_round_trip_byte_identically() {
         let e = sample_entry();
         let text = entry_to_text(&e);
+        assert!(text.contains("# search bound="), "config line present");
         let back = entry_from_text(&text).unwrap();
         assert_eq!(e, back);
         assert_eq!(text, entry_to_text(&back), "byte-identical round trip");
+    }
+
+    #[test]
+    fn parser_accepts_both_header_versions() {
+        // New header: with the `# search` provenance line.
+        let e = sample_entry();
+        let with_config = entry_to_text(&e);
+        let parsed = entry_from_text(&with_config).unwrap();
+        assert_eq!(
+            parsed.config.as_deref(),
+            Some(SynthOptions::default().search.config_string().as_str())
+        );
+
+        // Old (pre-PR-10) header: no `# search` line at all. Parses to
+        // `config: None` and still round-trips byte-identically.
+        let mut old = e.clone();
+        old.config = None;
+        let without_config = entry_to_text(&old);
+        assert!(!without_config.contains("# search"));
+        let parsed = entry_from_text(&without_config).unwrap();
+        assert_eq!(parsed, old);
+        assert_eq!(entry_to_text(&parsed), without_config);
     }
 
     #[test]

@@ -26,7 +26,7 @@ use crate::requirements::requirement3_violation_naive;
 use crate::schedule::Schedule;
 use demands::{CandidateSpace, DemandSpace};
 use search::{greedy_cover, minimum_cover, CoverSolution, SearchOptions, SearchStats};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use ttdc_util::{BitSet, CoverCounter};
 
 /// A synthesis target: the four paper parameters.
@@ -211,22 +211,48 @@ pub fn polish(
     CoverSolution { slots: current }
 }
 
+/// Entries a [`VerifyCache`] holds before evicting: long campaigns verify
+/// an unbounded stream of distinct incumbents, and an uncapped memo would
+/// grow with them for the life of the process.
+pub const VERIFY_CACHE_CAPACITY: usize = 1024;
+
 /// Memoized naive-oracle verification keyed by canonical fingerprint and
 /// degree: relabel-equivalent schedules share one oracle run. Used by the
 /// catalog validator and `ttdc build`'s catalog consult, where the same
-/// design may be checked repeatedly in one process.
-#[derive(Default)]
+/// design may be checked repeatedly in one process. Bounded: once
+/// `capacity` distinct keys are resident the oldest insertion is evicted
+/// (FIFO — re-verifying an evicted schedule is merely slow, never wrong,
+/// so the simplest policy that bounds memory wins).
 pub struct VerifyCache {
     map: HashMap<(u64, usize), bool>,
+    /// Insertion order of resident keys, oldest at the front.
+    order: VecDeque<(u64, usize)>,
+    capacity: usize,
+}
+
+impl Default for VerifyCache {
+    fn default() -> Self {
+        VerifyCache::with_capacity(VERIFY_CACHE_CAPACITY)
+    }
 }
 
 impl VerifyCache {
-    /// An empty cache.
+    /// An empty cache with the default capacity.
     pub fn new() -> VerifyCache {
         VerifyCache::default()
     }
 
-    /// Number of distinct `(fingerprint, D)` pairs verified so far.
+    /// An empty cache evicting beyond `capacity` entries (`≥ 1`).
+    pub fn with_capacity(capacity: usize) -> VerifyCache {
+        assert!(capacity >= 1, "a zero-capacity cache cannot memoize");
+        VerifyCache {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            capacity,
+        }
+    }
+
+    /// Number of distinct `(fingerprint, D)` pairs currently resident.
     pub fn len(&self) -> usize {
         self.map.len()
     }
@@ -242,10 +268,18 @@ impl VerifyCache {
     /// (fingerprint collisions aside, see [`crate::fingerprint`]).
     pub fn is_topology_transparent(&mut self, s: &Schedule, d: usize) -> bool {
         let key = (s.canonical_fingerprint(), d);
-        *self
-            .map
-            .entry(key)
-            .or_insert_with(|| requirement3_violation_naive(s, d).is_none())
+        if let Some(&hit) = self.map.get(&key) {
+            return hit;
+        }
+        let ok = requirement3_violation_naive(s, d).is_none();
+        if self.map.len() == self.capacity {
+            if let Some(oldest) = self.order.pop_front() {
+                self.map.remove(&oldest);
+            }
+        }
+        self.map.insert(key, ok);
+        self.order.push_back(key);
+        ok
     }
 }
 
@@ -302,6 +336,34 @@ mod tests {
         assert_eq!(
             transparent_at_4,
             requirement3_violation_naive(&out.schedule, 4).is_none()
+        );
+    }
+
+    #[test]
+    fn verify_cache_evicts_oldest_beyond_capacity() {
+        let p = SynthProblem::new(5, 1, 1, 2);
+        let out = synthesize(&p, &SynthOptions::default());
+        let s = &out.schedule;
+        let mut cache = VerifyCache::with_capacity(2);
+        // Three distinct keys (same schedule, different degree) through a
+        // two-entry cache: residency never exceeds capacity.
+        let d1 = cache.is_topology_transparent(s, 1);
+        let d2 = cache.is_topology_transparent(s, 2);
+        assert_eq!(cache.len(), 2);
+        let d3 = cache.is_topology_transparent(s, 3);
+        assert_eq!(cache.len(), 2, "oldest entry evicted, not grown past cap");
+        // Hits on resident keys do not evict.
+        assert_eq!(cache.is_topology_transparent(s, 3), d3);
+        assert_eq!(cache.len(), 2);
+        // The evicted key re-verifies to the same verdict (eviction is a
+        // speed matter, never a correctness one) and re-enters FIFO order.
+        assert_eq!(cache.is_topology_transparent(s, 1), d1);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.is_topology_transparent(s, 2), d2);
+        assert_eq!(
+            d1,
+            requirement3_violation_naive(s, 1).is_none(),
+            "cached verdict matches a fresh oracle run"
         );
     }
 

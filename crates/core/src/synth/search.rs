@@ -9,18 +9,46 @@
 //! sibling branches ban earlier-tried candidates so no slot set is visited
 //! twice.
 //!
-//! **Pruning.** The admissible bound `⌈deficit / max_gain⌉` lower-bounds
-//! the slots any completion still needs; a subtree is cut only when
-//! `depth + bound` *strictly* exceeds the best known length, so every
-//! optimum-length solution survives pruning regardless of incumbent
-//! timing — the keystone of cross-thread determinism.
+//! **Bound hierarchy.** Three admissible lower bounds on the slots any
+//! completion still needs, in increasing strength and cost:
+//!
+//! * *Ceiling*: `⌈deficit / max_gain⌉` — one division.
+//! * *Matching*: a greedy packing of uncovered demands no single candidate
+//!   can co-cover ([`ttdc_util::greedy_packing`] over the precomputed
+//!   [`CandidateSpace::reach`] conflict masks); each packed demand needs
+//!   its own slot. Always `≥` the ceiling (the maximum of both is
+//!   returned).
+//! * *LP*: an exact scaled-integer dual-ascent on the residual set-cover
+//!   LP ([`ttdc_util::DualAscent`]), restricted to unbanned suppliers.
+//!   Strongest but priced per-supplier, so [`SearchOptions::lp_depth`]
+//!   confines it to shallow depths where cutting a subtree pays most.
+//!
+//! A subtree is cut only when `depth + bound` *strictly* exceeds the best
+//! known length, so every optimum-length solution survives pruning
+//! regardless of incumbent timing — the keystone of cross-thread
+//! determinism.
+//!
+//! **Dominance.** When branching, a supplier whose residual coverage is a
+//! subset of an earlier (lower-id) supplier's residual coverage is
+//! eliminated: replacing it by the dominator turns any cover through it
+//! into one that is no longer and lexicographically smaller, so the
+//! `(len, lex)`-minimal winner never routes through a dominated candidate.
+//! Dominance elimination is therefore *winner-preserving*, not just
+//! length-preserving.
 //!
 //! **Symmetry.** At the root, candidates covering the branch demand are
 //! deduplicated by their class signature under the demand's stabilizer
 //! (node classes `{x}`, `{y}`, `Y∖{y}`, rest): two candidates with equal
 //! per-class transmit/receive counts are images of each other under a
 //! node relabeling that maps the demand space onto itself, so their
-//! subtrees contain covers of exactly the same lengths.
+//! subtrees contain covers of exactly the same lengths. With
+//! [`SearchOptions::sub_symmetry`] the same idea extends below the root:
+//! classes are refined by membership in every chosen slot's `T`/`R`, so
+//! the relabeling also fixes the partial schedule. Sub-root orbit pruning
+//! preserves the optimum *length* but may swap the winning representative
+//! when several non-isomorphic optima exist, so it defaults off and is
+//! reserved for deep campaign runs (results stay bit-identical across
+//! thread counts either way — elimination depends only on the trail).
 //!
 //! **Deterministic incumbent.** A solution is the *sorted* vector of its
 //! candidate ids; solutions compare by `(length, lex order of ids)`. Each
@@ -29,22 +57,55 @@
 //! minimum — a rule with no dependence on thread count or completion
 //! order. The shared atomic incumbent length only tightens pruning of
 //! strictly-worse subtrees, so it can accelerate the search but never
-//! change its answer.
+//! change its answer. Budgeted branches ignore the shared incumbent
+//! entirely: budget cutoffs must not depend on cross-thread timing.
 
 use super::demands::{CandidateSpace, DemandSpace};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use ttdc_util::{BitSet, CoverCounter};
+use ttdc_util::{greedy_packing, BitSet, CoverCounter, DualAscent, LpItem};
+
+/// Which admissible lower bound the pruning rule pays for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BoundKind {
+    /// `⌈deficit / max_gain⌉` — the PR 9 baseline.
+    Ceiling,
+    /// Greedy conflict packing over [`CandidateSpace::reach`]; dominates
+    /// the ceiling bound.
+    Matching,
+    /// Matching everywhere plus the dual-ascent LP bound at depths below
+    /// [`SearchOptions::lp_depth`].
+    Lp,
+}
 
 /// Knobs for [`minimum_cover`]. Defaults give the full pruned,
-/// symmetry-reduced, exact search.
+/// symmetry-reduced, winner-preserving exact search.
 #[derive(Clone, Copy, Debug)]
 pub struct SearchOptions {
-    /// Apply the `⌈deficit / max_gain⌉` lower bound (off = the exhaustive
-    /// baseline `bench_synth` compares against).
+    /// Apply lower-bound pruning (off = the exhaustive baseline
+    /// `bench_synth` compares against).
     pub prune: bool,
+    /// Which bound the pruning rule uses (ignored when `prune` is off).
+    pub bound: BoundKind,
+    /// Depths strictly below this pay for the LP bound (with
+    /// [`BoundKind::Lp`]); deeper nodes fall back to the matching bound.
+    pub lp_depth: usize,
+    /// Dual-ascent sweeps after the fractional seed.
+    pub lp_passes: usize,
+    /// Eliminate branch candidates residual-dominated by an earlier one
+    /// (winner-preserving).
+    pub dominance: bool,
+    /// Cut subtrees that can at best *tie* the branch-local incumbent's
+    /// length but cannot beat it lexicographically (winner-preserving:
+    /// only completions strictly worse under the `(len, lex)` rule are
+    /// discarded; depends on branch-local state only, so thread-count
+    /// determinism is unaffected).
+    pub lex_prune: bool,
     /// Collapse root branches that are node-relabelings of each other.
     pub symmetry: bool,
+    /// Extend orbit elimination below the root (length-preserving only —
+    /// the winning representative may change; off by default).
+    pub sub_symmetry: bool,
     /// Per-root-branch node budget; `None` = run to exactness. When set,
     /// branches ignore the shared incumbent (budget cutoffs must not
     /// depend on cross-thread timing), so results stay deterministic.
@@ -59,10 +120,36 @@ impl Default for SearchOptions {
     fn default() -> Self {
         SearchOptions {
             prune: true,
+            bound: BoundKind::Lp,
+            // Effectively "LP everywhere" for tractable instances: per-node
+            // LP cost shrinks with the residual deficit, and on the hard
+            // bench points paying it at every depth is ~10× fewer nodes
+            // *and* faster in wall-clock than a shallow cutoff.
+            lp_depth: 64,
+            lp_passes: 1,
+            dominance: true,
+            lex_prune: true,
             symmetry: true,
+            sub_symmetry: false,
             max_nodes: None,
             incumbent_len: None,
         }
+    }
+}
+
+impl SearchOptions {
+    /// Provenance string recorded in catalog headers: the knobs that
+    /// shape the search tree (bound hierarchy + elimination rules).
+    pub fn config_string(&self) -> String {
+        let bound = match self.bound {
+            BoundKind::Ceiling => "ceiling",
+            BoundKind::Matching => "matching",
+            BoundKind::Lp => "lp",
+        };
+        format!(
+            "bound={} lp_depth={} lp_passes={} dominance={} sub_symmetry={}",
+            bound, self.lp_depth, self.lp_passes, self.dominance, self.sub_symmetry
+        )
     }
 }
 
@@ -93,7 +180,8 @@ pub struct CoverSolution {
 }
 
 impl CoverSolution {
-    fn better_than(&self, other: &CoverSolution) -> bool {
+    /// The deterministic incumbent rule: `(len, lex)` strict order.
+    pub fn better_than(&self, other: &CoverSolution) -> bool {
         (self.slots.len(), &self.slots) < (other.slots.len(), &other.slots)
     }
 }
@@ -124,6 +212,63 @@ pub fn greedy_cover(space: &DemandSpace, cands: &CandidateSpace) -> CoverSolutio
     CoverSolution { slots }
 }
 
+/// The PR 9 baseline bound: `⌈deficit / max_gain⌉`.
+#[inline]
+pub fn ceiling_bound(deficit: usize, max_gain: usize) -> usize {
+    deficit.div_ceil(max_gain)
+}
+
+/// Greedy conflict-packing bound over the uncovered demands, maxed with
+/// the ceiling bound so it dominates it unconditionally. `blocked` is
+/// reusable scratch over the demand universe.
+pub fn matching_bound(cands: &CandidateSpace, unc: &BitSet, blocked: &mut BitSet) -> usize {
+    greedy_packing(unc, &cands.reach, blocked).max(ceiling_bound(unc.len(), cands.max_gain))
+}
+
+/// Dual-ascent LP bound on the residual cover restricted to unbanned
+/// suppliers. Exact integer arithmetic throughout — see
+/// [`ttdc_util::lp`] for the admissibility argument. Returns
+/// [`DualAscent::INFEASIBLE`] when an uncovered demand has lost every
+/// supplier to bans.
+pub fn lp_bound(
+    cands: &CandidateSpace,
+    unc: &BitSet,
+    banned: &[bool],
+    passes: usize,
+    lp: &mut DualAscent,
+) -> usize {
+    let mut arena: Vec<u32> = Vec::new();
+    let mut items: Vec<LpItem> = Vec::new();
+    for i in unc.iter() {
+        let start = arena.len() as u32;
+        let mut max_gain = 0usize;
+        for &c in &cands.suppliers[i] {
+            if banned[c as usize] {
+                continue;
+            }
+            max_gain = max_gain.max(cands.cands[c as usize].coverage.intersection_len(unc));
+            arena.push(c);
+        }
+        items.push(LpItem {
+            start,
+            len: arena.len() as u32 - start,
+            max_gain: max_gain as u32,
+        });
+    }
+    lp.bound(&arena, &items, passes)
+}
+
+/// `true` iff `a`'s residual coverage (within `unc`) is a subset of
+/// `b`'s — the word-level dominance test, allocation-free.
+#[inline]
+fn residual_dominated(a: &BitSet, b: &BitSet, unc: &BitSet) -> bool {
+    a.words()
+        .iter()
+        .zip(b.words())
+        .zip(unc.words())
+        .all(|((&aw, &bw), &uw)| aw & uw & !bw == 0)
+}
+
 /// Class signature of a candidate under the root demand's stabilizer:
 /// per-class (`x`, `y`, `Y∖{y}`, rest) transmit and receive counts.
 fn root_signature(space: &DemandSpace, cands: &CandidateSpace, root: usize, c: u32) -> [usize; 8] {
@@ -151,7 +296,12 @@ fn root_signature(space: &DemandSpace, cands: &CandidateSpace, root: usize, c: u
     sig
 }
 
+/// Deepest trail length whose slot-membership bits still fit a `u64`
+/// color alongside the 2-bit demand class.
+const MAX_SYMMETRY_DEPTH: usize = 30;
+
 struct Worker<'a> {
+    space: &'a DemandSpace,
     cands: &'a CandidateSpace,
     opts: &'a SearchOptions,
     shared_len: &'a AtomicUsize,
@@ -164,6 +314,10 @@ struct Worker<'a> {
     nodes: u64,
     pruned: u64,
     exhausted: bool,
+    /// Scratch for the matching bound's packing.
+    blocked: BitSet,
+    /// Scratch for the LP bound's dual loads.
+    lp: DualAscent,
 }
 
 impl Worker<'_> {
@@ -177,6 +331,204 @@ impl Worker<'_> {
         } else {
             local.min(self.shared_len.load(Ordering::Relaxed))
         }
+    }
+
+    /// Admissible lower bound on the slots any completion of this node
+    /// still needs, per the configured bound hierarchy.
+    fn lower_bound(&mut self, depth: usize) -> usize {
+        let mut lower = ceiling_bound(self.counter.deficit(), self.cands.max_gain);
+        if matches!(self.opts.bound, BoundKind::Matching | BoundKind::Lp) {
+            lower = lower.max(greedy_packing(
+                self.counter.uncovered(),
+                &self.cands.reach,
+                &mut self.blocked,
+            ));
+        }
+        if self.opts.bound == BoundKind::Lp && depth < self.opts.lp_depth {
+            lower = lower.max(lp_bound(
+                self.cands,
+                self.counter.uncovered(),
+                &self.banned,
+                self.opts.lp_passes,
+                &mut self.lp,
+            ));
+        }
+        lower
+    }
+
+    /// Trail-refined node color: the branch demand's class plus a
+    /// membership bit pair per chosen slot. Permutations preserving every
+    /// color class setwise fix the branch demand and the whole partial
+    /// schedule, so equal-signature candidates are orbit-equivalent.
+    fn node_color(&self, v: usize, branch: usize) -> u64 {
+        let dem = &self.space.demands()[branch];
+        let mut color = if v == dem.x {
+            0u64
+        } else if v == dem.y {
+            1
+        } else if dem.group.contains(v) {
+            2
+        } else {
+            3
+        };
+        for (k, &s) in self.chosen.iter().enumerate() {
+            let cand = &self.cands.cands[s as usize];
+            color |= (u64::from(cand.t.contains(v))) << (2 + 2 * k);
+            color |= (u64::from(cand.r.contains(v))) << (3 + 2 * k);
+        }
+        color
+    }
+
+    /// Per-color (transmit, receive) counts of candidate `c` — the
+    /// sub-root orbit signature, sorted by color for canonical equality.
+    fn orbit_signature(&self, branch: usize, c: u32) -> Vec<(u64, u32, u32)> {
+        let cand = &self.cands.cands[c as usize];
+        let mut sig: Vec<(u64, u32, u32)> = Vec::new();
+        for v in 0..self.space.num_nodes() {
+            let in_t = cand.t.contains(v);
+            let in_r = cand.r.contains(v);
+            if !in_t && !in_r {
+                continue;
+            }
+            let color = self.node_color(v, branch);
+            match sig.binary_search_by_key(&color, |e| e.0) {
+                Ok(p) => {
+                    sig[p].1 += u32::from(in_t);
+                    sig[p].2 += u32::from(in_r);
+                }
+                Err(p) => sig.insert(p, (color, u32::from(in_t), u32::from(in_r))),
+            }
+        }
+        sig
+    }
+
+    /// Applies orbit and dominance elimination to the branch suppliers,
+    /// banning eliminated candidates for this node's whole subtree (the
+    /// caller unbans all of `sups` afterwards). Keeps the lowest-id
+    /// representative of every orbit / dominance chain.
+    fn eliminate(&mut self, branch: usize, sups: &[u32]) -> Vec<u32> {
+        let use_sym = self.opts.sub_symmetry && self.chosen.len() <= MAX_SYMMETRY_DEPTH;
+        let mut kept: Vec<u32> = Vec::with_capacity(sups.len());
+        let mut sigs: Vec<Vec<(u64, u32, u32)>> = Vec::new();
+        for &c in sups {
+            if use_sym {
+                let sig = self.orbit_signature(branch, c);
+                if sigs.contains(&sig) {
+                    self.banned[c as usize] = true;
+                    continue;
+                }
+                if !self.dominated_by_kept(c, &kept) {
+                    sigs.push(sig);
+                    kept.push(c);
+                } else {
+                    self.banned[c as usize] = true;
+                }
+            } else if self.dominated_by_kept(c, &kept) {
+                self.banned[c as usize] = true;
+            } else {
+                kept.push(c);
+            }
+        }
+        kept
+    }
+
+    fn dominated_by_kept(&self, c: u32, kept: &[u32]) -> bool {
+        if !self.opts.dominance {
+            return false;
+        }
+        let unc = self.counter.uncovered();
+        let cov = &self.cands.cands[c as usize].coverage;
+        kept.iter()
+            .any(|&k| residual_dominated(cov, &self.cands.cands[k as usize].coverage, unc))
+    }
+
+    /// `true` when this node's subtree can no longer beat the branch-local
+    /// best under `(len, lex)`. Only fires in the *tie regime* — the
+    /// admissible bound says every completion is at least as long as the
+    /// local best — where the lex-smallest conceivable completion is
+    /// `chosen` merged with the smallest unbanned ids; if even that fails
+    /// to beat the best, nothing in the subtree can. Deeper bans only
+    /// shrink the options, so the verdict holds for the whole subtree.
+    fn lex_hopeless(&self, depth: usize, lower: usize) -> bool {
+        let Some(best) = &self.best else {
+            return false;
+        };
+        let blen = best.slots.len();
+        if depth + lower != blen {
+            return false; // a strictly shorter completion may still exist
+        }
+        let mut chosen = self.chosen.clone();
+        chosen.sort_unstable();
+        let need = blen - depth;
+        // A tie-length completion adds `need` candidates whose residual
+        // coverages union to the whole deficit, and each contributes at
+        // most `max_gain` — so every member must cover at least
+        // `deficit − (need−1)·max_gain` uncovered demands (and at least
+        // one: a zero-gain member could be dropped, beating the
+        // admissible bound — impossible). The lex-smallest conceivable
+        // fill therefore skips candidates below that threshold.
+        let unc = self.counter.uncovered();
+        let t_min = self
+            .counter
+            .deficit()
+            .saturating_sub((need - 1) * self.cands.max_gain)
+            .max(1);
+        let mut fill: Vec<u32> = Vec::with_capacity(need);
+        for id in 0..self.cands.cands.len() as u32 {
+            if fill.len() == need {
+                break;
+            }
+            if !self.banned[id as usize]
+                && chosen.binary_search(&id).is_err()
+                && self.cands.cands[id as usize].coverage.intersection_len(unc) >= t_min
+            {
+                fill.push(id);
+            }
+        }
+        if fill.len() < need {
+            return true; // not enough distinct ids left even to tie
+        }
+        let (mut i, mut j) = (0, 0);
+        for &b in &best.slots {
+            let m = if i < chosen.len() && (j >= fill.len() || chosen[i] < fill[j]) {
+                let v = chosen[i];
+                i += 1;
+                v
+            } else {
+                let v = fill[j];
+                j += 1;
+                v
+            };
+            if m < b {
+                return false; // the subtree can still win the tie
+            }
+            if m > b {
+                return true;
+            }
+        }
+        true // exact tie: cannot *strictly* beat the best
+    }
+
+    /// Global dominance pass: bans every unbanned candidate whose residual
+    /// coverage is a subset of an earlier unbanned candidate's (keeping the
+    /// lowest id of every chain). Returns the banned ids for the caller to
+    /// restore. Winner-preserving by the same substitution argument as the
+    /// branch-supplier filter.
+    fn global_eliminate(&mut self) -> Vec<u32> {
+        let mut kept: Vec<u32> = Vec::new();
+        let mut eliminated: Vec<u32> = Vec::new();
+        for c in 0..self.cands.cands.len() as u32 {
+            if self.banned[c as usize] {
+                continue;
+            }
+            if self.dominated_by_kept(c, &kept) {
+                self.banned[c as usize] = true;
+                eliminated.push(c);
+            } else {
+                kept.push(c);
+            }
+        }
+        eliminated
     }
 
     fn dfs(&mut self) {
@@ -204,7 +556,7 @@ impl Worker<'_> {
         }
         let depth = self.chosen.len();
         let lower = if self.opts.prune {
-            self.counter.deficit().div_ceil(self.cands.max_gain)
+            self.lower_bound(depth)
         } else {
             1 // not covered ⇒ at least one more slot; keeps ties exact
         };
@@ -212,6 +564,15 @@ impl Worker<'_> {
             self.pruned += 1;
             return;
         }
+        if self.opts.lex_prune && self.lex_hopeless(depth, lower) {
+            self.pruned += 1;
+            return;
+        }
+        let globally_eliminated = if self.opts.dominance {
+            self.global_eliminate()
+        } else {
+            Vec::new()
+        };
         // Branch demand: uncovered, fewest unbanned suppliers, tie lowest.
         let mut branch = usize::MAX;
         let mut branch_count = usize::MAX;
@@ -229,15 +590,24 @@ impl Worker<'_> {
             }
         }
         if branch_count == 0 {
-            return; // dead end: demand lost all suppliers to bans
+            // Dead end: demand lost all suppliers to bans.
+            for &c in &globally_eliminated {
+                self.banned[c as usize] = false;
+            }
+            return;
         }
         let sups: Vec<u32> = self.cands.suppliers[branch]
             .iter()
             .copied()
             .filter(|&c| !self.banned[c as usize])
             .collect();
+        let kept: Vec<u32> = if self.opts.dominance || self.opts.sub_symmetry {
+            self.eliminate(branch, &sups)
+        } else {
+            sups.clone()
+        };
         let cands = self.cands;
-        for &c in &sups {
+        for &c in &kept {
             if self.exhausted {
                 break;
             }
@@ -254,23 +624,55 @@ impl Worker<'_> {
         for &c in &sups {
             self.banned[c as usize] = false;
         }
+        for &c in &globally_eliminated {
+            self.banned[c as usize] = false;
+        }
     }
 }
 
-/// Exact (or budgeted) minimum set cover. See the module docs for the
-/// determinism argument. Returns the best cover found plus effort stats.
-pub fn minimum_cover(
-    space: &DemandSpace,
-    cands: &CandidateSpace,
-    opts: &SearchOptions,
-) -> (CoverSolution, SearchStats) {
+/// The deterministic root fan-out: branch demand, symmetry-reduced branch
+/// candidates, the greedy seed and the numeric incumbent every branch
+/// starts from. Computed once, then each branch can run (and be
+/// checkpointed) independently — the campaign runner's unit of work.
+#[derive(Clone, Debug)]
+pub struct RootPlan {
+    /// The root branch demand (globally fewest suppliers, tie lowest id).
+    pub root: usize,
+    /// Branch candidates after symmetry deduplication, ascending.
+    pub branch_cands: Vec<u32>,
+    /// Supplier count before symmetry deduplication.
+    pub root_branches_total: usize,
+    /// The greedy seed cover (a valid solution even if every branch is
+    /// budget-starved).
+    pub greedy: CoverSolution,
+    /// `min(greedy length, incumbent_len)` — the numeric incumbent every
+    /// branch starts from.
+    pub seed_len: usize,
+}
+
+/// One root branch's outcome: its branch-local `(len, lex)` minimum (if
+/// it beat the seed) plus effort counters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BranchResult {
+    /// Best cover known to the branch. With lex pruning this starts from
+    /// the greedy seed (so it is `Some` even when the subtree held nothing
+    /// better); otherwise `None` means nothing beat the seed.
+    pub best: Option<CoverSolution>,
+    /// Nodes expanded in this branch.
+    pub nodes: u64,
+    /// Subtrees cut in this branch.
+    pub pruned: u64,
+    /// `true` when the branch hit its node budget.
+    pub exhausted: bool,
+}
+
+/// Computes the deterministic root fan-out for `(space, cands, opts)`.
+pub fn plan_root(space: &DemandSpace, cands: &CandidateSpace, opts: &SearchOptions) -> RootPlan {
     let greedy = greedy_cover(space, cands);
     let seed_len = greedy
         .slots
         .len()
         .min(opts.incumbent_len.unwrap_or(usize::MAX));
-    let target = BitSet::from_iter(space.len(), 0..space.len());
-
     // Root branch demand: globally fewest suppliers, tie lowest id.
     let root = (0..space.len())
         .min_by_key(|&i| (cands.suppliers[i].len(), i))
@@ -290,52 +692,102 @@ pub fn minimum_cover(
     } else {
         all_sups.clone()
     };
+    RootPlan {
+        root,
+        branch_cands,
+        root_branches_total: all_sups.len(),
+        greedy,
+        seed_len,
+    }
+}
 
-    let shared_len = AtomicUsize::new(seed_len);
+/// Runs root branch `index` of `plan` to completion (or budget). Branch
+/// `i` bans the candidates of branches `0..i` — they were (or will be)
+/// fully explored elsewhere, so no slot set is visited twice. `shared_len`
+/// is the cross-branch incumbent length; pass a fresh
+/// `AtomicUsize::new(plan.seed_len)` to decouple the branch from all
+/// others (the campaign runner does, so every checkpointed branch result
+/// is independent of execution order and kill history).
+pub fn search_root_branch(
+    space: &DemandSpace,
+    cands: &CandidateSpace,
+    opts: &SearchOptions,
+    plan: &RootPlan,
+    index: usize,
+    shared_len: &AtomicUsize,
+) -> BranchResult {
+    let target = BitSet::from_iter(space.len(), 0..space.len());
+    let mut counter = CoverCounter::new(space.len());
+    counter.set_target(&target);
+    let mut banned = vec![false; cands.cands.len()];
+    for &prev in &plan.branch_cands[..index] {
+        banned[prev as usize] = true;
+    }
+    let c = plan.branch_cands[index];
+    counter.add(&cands.cands[c as usize].coverage);
+    // With lex pruning on, seed the branch-local incumbent with the greedy
+    // solution so the tie regime is active from the very first node (the
+    // greedy seed is often already optimal in length, and without a
+    // concrete incumbent the whole first dive enumerates optimal-length
+    // covers un-lex-pruned). The seed is identical for every branch, so
+    // branch results stay independent of execution order, and the final
+    // reduce starts from the greedy cover anyway, so winners are unchanged.
+    let mut w = Worker {
+        space,
+        cands,
+        opts,
+        shared_len,
+        counter,
+        banned,
+        chosen: vec![c],
+        best: opts.lex_prune.then(|| plan.greedy.clone()),
+        seed_len: plan.seed_len,
+        nodes: 0,
+        pruned: 0,
+        exhausted: false,
+        blocked: BitSet::new(space.len()),
+        lp: DualAscent::new(cands.cands.len()),
+    };
+    w.dfs();
+    BranchResult {
+        best: w.best,
+        nodes: w.nodes,
+        pruned: w.pruned,
+        exhausted: w.exhausted,
+    }
+}
+
+/// Exact (or budgeted) minimum set cover. See the module docs for the
+/// determinism argument. Returns the best cover found plus effort stats.
+pub fn minimum_cover(
+    space: &DemandSpace,
+    cands: &CandidateSpace,
+    opts: &SearchOptions,
+) -> (CoverSolution, SearchStats) {
+    let plan = plan_root(space, cands, opts);
+    let shared_len = AtomicUsize::new(plan.seed_len);
     let total_nodes = AtomicU64::new(0);
     let total_pruned = AtomicU64::new(0);
     let any_exhausted = AtomicUsize::new(0);
 
-    // One task per root branch; branch i bans the candidates of branches
-    // 0..i (they were fully explored — any cover through them was found
-    // there). Ordered collect keeps the reduction deterministic.
-    let branch_bests: Vec<Option<CoverSolution>> = (0..branch_cands.len())
+    // One task per root branch; ordered collect keeps the reduction
+    // deterministic.
+    let branch_bests: Vec<Option<CoverSolution>> = (0..plan.branch_cands.len())
         .collect::<Vec<_>>()
         .into_par_iter()
         .with_min_len(1)
         .map(|i| {
-            let mut counter = CoverCounter::new(space.len());
-            counter.set_target(&target);
-            let mut banned = vec![false; cands.cands.len()];
-            for &prev in &branch_cands[..i] {
-                banned[prev as usize] = true;
-            }
-            let c = branch_cands[i];
-            counter.add(&cands.cands[c as usize].coverage);
-            let mut w = Worker {
-                cands,
-                opts,
-                shared_len: &shared_len,
-                counter,
-                banned,
-                chosen: vec![c],
-                best: None,
-                seed_len,
-                nodes: 0,
-                pruned: 0,
-                exhausted: false,
-            };
-            w.dfs();
-            total_nodes.fetch_add(w.nodes, Ordering::Relaxed);
-            total_pruned.fetch_add(w.pruned, Ordering::Relaxed);
-            if w.exhausted {
+            let r = search_root_branch(space, cands, opts, &plan, i, &shared_len);
+            total_nodes.fetch_add(r.nodes, Ordering::Relaxed);
+            total_pruned.fetch_add(r.pruned, Ordering::Relaxed);
+            if r.exhausted {
                 any_exhausted.fetch_add(1, Ordering::Relaxed);
             }
-            w.best
+            r.best
         })
         .collect();
 
-    let mut best = greedy;
+    let mut best = plan.greedy.clone();
     for sol in branch_bests.into_iter().flatten() {
         if sol.better_than(&best) {
             best = sol;
@@ -345,8 +797,8 @@ pub fn minimum_cover(
         nodes: total_nodes.load(Ordering::Relaxed),
         pruned: total_pruned.load(Ordering::Relaxed),
         exact: any_exhausted.load(Ordering::Relaxed) == 0,
-        root_branches: branch_cands.len(),
-        root_branches_total: all_sups.len(),
+        root_branches: plan.branch_cands.len(),
+        root_branches_total: plan.root_branches_total,
     };
     (best, stats)
 }
@@ -369,12 +821,57 @@ mod tests {
             let full = SearchOptions::default();
             let bare = SearchOptions {
                 prune: false,
+                dominance: false,
+                lex_prune: false,
                 symmetry: false,
                 ..SearchOptions::default()
             };
             let (l1, _) = solve(n, d, at, ar, &full);
             let (l2, _) = solve(n, d, at, ar, &bare);
             assert_eq!(l1, l2, "({n},{d},{at},{ar})");
+        }
+    }
+
+    #[test]
+    fn every_bound_kind_and_dominance_preserve_the_winner() {
+        // Bound pruning and dominance elimination are winner-preserving:
+        // same (len, lex) winner as the prune-free search under the same
+        // root symmetry.
+        for (n, d, at, ar) in [(4, 1, 1, 1), (5, 1, 1, 2), (5, 2, 1, 2), (4, 2, 2, 2)] {
+            let bare = SearchOptions {
+                prune: false,
+                dominance: false,
+                lex_prune: false,
+                ..SearchOptions::default()
+            };
+            let reference = solve(n, d, at, ar, &bare);
+            for bound in [BoundKind::Ceiling, BoundKind::Matching, BoundKind::Lp] {
+                for dominance in [false, true] {
+                    let opts = SearchOptions {
+                        bound,
+                        dominance,
+                        ..SearchOptions::default()
+                    };
+                    assert_eq!(
+                        solve(n, d, at, ar, &opts),
+                        reference,
+                        "({n},{d},{at},{ar}) {bound:?} dominance={dominance}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sub_symmetry_preserves_the_optimum_length() {
+        for (n, d, at, ar) in [(4, 1, 1, 1), (5, 1, 1, 2), (5, 2, 1, 2), (5, 1, 2, 2)] {
+            let (reference, _) = solve(n, d, at, ar, &SearchOptions::default());
+            let deep = SearchOptions {
+                sub_symmetry: true,
+                ..SearchOptions::default()
+            };
+            let (l, _) = solve(n, d, at, ar, &deep);
+            assert_eq!(l, reference, "({n},{d},{at},{ar})");
         }
     }
 
@@ -416,5 +913,31 @@ mod tests {
         // runs out of budget.
         assert!(!sol.slots.is_empty());
         assert!(!stats.exact || stats.nodes <= 5 * stats.root_branches as u64);
+    }
+
+    #[test]
+    fn branch_results_are_independent_of_execution_order() {
+        // The campaign contract: a branch searched with its own local
+        // incumbent yields the same result no matter what ran before it.
+        let space = DemandSpace::new(5, 1);
+        let cands = CandidateSpace::new(&space, 1, 2);
+        let opts = SearchOptions::default();
+        let plan = plan_root(&space, &cands, &opts);
+        let forward: Vec<BranchResult> = (0..plan.branch_cands.len())
+            .map(|i| {
+                let local = AtomicUsize::new(plan.seed_len);
+                search_root_branch(&space, &cands, &opts, &plan, i, &local)
+            })
+            .collect();
+        let backward: Vec<BranchResult> = (0..plan.branch_cands.len())
+            .rev()
+            .map(|i| {
+                let local = AtomicUsize::new(plan.seed_len);
+                search_root_branch(&space, &cands, &opts, &plan, i, &local)
+            })
+            .collect();
+        let mut backward = backward;
+        backward.reverse();
+        assert_eq!(forward, backward);
     }
 }

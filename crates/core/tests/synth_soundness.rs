@@ -93,6 +93,7 @@ fn catalog_entries_round_trip_byte_identically_for_every_point() {
             exact: out.stats.exact,
             nodes: out.stats.nodes,
             source: "synth".to_string(),
+            config: Some(SearchOptions::default().config_string()),
         };
         let text = catalog::entry_to_text(&entry);
         let back = catalog::entry_from_text(&text).unwrap();

@@ -13,6 +13,7 @@ pub mod bitset;
 pub mod cover;
 pub mod fpfold;
 pub mod histogram;
+pub mod lp;
 pub mod stats;
 pub mod subsets;
 pub mod table;
@@ -20,9 +21,10 @@ pub mod table;
 pub use atomic::{fnv1a64, write_atomic};
 pub use binomial::{binomial_exact, binomial_f64, binomial_ratio, ln_binomial, BinomialTable};
 pub use bitset::{for_each_subset, for_each_subset_of, BitSet};
-pub use cover::{CoverCounter, CoverMark};
+pub use cover::{greedy_packing, CoverCounter, CoverMark};
 pub use fpfold::iterate_add;
 pub use histogram::Histogram;
+pub use lp::{DualAscent, LpItem};
 pub use stats::{ConfidenceInterval, OnlineStats};
 pub use subsets::{for_each_subset_delta, for_each_subset_delta_lex, SubsetEvent};
 pub use table::Table;
